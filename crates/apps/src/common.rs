@@ -1,0 +1,233 @@
+//! Shared plumbing for TPP applications: frame construction, rate meters,
+//! and the standard shim-wiring pattern every app uses.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tpp_core::wire::{ethernet, ipv4, udp, EthernetRepr, Ipv4Address, Ipv4Packet, UdpDatagram};
+use tpp_endhost::shim::mac_of_ip;
+use tpp_netsim::Time;
+
+/// Default UDP port for application data traffic in experiments.
+pub const DATA_PORT: u16 = 5001;
+
+/// Build a UDP data frame between two simulated hosts (zero payload bytes;
+/// only lengths matter).
+pub fn udp_frame(
+    src_ip: Ipv4Address,
+    dst_ip: Ipv4Address,
+    src_port: u16,
+    dst_port: u16,
+    payload_len: usize,
+) -> Vec<u8> {
+    let u = udp::Repr { src_port, dst_port, payload_len };
+    let udp_b = u.encapsulate(src_ip, dst_ip, &vec![0u8; payload_len]);
+    let ip = ipv4::Repr {
+        src: src_ip,
+        dst: dst_ip,
+        protocol: ipv4::protocol::UDP,
+        ttl: 64,
+        payload_len: udp_b.len(),
+    };
+    EthernetRepr { dst: mac_of_ip(dst_ip), src: mac_of_ip(src_ip), ethertype: ethernet::ethertype::IPV4 }
+        .encapsulate(&ip.encapsulate(&udp_b))
+}
+
+/// Parsed view of a received UDP frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UdpInfo {
+    pub src: Ipv4Address,
+    pub dst: Ipv4Address,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub payload_len: usize,
+}
+
+/// Parse a UDP frame (post-shim, i.e. TPP already stripped).
+pub fn parse_udp(frame: &[u8]) -> Option<UdpInfo> {
+    let eth = tpp_core::wire::EthernetFrame::new_checked(frame)?;
+    if eth.ethertype() != ethernet::ethertype::IPV4 {
+        return None;
+    }
+    let ip = Ipv4Packet::new_checked(eth.payload())?;
+    if ip.protocol() != ipv4::protocol::UDP {
+        return None;
+    }
+    let u = UdpDatagram::new_checked(ip.payload())?;
+    Some(UdpInfo {
+        src: ip.src(),
+        dst: ip.dst(),
+        src_port: u.src_port(),
+        dst_port: u.dst_port(),
+        payload_len: u.len() as usize - udp::HEADER_LEN,
+    })
+}
+
+/// Accumulates byte arrivals into fixed time buckets and reports a rate
+/// series — how every throughput-vs-time figure in the paper is produced.
+#[derive(Clone, Debug)]
+pub struct RateMeter {
+    pub bucket_ns: Time,
+    buckets: Vec<u64>,
+    pub total_bytes: u64,
+}
+
+impl RateMeter {
+    pub fn new(bucket_ns: Time) -> Self {
+        RateMeter { bucket_ns, buckets: Vec::new(), total_bytes: 0 }
+    }
+
+    pub fn record(&mut self, now: Time, bytes: u64) {
+        let idx = (now / self.bucket_ns) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += bytes;
+        self.total_bytes += bytes;
+    }
+
+    /// `(bucket start seconds, Mb/s)` series.
+    pub fn series_mbps(&self) -> Vec<(f64, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let t = i as f64 * self.bucket_ns as f64 / 1e9;
+                let mbps = b as f64 * 8.0 / (self.bucket_ns as f64 / 1e9) / 1e6;
+                (t, mbps)
+            })
+            .collect()
+    }
+
+    /// Average rate over `[from_s, to_s)` in Mb/s.
+    pub fn avg_mbps(&self, from_s: f64, to_s: f64) -> f64 {
+        let from = (from_s * 1e9 / self.bucket_ns as f64) as usize;
+        let to = ((to_s * 1e9 / self.bucket_ns as f64) as usize).min(self.buckets.len());
+        if to <= from {
+            return 0.0;
+        }
+        let bytes: u64 = self.buckets[from..to].iter().sum();
+        bytes as f64 * 8.0 / ((to - from) as f64 * self.bucket_ns as f64 / 1e9) / 1e6
+    }
+}
+
+/// Shared handle used by apps to expose results to experiment drivers.
+pub type Shared<T> = Rc<RefCell<T>>;
+
+pub fn shared<T>(value: T) -> Shared<T> {
+    Rc::new(RefCell::new(value))
+}
+
+/// A minimal host that runs only the dataplane shim: it echoes completed
+/// standalone TPPs back to their source (§4.2) and counts received data.
+/// Probe destinations in experiments run this when they have no other role.
+pub struct Responder {
+    shim: Option<tpp_endhost::Shim>,
+    pub data_bytes: u64,
+}
+
+impl Responder {
+    pub fn new() -> Self {
+        Responder { shim: None, data_bytes: 0 }
+    }
+}
+
+impl Default for Responder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl tpp_netsim::HostApp for Responder {
+    fn start(&mut self, ctx: &mut tpp_netsim::HostCtx<'_>) {
+        self.shim = Some(tpp_endhost::Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64));
+    }
+
+    fn on_frame(&mut self, ctx: &mut tpp_netsim::HostCtx<'_>, frame: Vec<u8>) {
+        let out = self.shim.as_mut().unwrap().incoming(frame);
+        if let Some(echo) = out.echo {
+            ctx.send(echo);
+        }
+        if let Some(inner) = out.deliver {
+            if let Some(info) = parse_udp(&inner) {
+                self.data_bytes += info.payload_len as u64;
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Empirical CDF of a sample set: returns `(value, fraction <= value)`.
+pub fn cdf(samples: &[u32]) -> Vec<(u32, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let v = sorted[i];
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == v {
+            j += 1;
+        }
+        out.push((v, j as f64 / n));
+        i = j;
+    }
+    out
+}
+
+/// The fraction of samples <= `value` from a CDF produced by [`cdf`].
+pub fn cdf_at(cdf: &[(u32, f64)], value: u32) -> f64 {
+    let mut frac = 0.0;
+    for &(v, f) in cdf {
+        if v <= value {
+            frac = f;
+        } else {
+            break;
+        }
+    }
+    frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_frame_roundtrip() {
+        let f = udp_frame(Ipv4Address::from_host_id(1), Ipv4Address::from_host_id(2), 7, 9, 100);
+        let info = parse_udp(&f).unwrap();
+        assert_eq!(info.src_port, 7);
+        assert_eq!(info.dst_port, 9);
+        assert_eq!(info.payload_len, 100);
+    }
+
+    #[test]
+    fn rate_meter_series() {
+        let mut m = RateMeter::new(1_000_000_000); // 1 s buckets
+        m.record(100, 1_250_000); // 10 Mb in bucket 0
+        m.record(500_000_000, 1_250_000); // +10 Mb in bucket 0
+        m.record(1_500_000_000, 1_250_000); // 10 Mb in bucket 1
+        let s = m.series_mbps();
+        assert_eq!(s.len(), 2);
+        assert!((s[0].1 - 20.0).abs() < 1e-9);
+        assert!((s[1].1 - 10.0).abs() < 1e-9);
+        assert!((m.avg_mbps(0.0, 2.0) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_properties() {
+        let c = cdf(&[0, 0, 0, 0, 5, 10, 10, 20]);
+        assert_eq!(cdf_at(&c, 0), 0.5);
+        assert_eq!(cdf_at(&c, 4), 0.5);
+        assert_eq!(cdf_at(&c, 10), 0.875);
+        assert_eq!(cdf_at(&c, 100), 1.0);
+        assert_eq!(cdf(&[]).len(), 0);
+    }
+}

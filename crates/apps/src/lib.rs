@@ -1,0 +1,29 @@
+//! # tpp-apps — dataplane tasks refactored onto TPPs (paper §2)
+//!
+//! Each module reproduces one of the paper's demonstrations, exactly as the
+//! refactoring prescribes: the network executes only five-instruction TPPs;
+//! all task-specific logic runs at end-hosts.
+//!
+//! * [`microburst`] — per-packet queue-occupancy visibility (§2.1, Fig. 1).
+//! * [`rcp`] — RCP* congestion control with deployment-time α-fairness
+//!   (§2.2, Fig. 2).
+//! * [`netsight`] — packet histories; ndb / netshark / netwatch / loss
+//!   localization (§2.3, Fig. 3).
+//! * [`conga`] — CONGA*: congestion-aware flowlet load balancing (§2.4,
+//!   Fig. 4).
+//! * [`sketch`] — OpenSketch-style bitmap cardinality measurement (§2.5,
+//!   Fig. 5).
+//! * [`overhead`] — the Figure 10 / Table 5 end-host overhead experiments
+//!   (§6.2).
+//! * [`netverify`] — route-convergence verification and fault localization
+//!   (§2.6).
+//! * [`common`] — frame builders, rate meters, CDFs.
+
+pub mod common;
+pub mod conga;
+pub mod microburst;
+pub mod netsight;
+pub mod netverify;
+pub mod overhead;
+pub mod rcp;
+pub mod sketch;

@@ -1,0 +1,306 @@
+//! End-host stack overheads (paper §6.2, Figure 10 and Table 5).
+//!
+//! Figure 10 measures TCP goodput and network throughput as a function of
+//! the TPP sampling frequency: with a 260-byte TPP on every packet (N = 1)
+//! application goodput drops roughly by the header overhead while network
+//! throughput stays near line rate; at N = 10/20 the cost shrinks
+//! proportionally; N = ∞ is the uninstrumented baseline.
+//!
+//! The paper ran real Linux TCP over veth (CPU-bound at ~4–6.5 Gb/s); here
+//! the same experiment runs our Reno-like TCP over a simulated 10 Gb/s
+//! link, so the absolute numbers are link-bound, but the *shape* — goodput
+//! declining with sampling frequency, network throughput flat — is the
+//! claim under test.
+
+use std::collections::BTreeMap;
+
+use crate::common::{shared, Shared};
+use tpp_core::asm::assemble;
+use tpp_core::wire::{Ipv4Address, Tpp};
+use tpp_endhost::transport::{parse_seg_frame, SegOut, TcpConn};
+use tpp_endhost::{Filter, Shim};
+use tpp_netsim::{HostApp, HostCtx, LinkSpec, Network, Time};
+use tpp_switch::{Action, SwitchConfig};
+
+/// Build a TPP whose wire section is exactly `bytes` long (paper: 260).
+pub fn padded_tpp(bytes: usize) -> Tpp {
+    let mut t = assemble(
+        "
+        PUSH [Switch:SwitchID]
+        PUSH [PacketMetadata:OutputPort]
+        PUSH [Queue:QueueOccupancy]
+        PUSH [Link:TX-Utilization]
+        PUSH [Link:TX-Bytes]
+        ",
+    )
+    .expect("static program");
+    let header_and_instrs = 12 + t.instrs.len() * 4;
+    assert!(bytes >= header_and_instrs + 4, "target too small");
+    let mem = (bytes - header_and_instrs) & !3;
+    t.memory = vec![0; mem.min(252)];
+    t
+}
+
+const TIMER_RTO: u64 = 1;
+const TIMER_PUMP: u64 = 2;
+
+/// A bulk TCP sender with `n_flows` parallel connections through the shim.
+pub struct TcpSenderApp {
+    dst: Ipv4Address,
+    n_flows: usize,
+    mss: usize,
+    /// TPP sampling frequency; 0 = no instrumentation (the ∞ baseline).
+    sample_frequency: u32,
+    tpp_bytes: usize,
+    conns: Vec<TcpConn>,
+    shim: Option<Shim>,
+    pub wire_bytes_sent: u64,
+}
+
+impl TcpSenderApp {
+    pub fn new(dst: Ipv4Address, n_flows: usize, mss: usize, sample_frequency: u32, tpp_bytes: usize) -> Self {
+        TcpSenderApp {
+            dst,
+            n_flows,
+            mss,
+            sample_frequency,
+            tpp_bytes,
+            conns: Vec::new(),
+            shim: None,
+            wire_bytes_sent: 0,
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut HostCtx<'_>, idx: usize, segs: Vec<SegOut>) {
+        for seg in segs {
+            let frame = self.conns[idx].frame_for(ctx.ip, self.dst, &seg);
+            let frame = self.shim.as_mut().unwrap().outgoing(frame);
+            self.wire_bytes_sent += frame.len() as u64;
+            ctx.send(frame);
+        }
+        if let Some(d) = self.conns[idx].rto_deadline() {
+            ctx.set_timer_at(d, TIMER_RTO);
+        }
+    }
+}
+
+impl HostApp for TcpSenderApp {
+    fn start(&mut self, ctx: &mut HostCtx<'_>) {
+        let mut shim = Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64);
+        if self.sample_frequency > 0 {
+            shim.add_tpp(9, Filter::tcp(), padded_tpp(self.tpp_bytes), self.sample_frequency, 0);
+        }
+        self.shim = Some(shim);
+        for i in 0..self.n_flows {
+            self.conns.push(TcpConn::new(10_000 + i as u16, 443, self.mss));
+        }
+        ctx.set_timer(0, TIMER_PUMP);
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        match token {
+            TIMER_PUMP => {
+                for i in 0..self.conns.len() {
+                    let segs = self.conns[i].pump(ctx.now);
+                    self.flush(ctx, i, segs);
+                }
+            }
+            TIMER_RTO => {
+                for i in 0..self.conns.len() {
+                    if self.conns[i].rto_deadline().is_some_and(|d| d <= ctx.now) {
+                        let segs = self.conns[i].on_rto(ctx.now);
+                        self.flush(ctx, i, segs);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
+        let out = self.shim.as_mut().unwrap().incoming(frame);
+        if let Some(echo) = out.echo {
+            ctx.send(echo);
+        }
+        let Some(inner) = out.deliver else { return };
+        let Some((_, _, hdr)) = parse_seg_frame(&inner) else { return };
+        let idx = (hdr.dst_port as usize).wrapping_sub(10_000);
+        if idx >= self.conns.len() {
+            return;
+        }
+        let mut segs = self.conns[idx].on_segment(ctx.now, &hdr);
+        segs.extend(self.conns[idx].pump(ctx.now));
+        self.flush(ctx, idx, segs);
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// The receiving side: per-flow reassembly, ACK generation, goodput meters.
+pub struct TcpSinkApp {
+    conns: BTreeMap<u16, TcpConn>,
+    shim: Option<Shim>,
+    /// Total in-order payload bytes delivered, per source port.
+    pub delivered: Shared<BTreeMap<u16, u64>>,
+    pub wire_bytes_received: u64,
+}
+
+impl TcpSinkApp {
+    pub fn new() -> Self {
+        TcpSinkApp {
+            conns: BTreeMap::new(),
+            shim: None,
+            delivered: shared(BTreeMap::new()),
+            wire_bytes_received: 0,
+        }
+    }
+}
+
+impl Default for TcpSinkApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HostApp for TcpSinkApp {
+    fn start(&mut self, ctx: &mut HostCtx<'_>) {
+        let mut shim = Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64);
+        // Keep completed TPPs local: the sink is the aggregator, so echoes
+        // don't perturb the reverse (ACK) path.
+        shim.set_aggregator(9, ctx.ip);
+        self.shim = Some(shim);
+    }
+
+    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
+        self.wire_bytes_received += frame.len() as u64;
+        let out = self.shim.as_mut().unwrap().incoming(frame);
+        if let Some(echo) = out.echo {
+            ctx.send(echo);
+        }
+        let Some(inner) = out.deliver else { return };
+        let Some((src, _dst, hdr)) = parse_seg_frame(&inner) else { return };
+        let conn = self
+            .conns
+            .entry(hdr.src_port)
+            .or_insert_with(|| TcpConn::new(hdr.dst_port, hdr.src_port, 1240));
+        let replies = conn.on_segment(ctx.now, &hdr);
+        self.delivered.borrow_mut().insert(hdr.src_port, conn.delivered);
+        for seg in replies {
+            ctx.send(conn.frame_for(ctx.ip, src, &seg));
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// One Figure 10 data point.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig10Point {
+    pub n_flows: usize,
+    /// 0 encodes the ∞ (uninstrumented) baseline.
+    pub sample_frequency: u32,
+    /// Application goodput, Gb/s.
+    pub goodput_gbps: f64,
+    /// Wire throughput at the receiver, Gb/s.
+    pub network_gbps: f64,
+}
+
+/// Run one Figure 10 cell: `n_flows` bulk TCP flows across one switch on
+/// 10 Gb/s links, `tpp_bytes`-byte TPPs at 1-in-`sample_frequency` packets.
+pub fn run_fig10_point(
+    n_flows: usize,
+    sample_frequency: u32,
+    tpp_bytes: usize,
+    duration: Time,
+    seed: u64,
+) -> Fig10Point {
+    let mut net = Network::new(seed);
+    let sw = net.add_switch(SwitchConfig::new(1, 2));
+    let snd = net.add_host(Box::new(tpp_netsim::NullApp));
+    let rcv = net.add_host(Box::new(tpp_netsim::NullApp));
+    net.connect(sw, snd, LinkSpec::new(10_000, 5_000));
+    net.connect(sw, rcv, LinkSpec::new(10_000, 5_000));
+    let snd_ip = net.host(snd).ip;
+    let rcv_ip = net.host(rcv).ip;
+    {
+        let s = net.switch_mut(sw);
+        s.cfg.queue_limit_bytes = 500_000;
+        s.add_host_route(snd_ip, Action::Output(0));
+        s.add_host_route(rcv_ip, Action::Output(1));
+    }
+    net.set_app(snd, Box::new(TcpSenderApp::new(rcv_ip, n_flows, 1240, sample_frequency, tpp_bytes)));
+    net.set_app(rcv, Box::new(TcpSinkApp::new()));
+    net.run_until(duration);
+    let secs = duration as f64 / 1e9;
+    let (goodput, wire) = {
+        let sink = net.app_mut::<TcpSinkApp>(rcv);
+        let total: u64 = sink.delivered.borrow().values().sum();
+        (total as f64 * 8.0 / secs / 1e9, sink.wire_bytes_received as f64 * 8.0 / secs / 1e9)
+    };
+    Fig10Point { n_flows, sample_frequency, goodput_gbps: goodput, network_gbps: wire }
+}
+
+/// The whole Figure 10 sweep: flows x sampling frequencies (0 = ∞).
+pub fn run_fig10(duration: Time, seed: u64) -> Vec<Fig10Point> {
+    let mut out = Vec::new();
+    for &n_flows in &[1usize, 10, 20] {
+        for &freq in &[1u32, 10, 20, 0] {
+            out.push(run_fig10_point(n_flows, freq, 260, duration, seed));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_netsim::MILLIS;
+
+    #[test]
+    fn padded_tpp_is_260_bytes() {
+        let t = padded_tpp(260);
+        assert_eq!(t.section_len(), 260);
+        assert!(t.within_instruction_budget());
+    }
+
+    #[test]
+    fn tcp_fills_a_10g_link() {
+        let p = run_fig10_point(1, 0, 260, 100 * MILLIS, 1);
+        // Baseline: goodput near 10 Gb/s x (1240 payload / 1294 frame).
+        assert!(p.goodput_gbps > 8.0, "baseline goodput {p:?}");
+        assert!(p.network_gbps > 9.0, "wire rate {p:?}");
+    }
+
+    #[test]
+    fn instrumentation_costs_goodput_not_throughput() {
+        // The Figure 10 shape.
+        let base = run_fig10_point(1, 0, 260, 100 * MILLIS, 1);
+        let every = run_fig10_point(1, 1, 260, 100 * MILLIS, 1);
+        let tenth = run_fig10_point(1, 10, 260, 100 * MILLIS, 1);
+        // Goodput penalty at N=1 is roughly the 260B-per-1554B header share.
+        assert!(every.goodput_gbps < base.goodput_gbps * 0.92, "{every:?} vs {base:?}");
+        assert!(every.goodput_gbps > base.goodput_gbps * 0.70);
+        // N=10 sits between N=1 and the baseline.
+        assert!(tenth.goodput_gbps > every.goodput_gbps);
+        assert!(tenth.goodput_gbps <= base.goodput_gbps * 1.01);
+        // Network throughput barely moves.
+        assert!((every.network_gbps - base.network_gbps).abs() < 1.0);
+    }
+
+    #[test]
+    fn multiple_flows_share_the_link() {
+        let p = run_fig10_point(10, 0, 260, 100 * MILLIS, 2);
+        assert!(p.goodput_gbps > 7.0, "{p:?}");
+    }
+}
+
+impl TcpSenderApp {
+    /// Expose connection state for diagnostics.
+    pub fn conns_debug(&self) -> &[TcpConn] {
+        &self.conns
+    }
+}

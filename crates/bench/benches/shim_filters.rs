@@ -1,0 +1,61 @@
+//! The Table 5 micro-benchmark: shim transmit-path cost as a function of
+//! the number of installed filters (first/last-match scenarios).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tpp_apps::common::udp_frame;
+use tpp_core::asm::TppBuilder;
+use tpp_core::wire::{EthernetAddress, Ipv4Address};
+use tpp_endhost::{Filter, Shim};
+
+fn shim_with_rules(n: usize) -> Shim {
+    let probe =
+        TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(5).build().unwrap();
+    let mut shim = Shim::new(Ipv4Address::from_host_id(1), EthernetAddress::from_node_id(1), 1);
+    for i in 0..n {
+        shim.add_tpp(
+            1,
+            Filter { protocol: Some(17), dst_port: Some(1000 + i as u16), ..Filter::default() },
+            probe.clone(),
+            1,
+            i as u32,
+        );
+    }
+    shim
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shim_outgoing");
+    for n in [0usize, 1, 10, 100, 1000] {
+        for scenario in ["first", "last"] {
+            let mut shim = shim_with_rules(n);
+            let dport = match scenario {
+                "first" => 1000,
+                _ => 1000 + n.saturating_sub(1) as u16,
+            };
+            let frame = udp_frame(
+                Ipv4Address::from_host_id(1),
+                Ipv4Address::from_host_id(2),
+                40_000,
+                dport,
+                1400,
+            );
+            g.throughput(Throughput::Bytes(frame.len() as u64));
+            g.bench_with_input(BenchmarkId::new(scenario, n), &frame, |b, frame| {
+                b.iter(|| black_box(shim.outgoing(frame.clone())))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .sample_size(30);
+    targets = bench_filters
+}
+criterion_main!(benches);

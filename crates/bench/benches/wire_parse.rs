@@ -1,0 +1,55 @@
+//! Wire-format micro-benchmarks: TPP parse/serialize and the Figure 7a
+//! parse graph (transparent insertion/stripping), the operations a software
+//! switch performs per packet.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use tpp_apps::common::udp_frame;
+use tpp_core::asm::TppBuilder;
+use tpp_core::wire::{extract_tpp, insert_transparent, locate_tpp, strip_transparent, Ipv4Address, Tpp};
+
+fn sample_tpp() -> Tpp {
+    TppBuilder::stack_mode()
+        .push_m("Switch:SwitchID")
+        .unwrap()
+        .push_m("PacketMetadata:OutputPort")
+        .unwrap()
+        .push_m("Queue:QueueOccupancy")
+        .unwrap()
+        .hops(5)
+        .build()
+        .unwrap()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let tpp = sample_tpp();
+    let bytes = tpp.serialize();
+    let inner = udp_frame(Ipv4Address::from_host_id(1), Ipv4Address::from_host_id(2), 1, 2, 1000);
+    let stamped = insert_transparent(&inner, &tpp);
+
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("tpp_serialize", |b| b.iter(|| black_box(tpp.serialize())));
+    g.bench_function("tpp_parse", |b| b.iter(|| black_box(Tpp::parse(&bytes).unwrap())));
+    g.throughput(Throughput::Bytes(stamped.len() as u64));
+    g.bench_function("locate_tpp", |b| b.iter(|| black_box(locate_tpp(&stamped))));
+    g.bench_function("extract_tpp", |b| b.iter(|| black_box(extract_tpp(&stamped))));
+    g.bench_function("insert_transparent", |b| {
+        b.iter(|| black_box(insert_transparent(&inner, &tpp)))
+    });
+    g.bench_function("strip_transparent", |b| {
+        b.iter(|| black_box(strip_transparent(&stamped)))
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .sample_size(30);
+    targets = bench_wire
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 10: TCP goodput and network throughput vs TPP sampling frequency
+//! (260-byte TPPs, MSS 1240), for 1 / 10 / 20 flows.
+//!
+//! The paper measured a CPU-bound veth path (~4–6.5 Gb/s baseline); our
+//! substrate is a simulated 10 Gb/s link, so absolute numbers are
+//! link-bound. The claims under test are the *shape*: network throughput
+//! barely moves (TPP add/remove is cheap), application goodput drops
+//! proportionally to header overhead as sampling frequency rises.
+
+use tpp_apps::overhead::run_fig10;
+use tpp_netsim::MILLIS;
+
+fn main() {
+    println!("# Figure 10 — goodput vs TPP sampling frequency (§6.2)");
+    println!(
+        "{:>7} {:>10} {:>14} {:>14}",
+        "flows", "freq", "goodput Gb/s", "network Gb/s"
+    );
+    for p in run_fig10(200 * MILLIS, 3) {
+        let freq = if p.sample_frequency == 0 { "inf".to_string() } else { p.sample_frequency.to_string() };
+        println!(
+            "{:>7} {:>10} {:>14.2} {:>14.2}",
+            p.n_flows, freq, p.goodput_gbps, p.network_gbps
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 1b: queue-occupancy CDF and time series from per-packet TPPs on
+//! the six-host dumbbell (all-to-all 10 kB messages at 30% load, 100 Mb/s).
+//!
+//! Prints, per observed queue: the CDF fractiles and a down-sampled time
+//! series — the two panels of Figure 1b.
+
+use std::collections::BTreeMap;
+
+use tpp_apps::common::{cdf, cdf_at};
+use tpp_apps::microburst::{queue_key, run_microburst};
+use tpp_netsim::SECONDS;
+
+fn main() {
+    let duration = 3 * SECONDS;
+    let r = run_microburst(3, duration, 42);
+    println!("# Figure 1b reproduction (micro-burst detection, §2.1)");
+    println!(
+        "# {} messages sent; {} queue samples at the observer; {} fabric-wide",
+        r.total_messages,
+        r.observer_samples.len(),
+        r.all_samples.len()
+    );
+
+    let mut by_queue: BTreeMap<(u32, u32), Vec<&tpp_apps::microburst::QueueSample>> =
+        BTreeMap::new();
+    for s in &r.all_samples {
+        by_queue.entry(queue_key(s)).or_default().push(s);
+    }
+
+    println!("\n## CDF of queue occupancy at packet arrival (packets)");
+    println!("{:>8} {:>6} {:>9} {:>9} {:>9} {:>9} {:>7}", "switch", "port", "P(q<=0)", "P(q<=2)", "P(q<=5)", "P(q<=10)", "max");
+    for (k, samples) in &by_queue {
+        if samples.len() < 100 {
+            continue; // uninteresting queue
+        }
+        let values: Vec<u32> = samples.iter().map(|s| s.q_pkts).collect();
+        let c = cdf(&values);
+        println!(
+            "{:>8} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7}",
+            k.0,
+            k.1,
+            cdf_at(&c, 0),
+            cdf_at(&c, 2),
+            cdf_at(&c, 5),
+            cdf_at(&c, 10),
+            values.iter().max().unwrap()
+        );
+    }
+
+    println!("\n## Time series (10 ms bins, mean / max queue in packets)");
+    let busiest = by_queue
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .map(|(k, _)| *k)
+        .expect("at least one queue");
+    println!("# busiest queue: switch {} port {}", busiest.0, busiest.1);
+    println!("{:>8} {:>8} {:>8}", "t(ms)", "mean_q", "max_q");
+    let bin = 10_000_000u64;
+    let mut bins: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    for s in &by_queue[&busiest] {
+        bins.entry(s.t_ns / bin).or_default().push(s.q_pkts);
+    }
+    for (b, v) in bins.iter().take(100) {
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        println!("{:>8} {:>8.2} {:>8}", b * 10, mean, v.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 4: CONGA* vs ECMP on the 2-spine / 3-leaf topology.
+//!
+//! Demands: L0 -> L2 at 50 Mb/s pinned to one path; L1 -> L2 at 120 Mb/s
+//! (wire rate; ~115 Mb/s of payload) over two paths. The paper's table:
+//! ECMP achieves 45 / 115 with max utilization 100; CONGA* 50 / 120 with
+//! max utilization 85.
+
+use tpp_apps::conga::{run_conga_fig4, Balancer, Metric};
+use tpp_netsim::SECONDS;
+
+fn main() {
+    println!("# Figure 4 — congestion-aware load balancing (§2.4)");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>10} {:>9}",
+        "mode", "metric", "L0->L2 Mb/s", "L1->L2 Mb/s", "max util%", "moves"
+    );
+    for (mode, name) in [(Balancer::Ecmp, "ECMP"), (Balancer::Conga, "CONGA*")] {
+        for (metric, mname) in [(Metric::Max, "max"), (Metric::Sum, "sum")] {
+            if mode == Balancer::Ecmp && metric == Metric::Sum {
+                continue; // metric is irrelevant for static ECMP
+            }
+            let r = run_conga_fig4(mode, metric, 4 * SECONDS, 1);
+            println!(
+                "{:>8} {:>8} {:>12.1} {:>12.1} {:>10.1} {:>9}",
+                name, mname, r.l0_mbps, r.l1_mbps, r.max_util_percent, r.path_switches
+            );
+        }
+    }
+    println!("\n# paper: ECMP 45/115 @100% max util; CONGA* 50/120 @85% max util");
+    println!("# (our demands are wire-rate, so full delivery = ~48/~115 of payload)");
+}

@@ -1,0 +1,47 @@
+//! Table 4: hardware resource costs of TPP support.
+//!
+//! Synthesis is impossible without the FPGA toolchain, so this prints (a)
+//! the paper's published NetFPGA synthesis numbers, and (b) our resource
+//! *model*: the execution-unit / crossbar / state accounting the design
+//! implies, with the paper's 0.32% ASIC area estimate reproduced.
+
+use tpp_switch::cost::{ResourceModel, NETFPGA_TABLE4};
+
+fn main() {
+    println!("# Table 4 — NetFPGA synthesis cost (paper's published numbers)");
+    println!("{:>22} {:>10} {:>10} {:>9}", "resource (thousands)", "router", "+TCPU", "%-extra");
+    for r in NETFPGA_TABLE4 {
+        println!(
+            "{:>22} {:>10.1} {:>10.1} {:>8.1}%",
+            r.resource,
+            r.router,
+            r.tcpu_extra,
+            100.0 * r.tcpu_extra / r.router
+        );
+    }
+
+    println!("\n# Resource model of this implementation's pipeline (§3.5, Fig. 8)");
+    for (name, m) in [
+        ("NetFPGA-like (4 pipelines x 4 stages)", ResourceModel { n_pipelines: 4, stages_per_pipeline: 4, max_instructions: 5 }),
+        ("ASIC-like (16 pipelines x 4 stages)", ResourceModel { n_pipelines: 16, stages_per_pipeline: 4, max_instructions: 5 }),
+    ] {
+        println!("  {name}:");
+        println!("    execution units        : {}", m.execution_units());
+        println!("    crossbar ports         : {}", m.crossbar_ports());
+        println!("    per-packet state (bits): {}", m.per_packet_state_bits());
+        println!(
+            "    est. ASIC area         : {:.2}% (paper: 0.32% for 320 units)",
+            m.estimated_asic_area_percent()
+        );
+    }
+
+    // Software model footprint: bytes of addressable state per switch.
+    let mem = tpp_switch::SwitchMemory::new(1, 64, 6);
+    let stage_bytes = mem.stages.len() * 256 * 4;
+    let link_bytes = mem.links.len() * 256 * 4;
+    let queue_bytes: usize = mem.queues.iter().map(|q| q.len() * 8 * 4).sum();
+    println!("\n# Addressable state of one simulated 64-port switch");
+    println!("    stage SRAM + stats : {stage_bytes} B");
+    println!("    link stats blocks  : {link_bytes} B");
+    println!("    queue stats blocks : {queue_bytes} B");
+}

@@ -1,0 +1,74 @@
+//! Table 5: maximum attainable network throughput vs the number of
+//! dataplane filters, under the `first` / `last` / `all` match scenarios.
+//!
+//! Like the paper's, this is a *CPU* measurement of the end-host shim: we
+//! push pre-built 1500-byte frames through `Shim::outgoing` with N
+//! installed rules and report achievable Gb/s on this machine.
+
+use std::time::Instant;
+
+use tpp_apps::common::udp_frame;
+use tpp_core::asm::TppBuilder;
+use tpp_endhost::{Filter, Shim};
+use tpp_core::wire::{EthernetAddress, Ipv4Address};
+
+fn probe() -> tpp_core::wire::Tpp {
+    TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(5).build().unwrap()
+}
+
+/// Build a shim with `n` rules. `scenario`: which rule the traffic matches.
+fn build_shim(n: usize, scenario: &str) -> (Shim, Vec<Vec<u8>>) {
+    let ip = Ipv4Address::from_host_id(1);
+    let mut shim = Shim::new(ip, EthernetAddress::from_node_id(1), 1);
+    for i in 0..n {
+        // Each rule matches one TCP destination port, like the paper.
+        shim.add_tpp(1, Filter { protocol: Some(17), dst_port: Some(1000 + i as u16), ..Filter::default() }, probe(), 1, i as u32);
+    }
+    let dst = Ipv4Address::from_host_id(2);
+    let frames: Vec<Vec<u8>> = match scenario {
+        // All traffic hits the first rule.
+        "first" => (0..64).map(|i| udp_frame(ip, dst, 40_000 + i, 1000, 1400)).collect(),
+        // All traffic hits the last rule.
+        "last" => (0..64)
+            .map(|i| udp_frame(ip, dst, 40_000 + i, 1000 + n.saturating_sub(1) as u16, 1400))
+            .collect(),
+        // One flow per rule.
+        "all" => (0..64.max(n))
+            .map(|i| udp_frame(ip, dst, 40_000 + i as u16, 1000 + (i % n.max(1)) as u16, 1400))
+            .collect(),
+        _ => unreachable!(),
+    };
+    (shim, frames)
+}
+
+fn measure(n: usize, scenario: &str) -> f64 {
+    let (mut shim, frames) = build_shim(n, scenario);
+    // Warm up.
+    for f in frames.iter().take(16) {
+        std::hint::black_box(shim.outgoing(f.clone()));
+    }
+    let iters = if n >= 1000 { 20_000 } else { 100_000 };
+    let mut bytes = 0u64;
+    let start = Instant::now();
+    for i in 0..iters {
+        let f = &frames[i % frames.len()];
+        bytes += f.len() as u64;
+        std::hint::black_box(shim.outgoing(f.clone()));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    bytes as f64 * 8.0 / secs / 1e9
+}
+
+fn main() {
+    println!("# Table 5 — shim throughput (Gb/s) vs number of filters (§6.2)");
+    println!("{:>7} {:>8} {:>8} {:>8} {:>8} {:>8}", "match", "0", "1", "10", "100", "1000");
+    for scenario in ["first", "last", "all"] {
+        let mut cells = vec![format!("{scenario:>7}")];
+        for n in [0usize, 1, 10, 100, 1000] {
+            cells.push(format!("{:>8.2}", measure(n, scenario)));
+        }
+        println!("{}", cells.join(" "));
+    }
+    println!("\n# paper (kernel shim, 1500B MTU): first/last degrade only at 1000 rules;");
+    println!("# 'all' degrades faster. The shape, not the absolute Gb/s, is the claim.");
+}

@@ -1,0 +1,26 @@
+//! # tpp-bench — the reproduction harness
+//!
+//! One binary per table/figure in the paper's evaluation (see DESIGN.md §5
+//! for the experiment index), plus criterion micro-benchmarks:
+//!
+//! ```text
+//! cargo run -p tpp-bench --release --bin fig1_microburst
+//! cargo run -p tpp-bench --release --bin fig2_rcp
+//! cargo run -p tpp-bench --release --bin fig4_conga
+//! cargo run -p tpp-bench --release --bin fig5_sketch
+//! cargo run -p tpp-bench --release --bin fig10_sampling
+//! cargo run -p tpp-bench --release --bin table3_latency
+//! cargo run -p tpp-bench --release --bin table4_resources
+//! cargo run -p tpp-bench --release --bin table5_filters
+//! cargo bench -p tpp-bench
+//! ```
+
+/// Render a simple fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}

@@ -1,0 +1,426 @@
+//! Static analysis of TPPs (paper §3.5, §4.1, §4.3).
+//!
+//! TPPs are "relatively amenable to static analysis, particularly since a
+//! TPP contains at most five instructions" (§4.3). This module provides:
+//!
+//! * the access set of a program (which switch addresses it reads/writes),
+//!   used by TPP-CP to enforce per-application memory segments;
+//! * write detection, used by the hypervisor-style policy that drops any
+//!   TPP with write instructions;
+//! * data-hazard detection (write-after-write / read-after-write on the same
+//!   switch address), which out-of-order stage execution requires end-hosts
+//!   to avoid (§3.5);
+//! * the PUSH/POP → LOAD/STORE serialization pass of §3.5, which converts
+//!   stack operations to absolute-offset accesses so they can execute out of
+//!   order;
+//! * packet-memory bounds checking.
+
+use crate::addr::{is_architecturally_writable, Address};
+use crate::isa::{Instruction, Opcode, PacketOperands};
+use crate::wire::tpp::{AddrMode, Tpp};
+
+/// How an instruction accesses a switch address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Access {
+    Read,
+    Write,
+    /// CSTORE: read-modify-write.
+    ReadWrite,
+}
+
+impl Access {
+    pub fn is_write(self) -> bool {
+        matches!(self, Access::Write | Access::ReadWrite)
+    }
+}
+
+/// The switch-memory access performed by one instruction.
+pub fn instruction_access(ins: &Instruction) -> (Address, Access) {
+    let access = match ins.opcode {
+        Opcode::Load | Opcode::Push | Opcode::Cexec => Access::Read,
+        Opcode::Store | Opcode::Pop => Access::Write,
+        Opcode::Cstore => Access::ReadWrite,
+    };
+    (ins.addr, access)
+}
+
+/// The full access set of a program, in program order.
+pub fn access_set(instrs: &[Instruction]) -> Vec<(Address, Access)> {
+    instrs.iter().map(instruction_access).collect()
+}
+
+/// Does the program write to switch memory at all? (The §4.3 hypervisor
+/// check: "drop any TPPs with write instructions".)
+pub fn writes_switch_memory(instrs: &[Instruction]) -> bool {
+    instrs.iter().any(|i| i.opcode.writes_switch_memory())
+}
+
+/// An address interval `[start, end]` with a permission, forming the
+/// GDT-like memory access-control table of §4.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    pub start: Address,
+    pub end: Address,
+    pub allow_write: bool,
+}
+
+impl Segment {
+    pub fn read_only(start: Address, end: Address) -> Self {
+        Segment { start, end, allow_write: false }
+    }
+    pub fn read_write(start: Address, end: Address) -> Self {
+        Segment { start, end, allow_write: true }
+    }
+    pub fn contains(&self, a: Address) -> bool {
+        self.start <= a && a <= self.end
+    }
+}
+
+/// A policy violation discovered by [`check_segments`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub instr_index: usize,
+    pub addr: Address,
+    pub access: Access,
+    pub reason: ViolationReason,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationReason {
+    /// No segment grants any access to this address.
+    OutsideSegments,
+    /// A segment covers the address but does not permit writing.
+    WriteNotPermitted,
+    /// The address is architecturally read-only yet the program writes it.
+    ArchitecturallyReadOnly,
+}
+
+/// Check every access in the program against the permitted `segments`
+/// (§4.1: "TPPs are statically analyzed, to see if it accesses memories
+/// outside the permitted address range; if so, the API call returns a
+/// failure and the TPP is never installed").
+pub fn check_segments(instrs: &[Instruction], segments: &[Segment]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, ins) in instrs.iter().enumerate() {
+        let (addr, access) = instruction_access(ins);
+        let covering: Vec<&Segment> = segments.iter().filter(|s| s.contains(addr)).collect();
+        if covering.is_empty() {
+            out.push(Violation { instr_index: idx, addr, access, reason: ViolationReason::OutsideSegments });
+            continue;
+        }
+        if access.is_write() {
+            if !is_architecturally_writable(addr) {
+                out.push(Violation {
+                    instr_index: idx,
+                    addr,
+                    access,
+                    reason: ViolationReason::ArchitecturallyReadOnly,
+                });
+            } else if !covering.iter().any(|s| s.allow_write) {
+                out.push(Violation {
+                    instr_index: idx,
+                    addr,
+                    access,
+                    reason: ViolationReason::WriteNotPermitted,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Data hazards on *switch* addresses that make out-of-order execution
+/// unsafe (§3.5: end-hosts must "ensure there are no write-after-write, or
+/// read-after-write conflicts").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hazard {
+    WriteAfterWrite { first: usize, second: usize, addr: Address },
+    ReadAfterWrite { write: usize, read: usize, addr: Address },
+}
+
+/// Detect WAW/RAW hazards between instructions at different program points
+/// touching the same switch address.
+pub fn find_hazards(instrs: &[Instruction]) -> Vec<Hazard> {
+    let mut hazards = Vec::new();
+    for i in 0..instrs.len() {
+        for j in i + 1..instrs.len() {
+            let (ai, acci) = instruction_access(&instrs[i]);
+            let (aj, accj) = instruction_access(&instrs[j]);
+            if ai != aj {
+                continue;
+            }
+            match (acci.is_write(), accj.is_write()) {
+                (true, true) => hazards.push(Hazard::WriteAfterWrite { first: i, second: j, addr: ai }),
+                (true, false) => hazards.push(Hazard::ReadAfterWrite { write: i, read: j, addr: ai }),
+                _ => {}
+            }
+        }
+    }
+    hazards
+}
+
+/// Errors from the PUSH/POP serialization pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SerializeError {
+    /// An absolute word offset exceeded the 8-bit operand encoding.
+    OffsetTooLarge(usize),
+    /// POP with nothing on the (statically tracked) stack.
+    StackUnderflow(usize),
+}
+
+/// The §3.5 pass: convert PUSH/POP instructions into hop-addressed
+/// LOAD/STOREs with *absolute* word offsets (valid for one hop with
+/// `per_hop_len == 0`), so all instructions can execute out of order.
+///
+/// The paper's example:
+///
+/// ```text
+/// PUSH [PacketMetadata:OutputPort]      LOAD  [..OutputPort], [Packet:Hop[0]]
+/// PUSH [PacketMetadata:InputPort]   =>  LOAD  [..InputPort],  [Packet:Hop[1]]
+/// PUSH [Stage1:Reg1]                    LOAD  [Stage1:Reg1],  [Packet:Hop[2]]
+/// POP  [Stage3:Reg3]                    STORE [Stage3:Reg3],  [Packet:Hop[2]]
+/// ```
+pub fn serialize_pushes(instrs: &[Instruction], start_sp: u8) -> Result<Vec<Instruction>, SerializeError> {
+    let mut sp = start_sp as usize;
+    let mut out = Vec::with_capacity(instrs.len());
+    for (idx, ins) in instrs.iter().enumerate() {
+        match ins.opcode {
+            Opcode::Push => {
+                if sp > u8::MAX as usize {
+                    return Err(SerializeError::OffsetTooLarge(idx));
+                }
+                out.push(Instruction::load(ins.addr, sp as u8));
+                sp += 1;
+            }
+            Opcode::Pop => {
+                if sp == 0 {
+                    return Err(SerializeError::StackUnderflow(idx));
+                }
+                sp -= 1;
+                out.push(Instruction::store(ins.addr, sp as u8));
+            }
+            _ => out.push(*ins),
+        }
+    }
+    Ok(out)
+}
+
+/// Validate that every packet-memory access in the program stays within the
+/// preallocated memory for the declared hop budget.
+pub fn check_memory_bounds(tpp: &Tpp, max_hops: usize) -> bool {
+    let words = tpp.memory_words();
+    let phw = tpp.per_hop_words();
+    let mut pushes_per_hop = 0usize;
+    for ins in &tpp.instrs {
+        match ins.packet_operands() {
+            PacketOperands::Stack => pushes_per_hop += 1,
+            PacketOperands::One { off, .. } => {
+                let max_idx = if phw > 0 { (max_hops - 1) * phw + off as usize } else { off as usize };
+                if max_idx >= words {
+                    return false;
+                }
+            }
+            PacketOperands::Two { a, b, .. } => {
+                for off in [a, b] {
+                    let max_idx =
+                        if phw > 0 { (max_hops - 1) * phw + off as usize } else { off as usize };
+                    if max_idx >= words {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    // Stack usage: SP advances by at most pushes_per_hop per hop.
+    if pushes_per_hop > 0 {
+        let needed = tpp.sp as usize + pushes_per_hop * max_hops;
+        if needed > words {
+            return false;
+        }
+    }
+    if tpp.mode == AddrMode::Hop && phw > 0 && max_hops * phw > words {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::resolve_mnemonic;
+    use crate::asm::{assemble, TppBuilder};
+    use crate::exec::{execute, ExecOptions, MapBus};
+
+    fn a(m: &str) -> Address {
+        resolve_mnemonic(m).unwrap()
+    }
+
+    #[test]
+    fn access_set_and_write_detection() {
+        let t = assemble(
+            "
+            PUSH [Switch:SwitchID]
+            STORE [Link:AppSpecific_0], [Packet:Hop[0]]
+            ",
+        )
+        .unwrap();
+        let set = access_set(&t.instrs);
+        assert_eq!(set[0], (a("Switch:SwitchID"), Access::Read));
+        assert_eq!(set[1], (a("Link:AppSpecific_0"), Access::Write));
+        assert!(writes_switch_memory(&t.instrs));
+
+        let ro = assemble("PUSH [Switch:SwitchID]").unwrap();
+        assert!(!writes_switch_memory(&ro.instrs));
+    }
+
+    #[test]
+    fn segment_checks() {
+        let app0 = a("Link:AppSpecific_0");
+        let app1 = a("Link:AppSpecific_1");
+        let segments = [
+            Segment::read_only(a("Switch:SwitchID"), a("Switch:SwitchID")),
+            Segment::read_write(app0, app1),
+        ];
+        // Within segments: OK.
+        let t = assemble(
+            "
+            PUSH [Switch:SwitchID]
+            STORE [Link:AppSpecific_1], [Packet:Hop[0]]
+            ",
+        )
+        .unwrap();
+        assert!(check_segments(&t.instrs, &segments).is_empty());
+
+        // Read outside all segments.
+        let t2 = assemble("PUSH [Link:TX-Utilization]").unwrap();
+        let v = check_segments(&t2.instrs, &segments);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].reason, ViolationReason::OutsideSegments);
+
+        // Write into a read-only segment.
+        let seg_ro = [Segment::read_only(app0, app1)];
+        let t3 = assemble("STORE [Link:AppSpecific_0], [Packet:Hop[0]]").unwrap();
+        let v = check_segments(&t3.instrs, &seg_ro);
+        assert_eq!(v[0].reason, ViolationReason::WriteNotPermitted);
+
+        // Write to an architecturally read-only counter.
+        let seg_all = [Segment::read_write(Address::new(0), Address::new(0xFFFF))];
+        let t4 = assemble("STORE [Link:RX-Bytes], [Packet:Hop[0]]").unwrap();
+        let v = check_segments(&t4.instrs, &seg_all);
+        assert_eq!(v[0].reason, ViolationReason::ArchitecturallyReadOnly);
+    }
+
+    #[test]
+    fn hazard_detection() {
+        // RAW: write then read of the same register.
+        let instrs = [
+            Instruction::store(a("Stage1:Reg0"), 0),
+            Instruction::push(a("Stage1:Reg0")),
+        ];
+        let h = find_hazards(&instrs);
+        assert_eq!(h, vec![Hazard::ReadAfterWrite { write: 0, read: 1, addr: a("Stage1:Reg0") }]);
+
+        // WAW.
+        let instrs = [
+            Instruction::store(a("Stage1:Reg0"), 0),
+            Instruction::store(a("Stage1:Reg0"), 1),
+        ];
+        assert!(matches!(find_hazards(&instrs)[0], Hazard::WriteAfterWrite { .. }));
+
+        // Distinct addresses: no hazard.
+        let instrs = [
+            Instruction::store(a("Stage1:Reg0"), 0),
+            Instruction::push(a("Stage1:Reg1")),
+        ];
+        assert!(find_hazards(&instrs).is_empty());
+    }
+
+    #[test]
+    fn serialize_pushes_matches_paper_example() {
+        let prog = [
+            Instruction::push(a("PacketMetadata:OutputPort")),
+            Instruction::push(a("PacketMetadata:InputPort")),
+            Instruction::push(a("Stage1:Reg1")),
+            Instruction::pop(a("Stage3:Reg3")),
+        ];
+        let ser = serialize_pushes(&prog, 0).unwrap();
+        assert_eq!(
+            ser,
+            vec![
+                Instruction::load(a("PacketMetadata:OutputPort"), 0),
+                Instruction::load(a("PacketMetadata:InputPort"), 1),
+                Instruction::load(a("Stage1:Reg1"), 2),
+                Instruction::store(a("Stage3:Reg3"), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn serialized_program_is_observationally_equivalent() {
+        // Execute the original and serialized programs against identical
+        // buses; packet memory and switch state must match.
+        let out_port = a("PacketMetadata:OutputPort");
+        let in_port = a("PacketMetadata:InputPort");
+        let r1 = a("Stage1:Reg1");
+        let r3 = a("Stage3:Reg3");
+        let entries = [(out_port, 7), (in_port, 3), (r1, 0xAA), (r3, 0)];
+
+        let original = TppBuilder::stack_mode()
+            .push(out_port)
+            .push(in_port)
+            .push(r1)
+            .pop(r3)
+            .memory_words(8)
+            .build()
+            .unwrap();
+        let mut t1 = original.clone();
+        let mut bus1 = MapBus::with(&entries);
+        execute(&mut t1, &mut bus1, &ExecOptions::default());
+
+        let mut t2 = original.clone();
+        t2.instrs = serialize_pushes(&original.instrs, 0).unwrap();
+        t2.per_hop_len = 0; // absolute offsets
+        let mut bus2 = MapBus::with(&entries);
+        execute(&mut t2, &mut bus2, &ExecOptions::default());
+
+        assert_eq!(t1.memory, t2.memory);
+        assert_eq!(bus1.mem, bus2.mem);
+        assert_eq!(bus1.get(r3), Some(0xAA));
+    }
+
+    #[test]
+    fn serialize_underflow_detected() {
+        let prog = [Instruction::pop(a("Stage1:Reg0"))];
+        assert_eq!(serialize_pushes(&prog, 0), Err(SerializeError::StackUnderflow(0)));
+        // With a nonzero starting SP it's fine.
+        assert!(serialize_pushes(&prog, 1).is_ok());
+    }
+
+    #[test]
+    fn memory_bounds() {
+        // 3 pushes per hop, 5 hops => needs 15 words.
+        let t = TppBuilder::stack_mode()
+            .push(a("Switch:SwitchID"))
+            .push(a("PacketMetadata:OutputPort"))
+            .push(a("Queue:QueueOccupancy"))
+            .memory_words(15)
+            .build()
+            .unwrap();
+        assert!(check_memory_bounds(&t, 5));
+        assert!(!check_memory_bounds(&t, 6));
+
+        // Hop mode: per-hop window of 3 words, 4 hops => 12 words.
+        let t = TppBuilder::hop_mode(3)
+            .load(a("Switch:SwitchID"), 0)
+            .load(a("Link:QueueSize"), 2)
+            .hops(4)
+            .build()
+            .unwrap();
+        assert!(check_memory_bounds(&t, 4));
+        assert!(!check_memory_bounds(&t, 5));
+
+        // Offset beyond window with hop budget.
+        let t = TppBuilder::hop_mode(2).load(a("Switch:SwitchID"), 5).hops(4).build().unwrap();
+        assert!(!check_memory_bounds(&t, 4));
+    }
+}

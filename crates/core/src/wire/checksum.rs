@@ -1,0 +1,95 @@
+//! Internet (RFC 1071) ones'-complement checksum, used by IPv4, UDP, and the
+//! TPP section (Figure 7b field 6).
+
+/// Ones'-complement sum of `data`, folded to 16 bits.
+pub fn sum(data: &[u8]) -> u16 {
+    let mut acc: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Compute the checksum field value for `data` (with its checksum field
+/// zeroed): the ones' complement of the ones'-complement sum.
+pub fn checksum(data: &[u8]) -> u16 {
+    !sum(data)
+}
+
+/// Combine partial [`sum`]s (e.g. pseudo-header + payload).
+pub fn combine(parts: &[u16]) -> u16 {
+    let mut acc: u32 = 0;
+    for p in parts {
+        acc += u32::from(*p);
+    }
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Verify data whose checksum field is *included* in `data`: the sum must be
+/// 0xFFFF.
+pub fn verify(data: &[u8]) -> bool {
+    sum(data) == 0xFFFF
+}
+
+/// IPv4 pseudo-header sum for UDP/TCP checksums.
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], protocol: u8, length: u16) -> u16 {
+    combine(&[
+        u16::from_be_bytes([src[0], src[1]]),
+        u16::from_be_bytes([src[2], src[3]]),
+        u16::from_be_bytes([dst[0], dst[1]]),
+        u16::from_be_bytes([dst[2], dst[3]]),
+        u16::from(protocol),
+        length,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, checksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(sum(&data), 0xddf2);
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length() {
+        let data = [0xab];
+        assert_eq!(sum(&data), 0xab00);
+    }
+
+    #[test]
+    fn verify_self() {
+        let mut data = vec![0x12, 0x34, 0x56, 0x78, 0x00, 0x00, 0x9a];
+        let c = checksum(&data);
+        data[4..6].copy_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn combine_folds_carries() {
+        assert_eq!(combine(&[0xFFFF, 0x0001]), 0x0001);
+        assert_eq!(combine(&[0x8000, 0x8000]), 0x0001);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(sum(&[]), 0);
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+}

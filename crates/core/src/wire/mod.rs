@@ -1,0 +1,271 @@
+//! Wire formats: Ethernet, IPv4, UDP, and the TPP section, plus the parse
+//! graph of Figure 7a that locates a TPP inside a frame.
+
+pub mod checksum;
+pub mod ethernet;
+pub mod ipv4;
+pub mod tpp;
+pub mod udp;
+
+pub use ethernet::{EthernetAddress, Frame as EthernetFrame, Repr as EthernetRepr};
+pub use ipv4::{Ipv4Address, Packet as Ipv4Packet, Repr as Ipv4Repr};
+pub use tpp::{AddrMode, Tpp, TppError};
+pub use udp::{Datagram as UdpDatagram, Repr as UdpRepr, TPP_PORT};
+
+/// Where (if anywhere) a TPP section lives inside an Ethernet frame
+/// (Figure 7a parse graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TppLocation {
+    /// Ethertype 0x6666: TPP section directly follows the Ethernet header,
+    /// encapsulating the original packet (piggy-backed mode).
+    Transparent {
+        /// Byte offset of the TPP section within the frame.
+        section: usize,
+    },
+    /// A normal UDP packet to port 0x6666 carrying the TPP as its payload.
+    Standalone {
+        section: usize,
+        /// Byte offset of the IPv4 header (for echoing back to the source).
+        ip: usize,
+        /// Byte offset of the UDP header.
+        udp: usize,
+    },
+    /// Not a TPP packet.
+    None,
+}
+
+/// Walk the Figure 7a parse graph: `ethernet -> tpp` (transparent) or
+/// `ethernet -> ipv4 -> udp(dport=0x6666) -> tpp` (standalone).
+pub fn locate_tpp(frame: &[u8]) -> TppLocation {
+    let Some(eth) = ethernet::Frame::new_checked(frame) else {
+        return TppLocation::None;
+    };
+    match eth.ethertype() {
+        ethernet::ethertype::TPP => TppLocation::Transparent { section: ethernet::HEADER_LEN },
+        ethernet::ethertype::IPV4 => {
+            let ip_off = ethernet::HEADER_LEN;
+            let Some(ip) = ipv4::Packet::new_checked(eth.payload()) else {
+                return TppLocation::None;
+            };
+            if ip.protocol() != ipv4::protocol::UDP {
+                return TppLocation::None;
+            }
+            let udp_off = ip_off + ip.header_len();
+            let Some(u) = udp::Datagram::new_checked(ip.payload()) else {
+                return TppLocation::None;
+            };
+            if u.dst_port() != TPP_PORT {
+                return TppLocation::None;
+            }
+            TppLocation::Standalone { section: udp_off + udp::HEADER_LEN, ip: ip_off, udp: udp_off }
+        }
+        _ => TppLocation::None,
+    }
+}
+
+/// Parse the TPP out of a frame, if present and well-formed.
+pub fn extract_tpp(frame: &[u8]) -> Option<(TppLocation, Tpp)> {
+    match locate_tpp(frame) {
+        TppLocation::None => None,
+        loc @ (TppLocation::Transparent { section } | TppLocation::Standalone { section, .. }) => {
+            let (tpp, _) = Tpp::parse(&frame[section..]).ok()?;
+            Some((loc, tpp))
+        }
+    }
+}
+
+/// Piggy-back `tpp` onto an existing Ethernet frame (transparent mode): the
+/// outer ethertype becomes 0x6666 and the original ethertype moves into the
+/// TPP's `encap_proto` field. The original L3+ payload follows the section.
+pub fn insert_transparent(frame: &[u8], tpp: &Tpp) -> Vec<u8> {
+    let eth = ethernet::Frame::new_unchecked(frame);
+    let mut t = tpp.clone();
+    t.encap_proto = eth.ethertype();
+    let section = t.serialize();
+    let mut out = Vec::with_capacity(frame.len() + section.len());
+    out.extend_from_slice(&frame[..12]); // dst + src
+    out.extend_from_slice(&ethernet::ethertype::TPP.to_be_bytes());
+    out.extend_from_slice(&section);
+    out.extend_from_slice(eth.payload());
+    out
+}
+
+/// Remove a transparent-mode TPP from a frame, restoring the original
+/// ethertype. Returns the TPP and the restored inner frame.
+pub fn strip_transparent(frame: &[u8]) -> Option<(Tpp, Vec<u8>)> {
+    let TppLocation::Transparent { section } = locate_tpp(frame) else {
+        return None;
+    };
+    let (tpp, consumed) = Tpp::parse(&frame[section..]).ok()?;
+    let mut inner = Vec::with_capacity(frame.len() - consumed);
+    inner.extend_from_slice(&frame[..12]);
+    inner.extend_from_slice(&tpp.encap_proto.to_be_bytes());
+    inner.extend_from_slice(&frame[section + consumed..]);
+    Some((tpp, inner))
+}
+
+/// Rewrite the TPP section of a frame in place with an updated TPP of the
+/// same shape (same instruction count and memory length). This is what a
+/// switch does after executing a TPP. Returns `None` on shape mismatch.
+pub fn replace_tpp(frame: &mut [u8], loc: TppLocation, tpp: &Tpp) -> Option<()> {
+    let section = match loc {
+        TppLocation::Transparent { section } | TppLocation::Standalone { section, .. } => section,
+        TppLocation::None => return None,
+    };
+    let len = tpp.section_len();
+    if frame.len() < section + len {
+        return None;
+    }
+    tpp.emit(&mut frame[section..section + len]);
+    Some(())
+}
+
+/// Build a standalone TPP packet: Ethernet/IPv4/UDP(dport 0x6666)/TPP.
+#[allow(clippy::too_many_arguments)]
+pub fn build_standalone(
+    src_mac: EthernetAddress,
+    dst_mac: EthernetAddress,
+    src_ip: Ipv4Address,
+    dst_ip: Ipv4Address,
+    src_port: u16,
+    tpp: &Tpp,
+) -> Vec<u8> {
+    let section = tpp.serialize();
+    let udp_repr = udp::Repr { src_port, dst_port: TPP_PORT, payload_len: section.len() };
+    let udp_bytes = udp_repr.encapsulate(src_ip, dst_ip, &section);
+    let ip_repr = ipv4::Repr {
+        src: src_ip,
+        dst: dst_ip,
+        protocol: ipv4::protocol::UDP,
+        ttl: 64,
+        payload_len: udp_bytes.len(),
+    };
+    let ip_bytes = ip_repr.encapsulate(&udp_bytes);
+    let eth_repr = EthernetRepr { dst: dst_mac, src: src_mac, ethertype: ethernet::ethertype::IPV4 };
+    eth_repr.encapsulate(&ip_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::resolve_mnemonic;
+    use crate::isa::Instruction;
+
+    fn mac(i: u32) -> EthernetAddress {
+        EthernetAddress::from_node_id(i)
+    }
+
+    fn sample_tpp() -> Tpp {
+        Tpp {
+            mode: AddrMode::Hop,
+            per_hop_len: 8,
+            memory: vec![0; 40],
+            instrs: vec![
+                Instruction::push(resolve_mnemonic("Switch:SwitchID").unwrap()),
+                Instruction::push(resolve_mnemonic("Queue:QueueOccupancy").unwrap()),
+            ],
+            ..Tpp::default()
+        }
+    }
+
+    fn plain_udp_frame(dst_port: u16) -> Vec<u8> {
+        let src_ip = Ipv4Address::new(10, 0, 0, 1);
+        let dst_ip = Ipv4Address::new(10, 0, 0, 2);
+        let u = udp::Repr { src_port: 1234, dst_port, payload_len: 3 };
+        let udp_bytes = u.encapsulate(src_ip, dst_ip, b"abc");
+        let ip = ipv4::Repr {
+            src: src_ip,
+            dst: dst_ip,
+            protocol: ipv4::protocol::UDP,
+            ttl: 64,
+            payload_len: udp_bytes.len(),
+        };
+        let ip_bytes = ip.encapsulate(&udp_bytes);
+        EthernetRepr { dst: mac(2), src: mac(1), ethertype: ethernet::ethertype::IPV4 }
+            .encapsulate(&ip_bytes)
+    }
+
+    #[test]
+    fn standalone_parse_graph() {
+        let tpp = sample_tpp();
+        let frame = build_standalone(
+            mac(1),
+            mac(2),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            5000,
+            &tpp,
+        );
+        match locate_tpp(&frame) {
+            TppLocation::Standalone { section, ip, udp } => {
+                assert_eq!(ip, 14);
+                assert_eq!(udp, 34);
+                assert_eq!(section, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let (_, parsed) = extract_tpp(&frame).unwrap();
+        assert_eq!(parsed, tpp);
+    }
+
+    #[test]
+    fn non_tpp_udp_not_matched() {
+        let frame = plain_udp_frame(5353);
+        assert_eq!(locate_tpp(&frame), TppLocation::None);
+    }
+
+    #[test]
+    fn transparent_insert_strip_roundtrip() {
+        let inner = plain_udp_frame(5353);
+        let tpp = sample_tpp();
+        let outer = insert_transparent(&inner, &tpp);
+        assert_eq!(outer.len(), inner.len() + tpp.section_len());
+        match locate_tpp(&outer) {
+            TppLocation::Transparent { section } => assert_eq!(section, 14),
+            other => panic!("unexpected {other:?}"),
+        }
+        let (stripped, restored) = strip_transparent(&outer).unwrap();
+        assert_eq!(restored, inner);
+        assert_eq!(stripped.encap_proto, ethernet::ethertype::IPV4);
+        assert_eq!(stripped.instrs, tpp.instrs);
+    }
+
+    #[test]
+    fn replace_tpp_in_place() {
+        let tpp = sample_tpp();
+        let mut frame = build_standalone(
+            mac(1),
+            mac(2),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            5000,
+            &tpp,
+        );
+        let loc = locate_tpp(&frame);
+        let mut executed = tpp.clone();
+        executed.hop = 3;
+        executed.write_word(0, 0x1234_5678).unwrap();
+        replace_tpp(&mut frame, loc, &executed).unwrap();
+        let (_, back) = extract_tpp(&frame).unwrap();
+        assert_eq!(back.hop, 3);
+        assert_eq!(back.read_word(0), Some(0x1234_5678));
+    }
+
+    #[test]
+    fn corrupted_tpp_not_extracted() {
+        let tpp = sample_tpp();
+        let inner = plain_udp_frame(80);
+        let mut outer = insert_transparent(&inner, &tpp);
+        outer[20] ^= 0xFF; // corrupt inside the TPP section
+        assert!(extract_tpp(&outer).is_none());
+        // but it's still recognized as a (damaged) TPP location
+        assert!(matches!(locate_tpp(&outer), TppLocation::Transparent { .. }));
+    }
+
+    #[test]
+    fn short_frames_safe() {
+        assert_eq!(locate_tpp(&[]), TppLocation::None);
+        assert_eq!(locate_tpp(&[0u8; 13]), TppLocation::None);
+        assert!(extract_tpp(&[0u8; 14]).is_none());
+    }
+}

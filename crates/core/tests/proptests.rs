@@ -1,0 +1,237 @@
+//! Property-based tests of the TPP core invariants.
+
+use proptest::prelude::*;
+
+use tpp_core::addr::{resolve_mnemonic, Address};
+use tpp_core::analysis::{find_hazards, serialize_pushes};
+use tpp_core::exec::{execute, ExecOptions, InstrStatus, MapBus};
+use tpp_core::isa::{decode_program, encode_program, Instruction, Opcode};
+use tpp_core::wire::{checksum, AddrMode, Tpp};
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    prop_oneof![
+        Just(Opcode::Load),
+        Just(Opcode::Store),
+        Just(Opcode::Push),
+        Just(Opcode::Pop),
+        Just(Opcode::Cstore),
+        Just(Opcode::Cexec),
+    ]
+}
+
+prop_compose! {
+    fn arb_instruction()(
+        opcode in arb_opcode(),
+        addr in any::<u16>(),
+        op1 in any::<u8>(),
+        op2 in 0u8..16,
+    ) -> Instruction {
+        // Canonical form: only CSTORE/CEXEC carry two (nibble) operands;
+        // the second operand byte is otherwise unused on the wire.
+        let (op1, op2) = if opcode.is_conditional() { (op1 % 16, op2) } else { (op1, 0) };
+        Instruction { opcode, addr: Address::new(addr), op1, op2 }
+    }
+}
+
+prop_compose! {
+    fn arb_tpp()(
+        instrs in prop::collection::vec(arb_instruction(), 0..=5),
+        mem_words in 0usize..=63,
+        mode in prop_oneof![Just(AddrMode::Stack), Just(AddrMode::Hop)],
+        hop in any::<u8>(),
+        sp in any::<u8>(),
+        per_hop_words in 0u8..=8,
+        reflect in any::<bool>(),
+        app_id in any::<u16>(),
+        mem_seed in any::<u64>(),
+    ) -> Tpp {
+        let mut memory = vec![0u8; mem_words * 4];
+        let mut x = mem_seed;
+        for b in memory.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (x >> 56) as u8;
+        }
+        Tpp {
+            mode,
+            reflect,
+            wrote: false,
+            hop,
+            sp,
+            per_hop_len: per_hop_words * 4,
+            encap_proto: 0x0800,
+            app_id,
+            instrs,
+            memory,
+        }
+    }
+}
+
+proptest! {
+    /// Wire round-trip: serialize(parse(x)) == x for every well-formed TPP.
+    #[test]
+    fn tpp_wire_roundtrip(tpp in arb_tpp()) {
+        let bytes = tpp.serialize();
+        let (parsed, consumed) = Tpp::parse(&bytes).expect("self-serialized TPP parses");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(parsed, tpp);
+    }
+
+    /// Any single-bit flip in the section is caught by the checksum.
+    #[test]
+    fn tpp_checksum_catches_bit_flips(tpp in arb_tpp(), byte_sel in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let bytes = tpp.serialize();
+        let idx = byte_sel.index(bytes.len());
+        let mut corrupted = bytes.clone();
+        corrupted[idx] ^= 1 << bit;
+        // Either a parse error, or (for flips inside length fields) a
+        // different shape — never a silent identical parse.
+        match Tpp::parse(&corrupted) {
+            Err(_) => {}
+            Ok((t, _)) => prop_assert_ne!(t, tpp, "flip at byte {} bit {} undetected", idx, bit),
+        }
+    }
+
+    /// Instruction encode/decode is bijective over valid instructions.
+    #[test]
+    fn instruction_roundtrip(instrs in prop::collection::vec(arb_instruction(), 0..=16)) {
+        let bytes = encode_program(&instrs);
+        prop_assert_eq!(decode_program(&bytes), Some(instrs));
+    }
+
+    /// The internet checksum verifies after being embedded, for any data.
+    #[test]
+    fn checksum_self_verifies(mut data in prop::collection::vec(any::<u8>(), 2..256)) {
+        data[0] = 0;
+        data[1] = 0;
+        let c = checksum::checksum(&data);
+        data[0..2].copy_from_slice(&c.to_be_bytes());
+        prop_assert!(checksum::verify(&data));
+    }
+
+    /// Execution never panics, never grows/shrinks packet memory, and only
+    /// moves SP within bounds — for arbitrary programs against an arbitrary
+    /// bus (graceful failure, §3.3).
+    #[test]
+    fn execution_is_total_and_memory_safe(tpp in arb_tpp(), mapped in any::<bool>()) {
+        let mut t = tpp.clone();
+        let mut bus = MapBus::default();
+        if mapped {
+            for ins in &t.instrs {
+                bus.mem.insert(ins.addr.raw(), 0xAB);
+            }
+        }
+        let out = execute(&mut t, &mut bus, &ExecOptions::default());
+        prop_assert_eq!(t.memory.len(), tpp.memory.len(), "memory never grows/shrinks");
+        prop_assert!(out.rejected || out.status.len() == t.instrs.len());
+        // SP stays within the word count whenever it was in bounds before.
+        if (tpp.sp as usize) <= tpp.memory_words() {
+            prop_assert!((t.sp as usize) <= t.memory_words().max(tpp.sp as usize));
+        }
+        // And the serialized result still parses.
+        let bytes = t.serialize();
+        prop_assert!(Tpp::parse(&bytes).is_ok());
+    }
+
+    /// The §3.5 serialization is observationally equivalent to stack
+    /// execution for hazard-free programs whose reads all succeed.
+    #[test]
+    fn push_serialization_equivalence(
+        n_push in 1usize..=4,
+        pops in 0usize..=1,
+    ) {
+        let stats = ["Switch:SwitchID", "PacketMetadata:InputPort", "Switch:Version", "Switch:NumPorts"];
+        let mut instrs: Vec<Instruction> = (0..n_push)
+            .map(|i| Instruction::push(resolve_mnemonic(stats[i % stats.len()]).unwrap()))
+            .collect();
+        for _ in 0..pops {
+            instrs.push(Instruction::pop(resolve_mnemonic("Stage1:Reg0").unwrap()));
+        }
+        if !find_hazards(&instrs).is_empty() {
+            return Ok(()); // §3.5 precondition
+        }
+        let entries: Vec<(Address, u32)> = stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (resolve_mnemonic(s).unwrap(), 100 + i as u32))
+            .chain([(resolve_mnemonic("Stage1:Reg0").unwrap(), 0)])
+            .collect();
+
+        let mk = |instrs: Vec<Instruction>| Tpp {
+            instrs,
+            memory: vec![0; 16 * 4],
+            ..Tpp::default()
+        };
+        let mut stack_t = mk(instrs.clone());
+        let mut bus1 = MapBus::with(&entries);
+        let out1 = execute(&mut stack_t, &mut bus1, &ExecOptions::default());
+        prop_assert!(out1.status.iter().all(|s| *s == InstrStatus::Executed));
+
+        let serialized = serialize_pushes(&instrs, 0).unwrap();
+        let mut ser_t = mk(serialized);
+        ser_t.per_hop_len = 0; // absolute offsets
+        let mut bus2 = MapBus::with(&entries);
+        execute(&mut ser_t, &mut bus2, &ExecOptions::default());
+
+        prop_assert_eq!(stack_t.memory, ser_t.memory);
+        prop_assert_eq!(bus1.mem, bus2.mem);
+    }
+
+    /// CSTORE is atomic: under any interleaving of two racing writers with
+    /// the same expected value, exactly one succeeds.
+    #[test]
+    fn cstore_mutual_exclusion(expected in any::<u32>(), new_a in any::<u32>(), new_b in any::<u32>()) {
+        prop_assume!(new_a != expected && new_b != expected);
+        let addr = resolve_mnemonic("Link$0:AppSpecific_0").unwrap();
+        let mk = |newval: u32| {
+            let mut t = Tpp {
+                mode: AddrMode::Hop,
+                per_hop_len: 8,
+                instrs: vec![Instruction::cstore(addr, 0, 1)],
+                memory: vec![0; 8],
+                ..Tpp::default()
+            };
+            t.write_word(0, expected).unwrap();
+            t.write_word(1, newval).unwrap();
+            t
+        };
+        let mut bus = MapBus::with(&[(addr, expected)]);
+        let mut a = mk(new_a);
+        let mut b = mk(new_b);
+        let oa = execute(&mut a, &mut bus, &ExecOptions::default());
+        let ob = execute(&mut b, &mut bus, &ExecOptions::default());
+        prop_assert!(oa.wrote);
+        // B succeeds only if A's write restored the expected value.
+        if new_a == expected {
+            prop_assert!(ob.wrote);
+        } else {
+            prop_assert!(!ob.wrote);
+            // ...and B observed A's value.
+            prop_assert_eq!(b.read_word(0), Some(new_a));
+        }
+    }
+
+    /// Mnemonic resolution and pretty-printing are mutually consistent for
+    /// every address that has a name.
+    #[test]
+    fn mnemonic_display_roundtrip(raw in any::<u16>()) {
+        let addr = Address::new(raw);
+        if let Some(name) = tpp_core::addr::mnemonic_of(addr) {
+            let back = resolve_mnemonic(&name).unwrap();
+            // Per-packet and explicit-instance namespaces share stat names;
+            // resolution must land on an address with the same offset and
+            // namespace class.
+            prop_assert_eq!(back, addr, "{}", name);
+        }
+    }
+
+    /// The hop counter wraps modulo 256 and increments exactly once per
+    /// execution.
+    #[test]
+    fn hop_counter_increments(tpp in arb_tpp()) {
+        prop_assume!(tpp.instrs.len() <= 5);
+        let mut t = tpp.clone();
+        let mut bus = MapBus::default();
+        execute(&mut t, &mut bus, &ExecOptions::default());
+        prop_assert_eq!(t.hop, tpp.hop.wrapping_add(1));
+    }
+}

@@ -1,0 +1,224 @@
+//! iptables-like packet filters for the end-host dataplane (§4.1–4.2).
+//!
+//! `add_tpp(filter, tpp, sample_frequency, priority)` installs a filter;
+//! outgoing packets are matched against the table in priority order and the
+//! first matching, sampling-admitted entry contributes its TPP ("Only one
+//! TPP is added to any packet", §4.2).
+
+use tpp_core::wire::{Ipv4Address, Tpp};
+use tpp_switch::FlowKey;
+
+/// A packet filter over the 5-tuple (any field may be wildcarded).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Filter {
+    /// IP protocol (6 = TCP, 17 = UDP); `None` matches any.
+    pub protocol: Option<u8>,
+    pub src: Option<Ipv4Address>,
+    pub dst: Option<Ipv4Address>,
+    pub src_port: Option<u16>,
+    pub dst_port: Option<u16>,
+}
+
+impl Filter {
+    /// Match everything.
+    pub fn any() -> Filter {
+        Filter::default()
+    }
+
+    pub fn udp() -> Filter {
+        Filter { protocol: Some(17), ..Filter::default() }
+    }
+
+    pub fn tcp() -> Filter {
+        Filter { protocol: Some(6), ..Filter::default() }
+    }
+
+    pub fn dst_port(port: u16) -> Filter {
+        Filter { dst_port: Some(port), ..Filter::default() }
+    }
+
+    pub fn matches(&self, key: &FlowKey) -> bool {
+        self.protocol.is_none_or(|p| p == key.protocol)
+            && self.src.is_none_or(|a| a == key.src)
+            && self.dst.is_none_or(|a| a == key.dst)
+            && self.src_port.is_none_or(|p| p == key.src_port)
+            && self.dst_port.is_none_or(|p| p == key.dst_port)
+    }
+}
+
+/// One installed `add_tpp` rule.
+#[derive(Clone, Debug)]
+pub struct FilterEntry {
+    pub app_id: u16,
+    pub filter: Filter,
+    pub tpp: Tpp,
+    /// Sampling frequency N: a matched packet is stamped with probability
+    /// 1/N (N = 1 stamps every packet; §4.1).
+    pub sample_frequency: u32,
+    /// Lower value = higher priority.
+    pub priority: u32,
+    pub matched: u64,
+    pub stamped: u64,
+}
+
+/// The ordered filter table.
+#[derive(Clone, Debug, Default)]
+pub struct FilterTable {
+    entries: Vec<FilterEntry>,
+}
+
+impl FilterTable {
+    pub fn add(&mut self, entry: FilterEntry) {
+        self.entries.push(entry);
+        // Stable sort keeps insertion order among equal priorities.
+        self.entries.sort_by_key(|e| e.priority);
+    }
+
+    pub fn remove_app(&mut self, app_id: u16) {
+        self.entries.retain(|e| e.app_id != app_id);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[FilterEntry] {
+        &self.entries
+    }
+
+    /// Find the TPP to stamp on a packet with flow key `key`, if any.
+    /// `coin` must be uniform in [0, 1): it drives sampling.
+    ///
+    /// All matching entries update their match counters (needed for the
+    /// Table 5 experiment's `first`/`last`/`all` scenarios to be
+    /// meaningfully different), but only the first sampling-admitted entry
+    /// stamps.
+    pub fn select(&mut self, key: &FlowKey, coin: f64) -> Option<(u16, Tpp)> {
+        let mut chosen: Option<(u16, Tpp)> = None;
+        for e in &mut self.entries {
+            if !e.filter.matches(key) {
+                continue;
+            }
+            e.matched += 1;
+            if chosen.is_none() && coin < 1.0 / e.sample_frequency as f64 {
+                e.stamped += 1;
+                chosen = Some((e.app_id, e.tpp.clone()));
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_core::asm::TppBuilder;
+
+    fn key(proto: u8, sport: u16, dport: u16) -> FlowKey {
+        FlowKey {
+            src: Ipv4Address::new(10, 0, 0, 1),
+            dst: Ipv4Address::new(10, 0, 0, 2),
+            protocol: proto,
+            src_port: sport,
+            dst_port: dport,
+        }
+    }
+
+    fn tpp(app: u16) -> Tpp {
+        let mut t =
+            TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(5).build().unwrap();
+        t.app_id = app;
+        t
+    }
+
+    fn entry(app: u16, filter: Filter, freq: u32, prio: u32) -> FilterEntry {
+        FilterEntry {
+            app_id: app,
+            filter,
+            tpp: tpp(app),
+            sample_frequency: freq,
+            priority: prio,
+            matched: 0,
+            stamped: 0,
+        }
+    }
+
+    #[test]
+    fn wildcards_and_fields() {
+        assert!(Filter::any().matches(&key(6, 1, 2)));
+        assert!(Filter::udp().matches(&key(17, 1, 2)));
+        assert!(!Filter::udp().matches(&key(6, 1, 2)));
+        assert!(Filter::dst_port(80).matches(&key(6, 5, 80)));
+        assert!(!Filter::dst_port(80).matches(&key(6, 5, 81)));
+        let f = Filter { src: Some(Ipv4Address::new(10, 0, 0, 1)), ..Filter::default() };
+        assert!(f.matches(&key(17, 0, 0)));
+        let g = Filter { src: Some(Ipv4Address::new(10, 0, 0, 9)), ..Filter::default() };
+        assert!(!g.matches(&key(17, 0, 0)));
+    }
+
+    #[test]
+    fn priority_order_first_match_wins() {
+        let mut t = FilterTable::default();
+        t.add(entry(2, Filter::any(), 1, 20));
+        t.add(entry(1, Filter::any(), 1, 10));
+        let (app, _) = t.select(&key(17, 1, 2), 0.0).unwrap();
+        assert_eq!(app, 1);
+        // Both matched, one stamped.
+        assert_eq!(t.entries()[0].matched, 1);
+        assert_eq!(t.entries()[1].matched, 1);
+        assert_eq!(t.entries()[0].stamped, 1);
+        assert_eq!(t.entries()[1].stamped, 0);
+    }
+
+    #[test]
+    fn sampling_frequency() {
+        let mut t = FilterTable::default();
+        t.add(entry(1, Filter::any(), 10, 0));
+        // coin < 0.1 stamps, otherwise not.
+        assert!(t.select(&key(17, 1, 2), 0.05).is_some());
+        assert!(t.select(&key(17, 1, 2), 0.5).is_none());
+        assert_eq!(t.entries()[0].matched, 2);
+        assert_eq!(t.entries()[0].stamped, 1);
+    }
+
+    #[test]
+    fn skipped_entry_falls_through() {
+        // If the first entry's sampling coin fails, the next matching entry
+        // still gets a chance with the same coin.
+        let mut t = FilterTable::default();
+        t.add(entry(1, Filter::any(), 100, 0)); // p = 0.01
+        t.add(entry(2, Filter::any(), 1, 1)); // p = 1
+        let (app, _) = t.select(&key(17, 1, 2), 0.5).unwrap();
+        assert_eq!(app, 2);
+    }
+
+    #[test]
+    fn remove_app() {
+        let mut t = FilterTable::default();
+        t.add(entry(1, Filter::any(), 1, 0));
+        t.add(entry(2, Filter::udp(), 1, 1));
+        t.remove_app(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries()[0].app_id, 2);
+    }
+
+    #[test]
+    fn coexisting_apps_one_stamp_per_packet() {
+        // §4.1: multiple applications wanting TPPs on the same traffic
+        // coexist; §4.2: only one TPP per packet.
+        let mut t = FilterTable::default();
+        t.add(entry(1, Filter::udp(), 1, 0));
+        t.add(entry(2, Filter::udp(), 1, 1));
+        for _ in 0..10 {
+            let sel = t.select(&key(17, 1, 2), 0.0);
+            assert_eq!(sel.unwrap().0, 1);
+        }
+        assert_eq!(t.entries()[0].stamped, 10);
+        assert_eq!(t.entries()[1].stamped, 0);
+        assert_eq!(t.entries()[1].matched, 10);
+    }
+}

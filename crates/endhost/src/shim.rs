@@ -1,0 +1,481 @@
+//! The end-host dataplane shim (§4.2).
+//!
+//! Sits between the application/transport layer and the NIC:
+//!
+//! * **Transmit**: matches outgoing frames against the filter table and
+//!   piggy-backs at most one TPP per packet (transparent mode).
+//! * **Receive**: strips completed TPPs before the stack sees the packet
+//!   (applications are oblivious to TPPs); echoes standalone TPPs back to
+//!   the source; routes completed piggy-backed TPPs to the owning
+//!   application's aggregator.
+//!
+//! Completed TPPs travel on a dedicated UDP port ([`TPP_ECHO_PORT`]) as
+//! *payload*, so switches do not re-execute them on the return path.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+use crate::filter::{Filter, FilterEntry, FilterTable};
+use tpp_core::wire::{
+    ethernet, insert_transparent, ipv4, locate_tpp, strip_transparent, udp, EthernetAddress,
+    EthernetRepr, Ipv4Address, Ipv4Packet, Tpp, TppLocation, UdpDatagram,
+};
+
+/// Completed TPPs are carried back to applications as the payload of UDP
+/// datagrams to this port (one above the TPP execution port 0x6666, which
+/// switches would execute).
+pub const TPP_ECHO_PORT: u16 = 0x6667;
+
+/// Recover the simulated node id behind a host IP (hosts are `10.x.y.z`
+/// with `x.y.z` = node id; see `Ipv4Address::from_host_id`).
+pub fn host_id_of_ip(ip: Ipv4Address) -> u32 {
+    u32::from_be_bytes([0, ip.0[1], ip.0[2], ip.0[3]])
+}
+
+/// MAC of the host owning `ip` under the simulator's addressing convention.
+pub fn mac_of_ip(ip: Ipv4Address) -> EthernetAddress {
+    EthernetAddress::from_node_id(host_id_of_ip(ip))
+}
+
+/// Shim activity counters (observability for tests and benches).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShimCounters {
+    pub tx_frames: u64,
+    pub tx_stamped: u64,
+    pub rx_frames: u64,
+    pub rx_stripped: u64,
+    pub echoes_sent: u64,
+    pub completed_delivered: u64,
+    pub parse_failures: u64,
+}
+
+/// The flow whose packet carried a TPP — NetSight-style context carried on
+/// the echo channel so collectors can attribute histories to flows (§2.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowRef {
+    pub src: Ipv4Address,
+    pub dst: Ipv4Address,
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+impl FlowRef {
+    pub const TRAILER_LEN: usize = 12;
+
+    fn emit(&self) -> [u8; Self::TRAILER_LEN] {
+        let mut b = [0u8; Self::TRAILER_LEN];
+        b[0..4].copy_from_slice(&self.src.0);
+        b[4..8].copy_from_slice(&self.dst.0);
+        b[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        b[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        b
+    }
+
+    fn parse(b: &[u8]) -> Option<FlowRef> {
+        if b.len() < Self::TRAILER_LEN {
+            return None;
+        }
+        Some(FlowRef {
+            src: Ipv4Address(b[0..4].try_into().unwrap()),
+            dst: Ipv4Address(b[4..8].try_into().unwrap()),
+            src_port: u16::from_be_bytes([b[8], b[9]]),
+            dst_port: u16::from_be_bytes([b[10], b[11]]),
+        })
+    }
+}
+
+/// A completed TPP surfaced to an application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompletedTpp {
+    pub app_id: u16,
+    pub tpp: Tpp,
+    /// Source of the packet that carried (or echoed) the TPP.
+    pub from: Ipv4Address,
+    /// The instrumented packet's flow.
+    pub flow: FlowRef,
+}
+
+/// What the shim decided about an incoming frame. Several actions can
+/// apply at once (e.g. deliver the stripped payload *and* surface the
+/// completed TPP locally when this host is the aggregator).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Incoming {
+    /// TPP-stripped frame for the local stack, if any.
+    pub deliver: Option<Vec<u8>>,
+    /// Completed-TPP frame to transmit toward the aggregator/source.
+    pub echo: Option<Vec<u8>>,
+    /// Completed TPP for a local application (this host is the origin or
+    /// the app's aggregator).
+    pub completed: Option<CompletedTpp>,
+    /// Frame was unparseable and dropped.
+    pub discarded: bool,
+}
+
+/// The per-host dataplane shim.
+pub struct Shim {
+    pub ip: Ipv4Address,
+    pub mac: EthernetAddress,
+    pub filters: FilterTable,
+    /// app id -> aggregator address for piggy-backed TPPs (§4.2). Defaults
+    /// to the packet source when absent.
+    pub aggregators: BTreeMap<u16, Ipv4Address>,
+    pub counters: ShimCounters,
+    rng: StdRng,
+}
+
+impl Shim {
+    pub fn new(ip: Ipv4Address, mac: EthernetAddress, seed: u64) -> Self {
+        Shim {
+            ip,
+            mac,
+            filters: FilterTable::default(),
+            aggregators: BTreeMap::new(),
+            counters: ShimCounters::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The TPP-CP `add_tpp` API realized on this host (§4.1). The caller
+    /// must have validated the TPP against the app's policy.
+    pub fn add_tpp(
+        &mut self,
+        app_id: u16,
+        filter: Filter,
+        tpp: Tpp,
+        sample_frequency: u32,
+        priority: u32,
+    ) {
+        let mut tpp = tpp;
+        tpp.app_id = app_id;
+        self.filters.add(FilterEntry {
+            app_id,
+            filter,
+            tpp,
+            sample_frequency: sample_frequency.max(1),
+            priority,
+            matched: 0,
+            stamped: 0,
+        });
+    }
+
+    pub fn set_aggregator(&mut self, app_id: u16, addr: Ipv4Address) {
+        self.aggregators.insert(app_id, addr);
+    }
+
+    /// Transmit-side interposition: possibly piggy-back a TPP.
+    pub fn outgoing(&mut self, frame: Vec<u8>) -> Vec<u8> {
+        self.counters.tx_frames += 1;
+        if self.filters.is_empty() {
+            return frame;
+        }
+        // Never double-stamp.
+        if !matches!(locate_tpp(&frame), TppLocation::None) {
+            return frame;
+        }
+        let Some(key) = tpp_switch::FlowKey::from_frame(&frame) else {
+            return frame;
+        };
+        let coin: f64 = self.rng.random();
+        match self.filters.select(&key, coin) {
+            Some((_, tpp)) => {
+                self.counters.tx_stamped += 1;
+                insert_transparent(&frame, &tpp)
+            }
+            None => frame,
+        }
+    }
+
+    /// Receive-side interposition.
+    pub fn incoming(&mut self, frame: Vec<u8>) -> Incoming {
+        self.counters.rx_frames += 1;
+        match locate_tpp(&frame) {
+            TppLocation::Transparent { .. } => match strip_transparent(&frame) {
+                Some((tpp, inner)) => {
+                    self.counters.rx_stripped += 1;
+                    let flow = tpp_switch::FlowKey::from_frame(&inner)
+                        .map(|k| FlowRef {
+                            src: k.src,
+                            dst: k.dst,
+                            src_port: k.src_port,
+                            dst_port: k.dst_port,
+                        })
+                        .unwrap_or_default();
+                    let mut out = self.route_completed(tpp, flow);
+                    out.deliver = Some(inner);
+                    out
+                }
+                None => {
+                    self.counters.parse_failures += 1;
+                    Incoming { discarded: true, ..Incoming::default() }
+                }
+            },
+            TppLocation::Standalone { section, ip, udp } => {
+                let (src, dst) = match Ipv4Packet::new_checked(&frame[ip..]) {
+                    Some(p) => (p.src(), p.dst()),
+                    None => {
+                        self.counters.parse_failures += 1;
+                        return Incoming { discarded: true, ..Incoming::default() };
+                    }
+                };
+                let src_port = u16::from_be_bytes([frame[udp], frame[udp + 1]]);
+                match Tpp::parse(&frame[section..]) {
+                    Ok((tpp, _)) => self.route_completed(
+                        tpp,
+                        FlowRef { src, dst, src_port, dst_port: udp::TPP_PORT },
+                    ),
+                    Err(_) => {
+                        self.counters.parse_failures += 1;
+                        Incoming { discarded: true, ..Incoming::default() }
+                    }
+                }
+            }
+            TppLocation::None => {
+                // The echo channel?
+                if let Some(completed) = self.parse_echo(&frame) {
+                    self.counters.completed_delivered += 1;
+                    return Incoming { completed: Some(completed), ..Incoming::default() };
+                }
+                Incoming { deliver: Some(frame), ..Incoming::default() }
+            }
+        }
+    }
+
+    /// Route a freshly executed TPP: locally if this host is the app's
+    /// aggregator, otherwise as an echo frame toward the aggregator (or
+    /// the packet source when no aggregator is registered; §4.2).
+    fn route_completed(&mut self, tpp: Tpp, flow: FlowRef) -> Incoming {
+        let to = self.aggregators.get(&tpp.app_id).copied().unwrap_or(flow.src);
+        if to == self.ip {
+            self.counters.completed_delivered += 1;
+            return Incoming {
+                completed: Some(CompletedTpp {
+                    app_id: tpp.app_id,
+                    from: flow.src,
+                    tpp,
+                    flow,
+                }),
+                ..Incoming::default()
+            };
+        }
+        self.counters.echoes_sent += 1;
+        Incoming { echo: Some(self.build_echo_frame(&tpp, to, flow)), ..Incoming::default() }
+    }
+
+    fn build_echo_frame(&self, tpp: &Tpp, to: Ipv4Address, flow: FlowRef) -> Vec<u8> {
+        let mut payload = tpp.serialize();
+        payload.extend_from_slice(&flow.emit());
+        let u = udp::Repr {
+            src_port: udp::TPP_PORT,
+            dst_port: TPP_ECHO_PORT,
+            payload_len: payload.len(),
+        };
+        let udp_bytes = u.encapsulate(self.ip, to, &payload);
+        let ip_repr = ipv4::Repr {
+            src: self.ip,
+            dst: to,
+            protocol: ipv4::protocol::UDP,
+            ttl: 64,
+            payload_len: udp_bytes.len(),
+        };
+        EthernetRepr { dst: mac_of_ip(to), src: self.mac, ethertype: ethernet::ethertype::IPV4 }
+            .encapsulate(&ip_repr.encapsulate(&udp_bytes))
+    }
+
+    fn parse_echo(&self, frame: &[u8]) -> Option<CompletedTpp> {
+        let eth = tpp_core::wire::EthernetFrame::new_checked(frame)?;
+        if eth.ethertype() != ethernet::ethertype::IPV4 {
+            return None;
+        }
+        let ip = Ipv4Packet::new_checked(eth.payload())?;
+        if ip.protocol() != ipv4::protocol::UDP {
+            return None;
+        }
+        let from = ip.src();
+        let u = UdpDatagram::new_checked(ip.payload())?;
+        if u.dst_port() != TPP_ECHO_PORT {
+            return None;
+        }
+        let (tpp, consumed) = Tpp::parse(u.payload()).ok()?;
+        let flow = FlowRef::parse(&u.payload()[consumed..]).unwrap_or_default();
+        Some(CompletedTpp { app_id: tpp.app_id, tpp, from, flow })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_core::asm::TppBuilder;
+    use tpp_core::wire::extract_tpp;
+
+    fn shim_for(host: u32) -> Shim {
+        Shim::new(Ipv4Address::from_host_id(host), EthernetAddress::from_node_id(host), host as u64)
+    }
+
+    fn udp_frame(src: u32, dst: u32, dport: u16) -> Vec<u8> {
+        let src_ip = Ipv4Address::from_host_id(src);
+        let dst_ip = Ipv4Address::from_host_id(dst);
+        let u = udp::Repr { src_port: 1111, dst_port: dport, payload_len: 32 };
+        let udp_b = u.encapsulate(src_ip, dst_ip, &[7u8; 32]);
+        let ip = ipv4::Repr {
+            src: src_ip,
+            dst: dst_ip,
+            protocol: ipv4::protocol::UDP,
+            ttl: 64,
+            payload_len: udp_b.len(),
+        };
+        EthernetRepr {
+            dst: EthernetAddress::from_node_id(dst),
+            src: EthernetAddress::from_node_id(src),
+            ethertype: ethernet::ethertype::IPV4,
+        }
+        .encapsulate(&ip.encapsulate(&udp_b))
+    }
+
+    fn probe_tpp(app: u16) -> Tpp {
+        let mut t =
+            TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(4).build().unwrap();
+        t.app_id = app;
+        t
+    }
+
+    #[test]
+    fn stamp_strip_echo_roundtrip() {
+        let mut tx = shim_for(1);
+        tx.add_tpp(7, Filter::udp(), probe_tpp(7), 1, 0);
+        let stamped = tx.outgoing(udp_frame(1, 2, 5000));
+        assert!(extract_tpp(&stamped).is_some());
+        assert_eq!(tx.counters.tx_stamped, 1);
+
+        // Receiver strips and echoes to the source.
+        let mut rx = shim_for(2);
+        let out = rx.incoming(stamped);
+        assert_eq!(out.deliver, Some(udp_frame(1, 2, 5000)));
+        let echo = out.echo.expect("echo generated");
+        assert!(out.completed.is_none());
+        // The echo is addressed to host 1 on the echo port.
+        let ip = Ipv4Packet::new_checked(&echo[14..]).unwrap();
+        assert_eq!(ip.dst(), Ipv4Address::from_host_id(1));
+        // And the origin shim surfaces it as a completion.
+        let mut origin = shim_for(1);
+        let back = origin.incoming(echo);
+        let done = back.completed.expect("completion surfaced");
+        assert_eq!(done.app_id, 7);
+        assert_eq!(done.from, Ipv4Address::from_host_id(2));
+        assert_eq!(done.tpp.instrs.len(), 1);
+    }
+
+    #[test]
+    fn local_aggregator_consumes_without_echo() {
+        // When the receiving host *is* the aggregator, the completed TPP is
+        // surfaced locally and no echo traffic is generated.
+        let mut tx = shim_for(1);
+        tx.add_tpp(7, Filter::udp(), probe_tpp(7), 1, 0);
+        let stamped = tx.outgoing(udp_frame(1, 2, 5000));
+        let mut rx = shim_for(2);
+        rx.set_aggregator(7, Ipv4Address::from_host_id(2));
+        let out = rx.incoming(stamped);
+        assert!(out.deliver.is_some());
+        assert!(out.echo.is_none());
+        let done = out.completed.expect("local completion");
+        assert_eq!(done.app_id, 7);
+        assert_eq!(done.from, Ipv4Address::from_host_id(1));
+        assert_eq!(rx.counters.echoes_sent, 0);
+    }
+
+    #[test]
+    fn sampling_controls_stamp_rate() {
+        let mut tx = shim_for(1);
+        tx.add_tpp(7, Filter::udp(), probe_tpp(7), 10, 0);
+        for _ in 0..2000 {
+            tx.outgoing(udp_frame(1, 2, 5000));
+        }
+        let rate = tx.counters.tx_stamped as f64 / 2000.0;
+        assert!((rate - 0.1).abs() < 0.03, "sampling rate {rate} should be ~0.1");
+    }
+
+    #[test]
+    fn non_matching_traffic_untouched() {
+        let mut tx = shim_for(1);
+        tx.add_tpp(7, Filter::dst_port(80), probe_tpp(7), 1, 0);
+        let f = udp_frame(1, 2, 5000);
+        let out = tx.outgoing(f.clone());
+        assert_eq!(out, f);
+        assert_eq!(tx.counters.tx_stamped, 0);
+    }
+
+    #[test]
+    fn standalone_probe_echoed() {
+        let mut rx = shim_for(2);
+        let tpp = probe_tpp(3);
+        let frame = tpp_core::wire::build_standalone(
+            EthernetAddress::from_node_id(1),
+            EthernetAddress::from_node_id(2),
+            Ipv4Address::from_host_id(1),
+            Ipv4Address::from_host_id(2),
+            9999,
+            &tpp,
+        );
+        let out = rx.incoming(frame);
+        assert!(out.deliver.is_none());
+        let echo = out.echo.expect("probe echoed");
+        let ip = Ipv4Packet::new_checked(&echo[14..]).unwrap();
+        assert_eq!(ip.dst(), Ipv4Address::from_host_id(1));
+        let u = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert_eq!(u.dst_port(), TPP_ECHO_PORT);
+    }
+
+    #[test]
+    fn aggregator_overrides_echo_destination() {
+        let mut rx = shim_for(2);
+        rx.set_aggregator(7, Ipv4Address::from_host_id(9));
+        let tx_frame = {
+            let mut tx = shim_for(1);
+            tx.add_tpp(7, Filter::udp(), probe_tpp(7), 1, 0);
+            tx.outgoing(udp_frame(1, 2, 5000))
+        };
+        let out = rx.incoming(tx_frame);
+        let echo = out.echo.expect("echo to aggregator");
+        let ip = Ipv4Packet::new_checked(&echo[14..]).unwrap();
+        assert_eq!(ip.dst(), Ipv4Address::from_host_id(9));
+    }
+
+    #[test]
+    fn plain_traffic_passes_through() {
+        let mut rx = shim_for(2);
+        let f = udp_frame(1, 2, 5000);
+        let out = rx.incoming(f.clone());
+        assert_eq!(out.deliver, Some(f));
+        assert!(out.echo.is_none() && out.completed.is_none() && !out.discarded);
+    }
+
+    #[test]
+    fn corrupted_tpp_discarded() {
+        let mut tx = shim_for(1);
+        tx.add_tpp(7, Filter::udp(), probe_tpp(7), 1, 0);
+        let mut stamped = tx.outgoing(udp_frame(1, 2, 5000));
+        stamped[16] ^= 0xFF; // corrupt TPP section
+        let mut rx = shim_for(2);
+        let out = rx.incoming(stamped);
+        assert!(out.discarded && out.deliver.is_none());
+        assert_eq!(rx.counters.parse_failures, 1);
+    }
+
+    #[test]
+    fn already_stamped_frames_not_double_stamped() {
+        let mut tx = shim_for(1);
+        tx.add_tpp(7, Filter::udp(), probe_tpp(7), 1, 0);
+        let stamped = tx.outgoing(udp_frame(1, 2, 5000));
+        let len1 = stamped.len();
+        let again = tx.outgoing(stamped);
+        assert_eq!(again.len(), len1);
+        assert_eq!(tx.counters.tx_stamped, 1);
+    }
+
+    #[test]
+    fn ip_host_id_roundtrip() {
+        for id in [1u32, 255, 300, 65_000] {
+            assert_eq!(host_id_of_ip(Ipv4Address::from_host_id(id)), id);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # tpp-netsim — deterministic discrete-event network simulator
+//!
+//! The substrate on which the paper's experiments run (substituting for the
+//! authors' Mininet/Open vSwitch testbed — see DESIGN.md §2):
+//!
+//! * [`engine`] — a deterministic event queue (time + sequence ordering).
+//! * [`net`] — switches (from `tpp-switch`), hosts with pluggable
+//!   applications, full-duplex rate/delay links, per-link fault injection
+//!   (drops, corruption), and the event loop.
+//! * [`topology`] — builders (star, dumbbell, line, leaf-spine, fat-tree)
+//!   with BFS shortest-path route installation and ECMP groups on ties.
+//!
+//! Every packet is a real Ethernet frame; switches execute TPPs on real
+//! bytes at every hop.
+
+pub mod engine;
+pub mod net;
+pub mod topology;
+
+pub use engine::{Time, MILLIS, SECONDS};
+pub use net::{Host, HostApp, HostCtx, LinkSpec, NetStats, Network, NodeId, NullApp};
+pub use topology::Topology;

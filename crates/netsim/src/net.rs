@@ -1,0 +1,730 @@
+//! The simulated network: switches, hosts, links, and the event loop.
+//!
+//! The model is deliberately explicit (smoltcp-style simplicity):
+//!
+//! * Every packet is a real Ethernet frame (`Vec<u8>`); switches and hosts
+//!   parse and rewrite actual bytes, so the full wire-format code path is
+//!   exercised on every hop.
+//! * A link connects two `(node, port)` endpoints full-duplex, with a rate
+//!   and a propagation delay. A transmitter serializes one frame at a time
+//!   at link rate.
+//! * Switch queues live inside [`tpp_switch::Switch`] so TPPs observe them;
+//!   hosts have a simple NIC queue.
+//! * Fault injection per link: random drop and corruption probabilities
+//!   (the smoltcp examples' `--drop-chance` / `--corrupt-chance`).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::engine::{EventQueue, Time, MILLIS};
+use tpp_switch::{ReceiveOutcome, Switch, SwitchConfig};
+use tpp_core::wire::{EthernetAddress, Ipv4Address};
+
+/// Identifies a node (switch or host) in the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// The interface hosts implement to participate in the simulation.
+///
+/// Hosts are woken by frame arrivals and timers; they act through
+/// [`HostCtx`]. Implementations live in `tpp-endhost` and `tpp-apps`.
+pub trait HostApp {
+    /// Called once before the first event is processed.
+    fn start(&mut self, _ctx: &mut HostCtx<'_>) {}
+    /// A frame arrived at the host NIC.
+    fn on_frame(&mut self, _ctx: &mut HostCtx<'_>, _frame: Vec<u8>) {}
+    /// A timer set via [`HostCtx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut HostCtx<'_>, _token: u64) {}
+    /// Escape hatch for experiment drivers to inspect app state after (or
+    /// during) a run.
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A no-op application (e.g. a pure sink).
+pub struct NullApp;
+impl HostApp for NullApp {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// What a host can do when woken.
+pub struct HostCtx<'a> {
+    pub now: Time,
+    pub node: NodeId,
+    pub ip: Ipv4Address,
+    pub mac: EthernetAddress,
+    effects: &'a mut Vec<Effect>,
+}
+
+enum Effect {
+    Send(Vec<u8>),
+    Timer { at: Time, token: u64 },
+}
+
+impl HostCtx<'_> {
+    /// Queue a frame for transmission on the host NIC.
+    pub fn send(&mut self, frame: Vec<u8>) {
+        self.effects.push(Effect::Send(frame));
+    }
+    /// Request a timer callback at `now + delay`.
+    pub fn set_timer(&mut self, delay: Time, token: u64) {
+        self.effects.push(Effect::Timer { at: self.now + delay, token });
+    }
+    /// Request a timer callback at an absolute time.
+    pub fn set_timer_at(&mut self, at: Time, token: u64) {
+        self.effects.push(Effect::Timer { at: at.max(self.now), token });
+    }
+}
+
+/// A host: one NIC, one application.
+pub struct Host {
+    pub id: NodeId,
+    pub ip: Ipv4Address,
+    pub mac: EthernetAddress,
+    pub app: Box<dyn HostApp>,
+    nic_queue: std::collections::VecDeque<Vec<u8>>,
+    nic_queued_bytes: usize,
+    /// NIC queue limit; beyond this the host drops locally.
+    pub nic_limit_bytes: usize,
+    pub tx_frames: u64,
+    pub rx_frames: u64,
+    pub nic_drops: u64,
+    started: bool,
+}
+
+enum NodeKind {
+    Switch(Box<Switch>),
+    Host(Box<Host>),
+}
+
+/// Link parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    pub rate_mbps: u64,
+    pub delay_ns: u64,
+    /// Probability a frame is silently dropped in flight.
+    pub drop_prob: f64,
+    /// Probability one byte of the frame is flipped in flight.
+    pub corrupt_prob: f64,
+}
+
+impl LinkSpec {
+    pub fn new(rate_mbps: u64, delay_ns: u64) -> Self {
+        LinkSpec { rate_mbps, delay_ns, drop_prob: 0.0, corrupt_prob: 0.0 }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Port {
+    peer: (NodeId, u8),
+    spec: LinkSpec,
+    busy: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Frame fully received at `(node, port)`.
+    Arrive { node: NodeId, port: u8 },
+    /// Transmitter at `(node, port)` finished serializing a frame.
+    TxDone { node: NodeId, port: u8 },
+    /// Try to start transmitting on `(node, port)` (pipeline-latency kick).
+    Kick { node: NodeId, port: u8 },
+    HostTimer { node: NodeId, token: u64 },
+    UtilTick,
+}
+
+/// Aggregate statistics of a finished run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    pub frames_delivered: u64,
+    pub frames_dropped_in_flight: u64,
+    pub frames_corrupted: u64,
+    pub events_processed: u64,
+}
+
+/// The simulated network.
+pub struct Network {
+    queue: EventQueue<Ev>,
+    /// Payloads for Arrive events (kept out of `Ev` so it stays `Copy`).
+    in_flight: HashMap<(NodeId, u8), std::collections::VecDeque<Vec<u8>>>,
+    nodes: Vec<NodeKind>,
+    ports: Vec<Vec<Port>>,
+    pub stats: NetStats,
+    rng: StdRng,
+    util_interval: Time,
+    util_tick_scheduled: bool,
+}
+
+impl Network {
+    pub fn new(seed: u64) -> Self {
+        Network {
+            queue: EventQueue::new(),
+            in_flight: HashMap::new(),
+            nodes: Vec::new(),
+            ports: Vec::new(),
+            stats: NetStats::default(),
+            rng: StdRng::seed_from_u64(seed),
+            util_interval: MILLIS,
+            util_tick_scheduled: false,
+        }
+    }
+
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Add a switch; `cfg.n_ports` ports are created up front.
+    pub fn add_switch(&mut self, cfg: SwitchConfig) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeKind::Switch(Box::new(Switch::new(cfg))));
+        self.ports.push(Vec::new());
+        id
+    }
+
+    /// Add a host with deterministic IP/MAC derived from its node id.
+    pub fn add_host(&mut self, app: Box<dyn HostApp>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeKind::Host(Box::new(Host {
+            id,
+            ip: Ipv4Address::from_host_id(id.0),
+            mac: EthernetAddress::from_node_id(id.0),
+            app,
+            nic_queue: std::collections::VecDeque::new(),
+            nic_queued_bytes: 0,
+            nic_limit_bytes: 1 << 20,
+            tx_frames: 0,
+            rx_frames: 0,
+            nic_drops: 0,
+            started: false,
+        })));
+        self.ports.push(Vec::new());
+        id
+    }
+
+    /// Connect two nodes full-duplex; ports are auto-assigned and returned.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (u8, u8) {
+        let pa = self.ports[a.0 as usize].len() as u8;
+        let pb = self.ports[b.0 as usize].len() as u8;
+        self.ports[a.0 as usize].push(Port { peer: (b, pb), spec, busy: false });
+        self.ports[b.0 as usize].push(Port { peer: (a, pa), spec, busy: false });
+        if let NodeKind::Switch(sw) = &mut self.nodes[a.0 as usize] {
+            assert!((pa as usize) < sw.cfg.n_ports, "switch {a:?} has too few ports");
+            sw.set_link_speed(pa, spec.rate_mbps as u32);
+        }
+        if let NodeKind::Switch(sw) = &mut self.nodes[b.0 as usize] {
+            assert!((pb as usize) < sw.cfg.n_ports, "switch {b:?} has too few ports");
+            sw.set_link_speed(pb, spec.rate_mbps as u32);
+        }
+        (pa, pb)
+    }
+
+    /// Mutable access to a switch (panics if `id` is not a switch).
+    pub fn switch_mut(&mut self, id: NodeId) -> &mut Switch {
+        match &mut self.nodes[id.0 as usize] {
+            NodeKind::Switch(s) => s,
+            _ => panic!("{id:?} is not a switch"),
+        }
+    }
+
+    pub fn switch(&self, id: NodeId) -> &Switch {
+        match &self.nodes[id.0 as usize] {
+            NodeKind::Switch(s) => s,
+            _ => panic!("{id:?} is not a switch"),
+        }
+    }
+
+    pub fn is_switch(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.0 as usize], NodeKind::Switch(_))
+    }
+
+    pub fn host(&self, id: NodeId) -> &Host {
+        match &self.nodes[id.0 as usize] {
+            NodeKind::Host(h) => h,
+            _ => panic!("{id:?} is not a host"),
+        }
+    }
+
+    pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
+        match &mut self.nodes[id.0 as usize] {
+            NodeKind::Host(h) => h,
+            _ => panic!("{id:?} is not a host"),
+        }
+    }
+
+    /// Replace a host's application (topology builders install `NullApp`).
+    pub fn set_app(&mut self, id: NodeId, app: Box<dyn HostApp>) {
+        let h = self.host_mut(id);
+        h.app = app;
+        h.started = false;
+    }
+
+    /// Downcast a host's application for result extraction.
+    pub fn app_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        self.host_mut(id).app.as_any().downcast_mut::<T>().expect("app type mismatch")
+    }
+
+    /// Degrade a link (both directions) for failure-injection experiments.
+    pub fn set_link_faults(&mut self, a: NodeId, port_a: u8, drop_prob: f64, corrupt_prob: f64) {
+        let (peer, peer_port) = {
+            let p = &mut self.ports[a.0 as usize][port_a as usize];
+            p.spec.drop_prob = drop_prob;
+            p.spec.corrupt_prob = corrupt_prob;
+            p.peer
+        };
+        let back = &mut self.ports[peer.0 as usize][peer_port as usize];
+        back.spec.drop_prob = drop_prob;
+        back.spec.corrupt_prob = corrupt_prob;
+    }
+
+    /// Take a link fully down or up (port status + packets blackholed).
+    pub fn set_link_up(&mut self, a: NodeId, port_a: u8, up: bool) {
+        let drop = if up { 0.0 } else { 1.0 };
+        self.set_link_faults(a, port_a, drop, 0.0);
+        let peer = self.ports[a.0 as usize][port_a as usize].peer;
+        if let NodeKind::Switch(sw) = &mut self.nodes[a.0 as usize] {
+            sw.mem.links[port_a as usize].up = up;
+        }
+        if let NodeKind::Switch(sw) = &mut self.nodes[peer.0 .0 as usize] {
+            sw.mem.links[peer.1 as usize].up = up;
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.util_tick_scheduled {
+            self.util_tick_scheduled = true;
+            let at = self.queue.now() + self.util_interval;
+            self.queue.schedule_at(at, Ev::UtilTick);
+        }
+        for i in 0..self.nodes.len() {
+            let node = NodeId(i as u32);
+            let needs_start = match &self.nodes[i] {
+                NodeKind::Host(h) => !h.started,
+                _ => false,
+            };
+            if needs_start {
+                let mut effects = Vec::new();
+                {
+                    let NodeKind::Host(h) = &mut self.nodes[i] else { unreachable!() };
+                    h.started = true;
+                    let mut ctx = HostCtx {
+                        now: self.queue.now(),
+                        node,
+                        ip: h.ip,
+                        mac: h.mac,
+                        effects: &mut effects,
+                    };
+                    h.app.start(&mut ctx);
+                }
+                self.apply_effects(node, effects);
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect>) {
+        for e in effects {
+            match e {
+                Effect::Send(frame) => self.host_enqueue(node, frame),
+                Effect::Timer { at, token } => {
+                    self.queue.schedule_at(at, Ev::HostTimer { node, token })
+                }
+            }
+        }
+    }
+
+    fn host_enqueue(&mut self, node: NodeId, frame: Vec<u8>) {
+        let len = frame.len();
+        {
+            let NodeKind::Host(h) = &mut self.nodes[node.0 as usize] else {
+                panic!("send from non-host")
+            };
+            if h.nic_queued_bytes + len > h.nic_limit_bytes {
+                h.nic_drops += 1;
+                return;
+            }
+            h.nic_queue.push_back(frame);
+            h.nic_queued_bytes += len;
+        }
+        self.try_start_tx(node, 0);
+    }
+
+    /// If the transmitter at `(node, port)` is idle and a frame is waiting,
+    /// start serializing it.
+    fn try_start_tx(&mut self, node: NodeId, port: u8) {
+        if self.ports[node.0 as usize].get(port as usize).is_none() {
+            return; // unconnected port: blackhole
+        }
+        if self.ports[node.0 as usize][port as usize].busy {
+            return;
+        }
+        let now = self.queue.now();
+        let frame = match &mut self.nodes[node.0 as usize] {
+            NodeKind::Switch(sw) => sw.dequeue(now, port),
+            NodeKind::Host(h) => {
+                let f = h.nic_queue.pop_front();
+                if let Some(fr) = &f {
+                    h.nic_queued_bytes -= fr.len();
+                    h.tx_frames += 1;
+                }
+                f
+            }
+        };
+        let Some(frame) = frame else { return };
+        let p = &mut self.ports[node.0 as usize][port as usize];
+        p.busy = true;
+        let spec = p.spec;
+        let peer = p.peer;
+        let tx_ns = frame.len() as u64 * 8 * 1000 / spec.rate_mbps; // bytes*8 / (Mbps) in ns
+        self.queue.schedule_at(now + tx_ns, Ev::TxDone { node, port });
+
+        // Fault injection happens "on the wire".
+        let mut frame = frame;
+        if spec.drop_prob > 0.0 && self.rng.random::<f64>() < spec.drop_prob {
+            self.stats.frames_dropped_in_flight += 1;
+            return;
+        }
+        if spec.corrupt_prob > 0.0 && self.rng.random::<f64>() < spec.corrupt_prob {
+            let idx = self.rng.random_range(0..frame.len());
+            let bit = 1u8 << self.rng.random_range(0..8);
+            frame[idx] ^= bit;
+            self.stats.frames_corrupted += 1;
+        }
+        let arrive_at = now + tx_ns + spec.delay_ns;
+        self.in_flight.entry(peer).or_default().push_back(frame);
+        self.queue.schedule_at(arrive_at, Ev::Arrive { node: peer.0, port: peer.1 });
+    }
+
+    fn handle_arrive(&mut self, node: NodeId, port: u8) {
+        let Some(frame) = self.in_flight.get_mut(&(node, port)).and_then(|q| q.pop_front()) else {
+            return;
+        };
+        self.stats.frames_delivered += 1;
+        let now = self.queue.now();
+        match &mut self.nodes[node.0 as usize] {
+            NodeKind::Switch(sw) => {
+                match sw.receive(now, port, frame) {
+                    ReceiveOutcome::Enqueued { port: out, proc_latency_ns, .. } => {
+                        // The pipeline needs proc_latency before the frame is
+                        // eligible for transmission.
+                        self.queue
+                            .schedule_at(now + proc_latency_ns, Ev::Kick { node, port: out });
+                    }
+                    ReceiveOutcome::Dropped(_) => {}
+                }
+            }
+            NodeKind::Host(h) => {
+                h.rx_frames += 1;
+                let mut effects = Vec::new();
+                {
+                    let mut ctx = HostCtx {
+                        now,
+                        node,
+                        ip: h.ip,
+                        mac: h.mac,
+                        effects: &mut effects,
+                    };
+                    h.app.on_frame(&mut ctx, frame);
+                }
+                self.apply_effects(node, effects);
+            }
+        }
+    }
+
+    fn handle_timer(&mut self, node: NodeId, token: u64) {
+        let now = self.queue.now();
+        let mut effects = Vec::new();
+        {
+            let NodeKind::Host(h) = &mut self.nodes[node.0 as usize] else { return };
+            let mut ctx =
+                HostCtx { now, node, ip: h.ip, mac: h.mac, effects: &mut effects };
+            h.app.on_timer(&mut ctx, token);
+        }
+        self.apply_effects(node, effects);
+    }
+
+    /// Run until `until` (ns) or until no events remain.
+    pub fn run_until(&mut self, until: Time) {
+        self.ensure_started();
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (_, ev) = self.queue.pop().unwrap();
+            self.stats.events_processed += 1;
+            match ev {
+                Ev::Arrive { node, port } => self.handle_arrive(node, port),
+                Ev::TxDone { node, port } => {
+                    self.ports[node.0 as usize][port as usize].busy = false;
+                    self.try_start_tx(node, port);
+                }
+                Ev::Kick { node, port } => self.try_start_tx(node, port),
+                Ev::HostTimer { node, token } => self.handle_timer(node, token),
+                Ev::UtilTick => {
+                    let now = self.queue.now();
+                    for n in &mut self.nodes {
+                        if let NodeKind::Switch(sw) = n {
+                            sw.tick(now);
+                        }
+                    }
+                    let at = now + self.util_interval;
+                    self.queue.schedule_at(at, Ev::UtilTick);
+                }
+            }
+        }
+    }
+
+    /// Run for `dur` more nanoseconds.
+    pub fn run_for(&mut self, dur: Time) {
+        let until = self.now() + dur;
+        self.run_until(until);
+    }
+
+    /// Number of hosts and switches.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adjacency of a node: `(local port, peer node)` per link.
+    pub fn neighbors(&self, node: NodeId) -> Vec<(u8, NodeId)> {
+        self.ports[node.0 as usize]
+            .iter()
+            .enumerate()
+            .map(|(p, port)| (p as u8, port.peer.0))
+            .collect()
+    }
+
+    pub fn switch_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| matches!(self.nodes[n.0 as usize], NodeKind::Switch(_)))
+            .collect()
+    }
+
+    pub fn host_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| matches!(self.nodes[n.0 as usize], NodeKind::Host(_)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use tpp_core::wire::{ethernet, ipv4, udp, EthernetRepr};
+    use tpp_switch::Action;
+
+    /// Sends `count` UDP frames to `dst` at start, records received frames.
+    struct Blaster {
+        dst_ip: Ipv4Address,
+        dst_mac: EthernetAddress,
+        count: usize,
+        received: Rc<RefCell<Vec<(Time, Vec<u8>)>>>,
+    }
+
+    impl HostApp for Blaster {
+        fn start(&mut self, ctx: &mut HostCtx<'_>) {
+            for i in 0..self.count {
+                let u = udp::Repr { src_port: 1000 + i as u16, dst_port: 9, payload_len: 100 };
+                let udp_bytes = u.encapsulate(ctx.ip, self.dst_ip, &[0u8; 100]);
+                let ip = ipv4::Repr {
+                    src: ctx.ip,
+                    dst: self.dst_ip,
+                    protocol: ipv4::protocol::UDP,
+                    ttl: 64,
+                    payload_len: udp_bytes.len(),
+                };
+                let frame = EthernetRepr {
+                    dst: self.dst_mac,
+                    src: ctx.mac,
+                    ethertype: ethernet::ethertype::IPV4,
+                }
+                .encapsulate(&ip.encapsulate(&udp_bytes));
+                ctx.send(frame);
+            }
+        }
+        fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
+            self.received.borrow_mut().push((ctx.now, frame));
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_hosts_one_switch(
+        rate_mbps: u64,
+        delay_ns: u64,
+        count: usize,
+    ) -> (Network, Rc<RefCell<Vec<(Time, Vec<u8>)>>>) {
+        let mut net = Network::new(1);
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let sw = net.add_switch(SwitchConfig::new(1, 2));
+        // Hosts get node ids 1, 2.
+        let h1 = net.add_host(Box::new(NullApp));
+        let h2 = net.add_host(Box::new(Blaster {
+            dst_ip: Ipv4Address::from_host_id(1),
+            dst_mac: EthernetAddress::from_node_id(1),
+            count,
+            received: received.clone(),
+        }));
+        // Wait: the blaster is h2 sending to h1? We want received at h1.
+        // Swap: put the receiver's log on h1.
+        let _ = h1;
+        net.connect(sw, h1, LinkSpec::new(rate_mbps, delay_ns));
+        net.connect(sw, h2, LinkSpec::new(rate_mbps, delay_ns));
+        let s = net.switch_mut(sw);
+        s.add_host_route(Ipv4Address::from_host_id(1), Action::Output(0));
+        s.add_host_route(Ipv4Address::from_host_id(2), Action::Output(1));
+        // Log arrivals at h1 too.
+        net.set_app(
+            h1,
+            Box::new(Blaster {
+                dst_ip: Ipv4Address::from_host_id(2),
+                dst_mac: EthernetAddress::from_node_id(2),
+                count: 0,
+                received: received.clone(),
+            }),
+        );
+        (net, received)
+    }
+
+    #[test]
+    fn delivery_across_switch() {
+        let (mut net, received) = two_hosts_one_switch(1000, 1000, 3);
+        net.run_until(10 * MILLIS);
+        assert_eq!(received.borrow().len(), 3);
+    }
+
+    #[test]
+    fn serialization_delay_matches_link_rate() {
+        // One 142-byte frame at 100 Mb/s = 11.36 us serialization, twice
+        // (host link + switch link), plus 2 x 1 us propagation, plus switch
+        // pipeline latency (500ns ASIC profile).
+        let (mut net, received) = two_hosts_one_switch(100, 1000, 1);
+        net.run_until(100 * MILLIS);
+        let log = received.borrow();
+        assert_eq!(log.len(), 1);
+        let t = log[0].0;
+        let frame_len = log[0].1.len() as u64;
+        let ser = frame_len * 8 * 1000 / 100;
+        let expected = 2 * ser + 2 * 1000 + 500;
+        assert!(
+            t >= expected && t < expected + 2000,
+            "arrival at {t}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn back_to_back_frames_serialize() {
+        // 10 frames can't arrive faster than serialization allows.
+        let (mut net, received) = two_hosts_one_switch(100, 0, 10);
+        net.run_until(1000 * MILLIS);
+        let log = received.borrow();
+        assert_eq!(log.len(), 10);
+        let frame_len = log[0].1.len() as u64;
+        let ser = frame_len * 8 * 1000 / 100;
+        for pair in log.windows(2) {
+            let gap = pair[1].0 - pair[0].0;
+            assert!(gap >= ser, "inter-arrival {gap} < serialization {ser}");
+        }
+    }
+
+    #[test]
+    fn drop_faults_lose_frames() {
+        let (mut net, received) = two_hosts_one_switch(1000, 1000, 200);
+        // 100% drop between switch and h1.
+        net.set_link_faults(NodeId(0), 0, 1.0, 0.0);
+        net.run_until(100 * MILLIS);
+        assert_eq!(received.borrow().len(), 0);
+        assert_eq!(net.stats.frames_dropped_in_flight, 200);
+    }
+
+    #[test]
+    fn corruption_faults_flip_bits() {
+        let (mut net, received) = two_hosts_one_switch(1000, 1000, 100);
+        net.set_link_faults(NodeId(0), 0, 0.0, 1.0);
+        net.run_until(100 * MILLIS);
+        // All frames arrive but each has one flipped bit.
+        assert_eq!(net.stats.frames_corrupted as usize, 100 + received.borrow().len() - 100);
+        assert!(received.borrow().len() == 100);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed| {
+            let (mut net, received) = two_hosts_one_switch(1000, 1000, 50);
+            net.set_link_faults(NodeId(0), 0, 0.3, 0.0);
+            // reseed
+            net.rng = StdRng::seed_from_u64(seed);
+            net.run_until(100 * MILLIS);
+            let n_received = received.borrow().len();
+            (net.stats.frames_dropped_in_flight, n_received)
+        };
+        assert_eq!(run(7), run(7));
+        // Different seeds generally differ (not guaranteed, but 50 coin
+        // flips at p=0.3 colliding exactly is unlikely; tolerate equality of
+        // counts only if both runs dropped something).
+        let (d1, _) = run(1);
+        assert!(d1 > 0);
+    }
+
+    #[test]
+    fn host_timers_fire_in_order() {
+        struct TimerApp {
+            log: Rc<RefCell<Vec<(Time, u64)>>>,
+        }
+        impl HostApp for TimerApp {
+            fn start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.set_timer(3000, 3);
+                ctx.set_timer(1000, 1);
+                ctx.set_timer(2000, 2);
+            }
+            fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+                self.log.borrow_mut().push((ctx.now, token));
+                if token == 1 {
+                    ctx.set_timer(500, 4);
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut net = Network::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let h = net.add_host(Box::new(TimerApp { log: log.clone() }));
+        let _ = h;
+        net.run_until(10 * MILLIS);
+        assert_eq!(*log.borrow(), vec![(1000, 1), (1500, 4), (2000, 2), (3000, 3)]);
+    }
+
+    #[test]
+    fn nic_queue_limit_drops() {
+        let mut net = Network::new(0);
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let sw = net.add_switch(SwitchConfig::new(1, 2));
+        let sink = net.add_host(Box::new(NullApp));
+        let src = net.add_host(Box::new(Blaster {
+            dst_ip: Ipv4Address::from_host_id(1),
+            dst_mac: EthernetAddress::from_node_id(1),
+            count: 20000, // ~2.8MB of frames > 1MB NIC limit
+            received: received.clone(),
+        }));
+        net.connect(sw, sink, LinkSpec::new(10, 0));
+        net.connect(sw, src, LinkSpec::new(10, 0));
+        net.switch_mut(sw).add_host_route(Ipv4Address::from_host_id(1), Action::Output(0));
+        net.run_until(1 * MILLIS);
+        assert!(net.host(src).nic_drops > 0);
+    }
+
+    #[test]
+    fn app_mut_downcast() {
+        let mut net = Network::new(0);
+        let h = net.add_host(Box::new(NullApp));
+        let _: &mut NullApp = net.app_mut::<NullApp>(h);
+    }
+}

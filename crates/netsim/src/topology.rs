@@ -1,0 +1,413 @@
+//! Topology builders and shortest-path (ECMP) route installation.
+//!
+//! Each builder wires hosts (initially running `NullApp`) and switches,
+//! then installs host routes on every switch via BFS: where multiple
+//! equal-cost next hops exist, an ECMP group is installed, exactly like the
+//! multipath group tables of §2.4.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::net::{LinkSpec, Network, NodeId, NullApp};
+use tpp_switch::{Action, SwitchConfig};
+
+/// A built topology: the network plus the roles of its nodes.
+pub struct Topology {
+    pub net: Network,
+    pub hosts: Vec<NodeId>,
+    pub switches: Vec<NodeId>,
+}
+
+impl Topology {
+    /// Install shortest-path routes for every host on every switch,
+    /// creating ECMP groups where several next hops tie.
+    pub fn install_routes(&mut self) {
+        install_shortest_path_routes(&mut self.net, &self.hosts, &self.switches);
+    }
+}
+
+/// BFS distances from `start` over the whole node graph.
+fn bfs_dist(net: &Network, start: NodeId) -> HashMap<NodeId, u32> {
+    let mut dist = HashMap::new();
+    dist.insert(start, 0);
+    let mut q = VecDeque::new();
+    q.push_back(start);
+    while let Some(n) = q.pop_front() {
+        let d = dist[&n];
+        for (_, peer) in net.neighbors(n) {
+            // Hosts are leaves: never route *through* a host.
+            if net.is_switch(peer) || dist.is_empty() {
+                if !dist.contains_key(&peer) {
+                    dist.insert(peer, d + 1);
+                    q.push_back(peer);
+                }
+            } else if !dist.contains_key(&peer) {
+                dist.insert(peer, d + 1); // record host distance, don't expand
+            }
+        }
+    }
+    dist
+}
+
+/// Install shortest-path host routes with ECMP groups on ties.
+pub fn install_shortest_path_routes(net: &mut Network, hosts: &[NodeId], switches: &[NodeId]) {
+    for &h in hosts {
+        let dist = bfs_dist(net, h);
+        let ip = net.host(h).ip;
+        for &s in switches {
+            let Some(&ds) = dist.get(&s) else { continue };
+            // Next hops: neighbors strictly closer to the host.
+            let mut ports: Vec<u8> = net
+                .neighbors(s)
+                .iter()
+                .filter(|(_, peer)| dist.get(peer).is_some_and(|&dp| dp + 1 == ds))
+                .map(|(p, _)| *p)
+                .collect();
+            ports.sort_unstable();
+            let action = match ports.as_slice() {
+                [] => continue,
+                [p] => Action::Output(*p),
+                many => {
+                    // Reuse an existing group with the same member set.
+                    let key = many.to_vec();
+                    let sw = net.switch_mut(s);
+                    let gid = find_or_add_group(sw, key);
+                    Action::Group(gid)
+                }
+            };
+            net.switch_mut(s).add_host_route(ip, action);
+        }
+    }
+}
+
+fn find_or_add_group(sw: &mut tpp_switch::Switch, ports: Vec<u8>) -> u16 {
+    // GroupTable has no lookup-by-members; track via a linear scan of known
+    // groups (small tables).
+    for gid in 0..u16::MAX {
+        match sw.groups.ports(gid) {
+            Some(existing) if existing == ports.as_slice() => return gid,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    sw.add_group(ports)
+}
+
+/// Default switch config for topology builders.
+fn switch_cfg(id: u32, n_ports: usize) -> SwitchConfig {
+    SwitchConfig::new(id, n_ports)
+}
+
+/// One switch, `n` hosts (a star). Host link rate `host_mbps`.
+pub fn star(n: usize, host_mbps: u64, delay_ns: u64, seed: u64) -> Topology {
+    let mut net = Network::new(seed);
+    let sw = net.add_switch(switch_cfg(1, n));
+    let hosts: Vec<NodeId> = (0..n).map(|_| net.add_host(Box::new(NullApp))).collect();
+    for &h in &hosts {
+        net.connect(sw, h, LinkSpec::new(host_mbps, delay_ns));
+    }
+    let mut t = Topology { net, hosts, switches: vec![sw] };
+    t.install_routes();
+    t
+}
+
+/// The §2.1 micro-burst topology: two switches joined by a bottleneck, with
+/// `per_side` hosts on each (6 hosts total for `per_side = 3`).
+pub fn dumbbell(
+    per_side: usize,
+    host_mbps: u64,
+    bottleneck_mbps: u64,
+    delay_ns: u64,
+    seed: u64,
+) -> Topology {
+    let mut net = Network::new(seed);
+    let s0 = net.add_switch(switch_cfg(1, per_side + 1));
+    let s1 = net.add_switch(switch_cfg(2, per_side + 1));
+    net.connect(s0, s1, LinkSpec::new(bottleneck_mbps, delay_ns));
+    let mut hosts = Vec::new();
+    for side in [s0, s1] {
+        for _ in 0..per_side {
+            let h = net.add_host(Box::new(NullApp));
+            net.connect(side, h, LinkSpec::new(host_mbps, delay_ns));
+            hosts.push(h);
+        }
+    }
+    let mut t = Topology { net, hosts, switches: vec![s0, s1] };
+    t.install_routes();
+    t
+}
+
+/// A line of `n_switches` switches with `hosts_per_switch` hosts on each —
+/// the Figure 2 RCP topology is `line(3, 1)`-like: a flow traversing both
+/// inter-switch links shares each with a one-link flow.
+pub fn line(
+    n_switches: usize,
+    hosts_per_switch: usize,
+    link_mbps: u64,
+    delay_ns: u64,
+    seed: u64,
+) -> Topology {
+    let mut net = Network::new(seed);
+    let switches: Vec<NodeId> = (0..n_switches)
+        .map(|i| net.add_switch(switch_cfg(i as u32 + 1, hosts_per_switch + 2)))
+        .collect();
+    for w in switches.windows(2) {
+        net.connect(w[0], w[1], LinkSpec::new(link_mbps, delay_ns));
+    }
+    let mut hosts = Vec::new();
+    for &s in &switches {
+        for _ in 0..hosts_per_switch {
+            let h = net.add_host(Box::new(NullApp));
+            net.connect(s, h, LinkSpec::new(link_mbps, delay_ns));
+            hosts.push(h);
+        }
+    }
+    let mut t = Topology { net, hosts, switches };
+    t.install_routes();
+    t
+}
+
+/// A leaf-spine fabric (the Figure 4 CONGA topology is
+/// `leaf_spine(3, 2, 1, ...)`): every leaf connects to every spine.
+/// Returns hosts grouped leaf-major (`hosts[leaf * hosts_per_leaf + i]`).
+pub fn leaf_spine(
+    n_leaf: usize,
+    n_spine: usize,
+    hosts_per_leaf: usize,
+    fabric_mbps: u64,
+    host_mbps: u64,
+    delay_ns: u64,
+    seed: u64,
+) -> Topology {
+    let mut net = Network::new(seed);
+    let spines: Vec<NodeId> =
+        (0..n_spine).map(|i| net.add_switch(switch_cfg(100 + i as u32, n_leaf))).collect();
+    let leaves: Vec<NodeId> = (0..n_leaf)
+        .map(|i| net.add_switch(switch_cfg(1 + i as u32, n_spine + hosts_per_leaf)))
+        .collect();
+    for &leaf in &leaves {
+        for &spine in &spines {
+            net.connect(leaf, spine, LinkSpec::new(fabric_mbps, delay_ns));
+        }
+    }
+    let mut hosts = Vec::new();
+    for &leaf in &leaves {
+        for _ in 0..hosts_per_leaf {
+            let h = net.add_host(Box::new(NullApp));
+            net.connect(leaf, h, LinkSpec::new(host_mbps, delay_ns));
+            hosts.push(h);
+        }
+    }
+    let mut switches = leaves.clone();
+    switches.extend_from_slice(&spines);
+    let mut t = Topology { net, hosts, switches };
+    t.install_routes();
+    t
+}
+
+/// A k-ary fat-tree (§2.5 uses k = 64; tests use k = 4): k pods of k/2 edge
+/// and k/2 aggregation switches, (k/2)^2 cores, k^3/4 hosts.
+pub fn fat_tree(k: usize, link_mbps: u64, delay_ns: u64, seed: u64) -> Topology {
+    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+    let half = k / 2;
+    let mut net = Network::new(seed);
+
+    let cores: Vec<NodeId> =
+        (0..half * half).map(|i| net.add_switch(switch_cfg(1000 + i as u32, k))).collect();
+    let mut aggs: Vec<Vec<NodeId>> = Vec::new();
+    let mut edges: Vec<Vec<NodeId>> = Vec::new();
+    for pod in 0..k {
+        aggs.push(
+            (0..half).map(|i| net.add_switch(switch_cfg((100 + pod * 10 + i) as u32, k))).collect(),
+        );
+        edges.push(
+            (0..half).map(|i| net.add_switch(switch_cfg((500 + pod * 10 + i) as u32, k))).collect(),
+        );
+    }
+    // Core <-> aggregation: core (i, j) connects to aggregation j of each pod.
+    for j in 0..half {
+        for i in 0..half {
+            let core = cores[j * half + i];
+            for pod in 0..k {
+                net.connect(aggs[pod][j], core, LinkSpec::new(link_mbps, delay_ns));
+            }
+        }
+    }
+    // Aggregation <-> edge within a pod (full bipartite).
+    for pod in 0..k {
+        for &a in &aggs[pod] {
+            for &e in &edges[pod] {
+                net.connect(a, e, LinkSpec::new(link_mbps, delay_ns));
+            }
+        }
+    }
+    // Hosts on edges.
+    let mut hosts = Vec::new();
+    for pod_edges in &edges {
+        for &e in pod_edges {
+            for _ in 0..half {
+                let h = net.add_host(Box::new(NullApp));
+                net.connect(e, h, LinkSpec::new(link_mbps, delay_ns));
+                hosts.push(h);
+            }
+        }
+    }
+    let mut switches = cores.clone();
+    for pod in 0..k {
+        switches.extend_from_slice(&aggs[pod]);
+        switches.extend_from_slice(&edges[pod]);
+    }
+    let mut t = Topology { net, hosts, switches };
+    t.install_routes();
+    t
+}
+
+/// Map from host node id to its index in `hosts` (handy for experiments).
+pub fn host_index(t: &Topology) -> BTreeMap<NodeId, usize> {
+    t.hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MILLIS;
+    use crate::net::{HostApp, HostCtx};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use tpp_core::wire::{ethernet, ipv4, udp, EthernetAddress, EthernetRepr, Ipv4Address};
+
+    struct Pinger {
+        dst: NodeId,
+        sport: u16,
+        n: usize,
+        got: Rc<RefCell<usize>>,
+    }
+    impl HostApp for Pinger {
+        fn start(&mut self, ctx: &mut HostCtx<'_>) {
+            for i in 0..self.n {
+                let dst_ip = Ipv4Address::from_host_id(self.dst.0);
+                let u = udp::Repr {
+                    src_port: self.sport + i as u16,
+                    dst_port: 7,
+                    payload_len: 10,
+                };
+                let udp_b = u.encapsulate(ctx.ip, dst_ip, &[0; 10]);
+                let ip = ipv4::Repr {
+                    src: ctx.ip,
+                    dst: dst_ip,
+                    protocol: ipv4::protocol::UDP,
+                    ttl: 64,
+                    payload_len: udp_b.len(),
+                };
+                let f = EthernetRepr {
+                    dst: EthernetAddress::from_node_id(self.dst.0),
+                    src: ctx.mac,
+                    ethertype: ethernet::ethertype::IPV4,
+                }
+                .encapsulate(&ip.encapsulate(&udp_b));
+                ctx.send(f);
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut HostCtx<'_>, _frame: Vec<u8>) {
+            *self.got.borrow_mut() += 1;
+        }
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn assert_all_pairs_connectivity(mut t: Topology, label: &str) {
+        let hosts = t.hosts.clone();
+        let counters: Vec<Rc<RefCell<usize>>> =
+            hosts.iter().map(|_| Rc::new(RefCell::new(0))).collect();
+        for (i, &h) in hosts.iter().enumerate() {
+            // Each host pings its "next" host.
+            let dst = hosts[(i + 1) % hosts.len()];
+            let dst_idx = hosts.iter().position(|&x| x == dst).unwrap();
+            t.net.set_app(
+                h,
+                Box::new(Pinger {
+                    dst,
+                    sport: 1000 + i as u16,
+                    n: 1,
+                    got: counters[dst_idx].clone(),
+                }),
+            );
+        }
+        t.net.run_until(500 * MILLIS);
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(*c.borrow(), 1, "{label}: host {i} did not receive its ping");
+        }
+    }
+
+    #[test]
+    fn star_connectivity() {
+        assert_all_pairs_connectivity(star(4, 1000, 1000, 1), "star");
+    }
+
+    #[test]
+    fn dumbbell_connectivity() {
+        assert_all_pairs_connectivity(dumbbell(3, 100, 100, 1000, 1), "dumbbell");
+    }
+
+    #[test]
+    fn line_connectivity() {
+        assert_all_pairs_connectivity(line(3, 2, 100, 1000, 1), "line");
+    }
+
+    #[test]
+    fn leaf_spine_connectivity() {
+        assert_all_pairs_connectivity(leaf_spine(3, 2, 2, 100, 100, 1000, 1), "leaf-spine");
+    }
+
+    #[test]
+    fn fat_tree_structure() {
+        let t = fat_tree(4, 1000, 1000, 1);
+        assert_eq!(t.hosts.len(), 16);
+        assert_eq!(t.switches.len(), 20); // 4 cores + 8 agg + 8 edge
+    }
+
+    #[test]
+    fn fat_tree_connectivity() {
+        assert_all_pairs_connectivity(fat_tree(4, 1000, 1000, 1), "fat-tree");
+    }
+
+    #[test]
+    fn ecmp_groups_installed_in_leaf_spine() {
+        let t = leaf_spine(2, 2, 1, 100, 100, 0, 1);
+        // Each leaf should reach the remote host through a 2-way group.
+        let leaf0 = t.switches[0];
+        let remote_ip = t.net.host(t.hosts[1]).ip;
+        let sw = t.net.switch(leaf0);
+        let entry = sw
+            .table
+            .entries()
+            .iter()
+            .find(|e| e.prefix == (remote_ip, 32))
+            .expect("route installed");
+        match entry.action {
+            Action::Group(g) => {
+                assert_eq!(sw.groups.ports(g).unwrap().len(), 2);
+            }
+            other => panic!("expected ECMP group, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_uses_multipath() {
+        let t = fat_tree(4, 1000, 1000, 1);
+        // Edge switch routing to a remote pod must offer 2 uplinks.
+        let edge0 = t.switches[4]; // first non-core is agg; layout: 4 cores then pods
+        let _ = edge0;
+        let remote_host_ip = t.net.host(*t.hosts.last().unwrap()).ip;
+        // Find the edge switch of hosts[0].
+        let h0 = t.hosts[0];
+        let (_, edge) = t.net.neighbors(h0)[0];
+        let sw = t.net.switch(edge);
+        let entry =
+            sw.table.entries().iter().find(|e| e.prefix == (remote_host_ip, 32)).expect("route");
+        match entry.action {
+            Action::Group(g) => assert_eq!(sw.groups.ports(g).unwrap().len(), 2),
+            other => panic!("expected group, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # tpp-switch — a TPP-capable switch model
+//!
+//! Implements the switch side of the TPP contract (paper §3, §6):
+//!
+//! * [`memmap`] — the concrete state behind the unified address space:
+//!   per-switch globals, per-stage SRAM + flow-table stats, per-port link
+//!   stats, per-queue stats, and the per-packet indirections (Tables 6–8).
+//! * [`tables`] — longest-prefix flow tables and ECMP group tables with
+//!   deterministic flow hashing (§3.1, §2.4).
+//! * [`pipeline`] — the distributed TCPU (§3.5): per-stage, out-of-order
+//!   instruction execution with parse-time PUSH/POP serialization, proven
+//!   equivalent to the reference interpreter for well-ordered programs.
+//! * [`switch`] — the full switch: ingress parse/execute/route/enqueue,
+//!   drop-tail queues with enqueue snapshots, egress execute/rewrite,
+//!   reflection (§4.4), write kill-switch (§4.3).
+//! * [`cost`] — the hardware cost model (Tables 3–4): NetFPGA and ASIC
+//!   cycle costs, worst-case added latency, resource accounting.
+
+pub mod cost;
+pub mod memmap;
+pub mod pipeline;
+pub mod switch;
+pub mod tables;
+
+pub use cost::{CostProfile, ResourceModel, ASIC, NETFPGA};
+pub use memmap::{PacketContext, SwitchBus, SwitchMemory};
+pub use pipeline::{PipelineConfig, TppRun};
+pub use switch::{DropReason, ReceiveOutcome, Switch, SwitchConfig};
+pub use tables::{Action, FlowKey, FlowTable, GroupTable};

@@ -1,0 +1,596 @@
+//! The distributed TCPU (paper §3.5, Figure 8).
+//!
+//! A single logical TCPU at the end of the pipeline would need read/write
+//! paths from every module — prohibitively expensive wiring. Instead the
+//! TCPU is *distributed*: each match-action stage executes the instructions
+//! whose operands are local to it, out of program order across stages but in
+//! program order within a stage. Two mechanisms make this sound:
+//!
+//! * PUSH/POP are converted at parse time into equivalent LOAD/STOREs with
+//!   preassigned packet-memory offsets (the §3.5 serialization), so stack
+//!   ordering in the packet always reflects program order;
+//! * end-hosts must order conditional instructions (`CSTORE`/`CEXEC`) at or
+//!   before the stages of the instructions they gate
+//!   ([`check_pipeline_order`]); the failure of a conditional suppresses
+//!   every *later-program-order* instruction that has not yet executed.
+//!
+//! Stage assignment mirrors where the data lives in a real ASIC: switch
+//! globals at stage 0, flow-table state at its stage, routing results at
+//! the last ingress stage, and link/queue state in the egress pipeline.
+
+use crate::memmap::SwitchBus;
+use tpp_core::addr::{meta_ns, Address, Namespace};
+use tpp_core::exec::{ExecOptions, InstrStatus, MemoryBus, WriteOutcome};
+use tpp_core::isa::Opcode;
+use tpp_core::wire::Tpp;
+
+/// Shape of the pipeline: ingress stages (the last one computes routing)
+/// followed by egress stages (entered after the packet buffer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineConfig {
+    pub n_ingress: usize,
+    pub n_egress: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        // The NetFPGA prototype has a four-stage pipeline (§5); we add two
+        // egress stages for link/queue state.
+        PipelineConfig { n_ingress: 4, n_egress: 2 }
+    }
+}
+
+impl PipelineConfig {
+    pub fn total_stages(&self) -> usize {
+        self.n_ingress + self.n_egress
+    }
+    /// The stage where routing results (output port, matched entry) appear.
+    pub fn routing_stage(&self) -> usize {
+        self.n_ingress - 1
+    }
+    /// The first egress stage, where link/queue state lives.
+    pub fn egress_stage(&self) -> usize {
+        self.n_ingress
+    }
+}
+
+/// Which pipeline stage can satisfy an access to `addr` (§3.3: "instructions
+/// are not executed if they access memory that doesn't exist" — a `None`
+/// here makes the instruction skip gracefully).
+pub fn stage_of(addr: Address, cfg: &PipelineConfig) -> Option<usize> {
+    let ns = Namespace::of(addr)?;
+    match ns {
+        Namespace::Switch => Some(0),
+        Namespace::PacketMetadata => Some(match addr.offset() {
+            // Known at ingress parse.
+            x if x == meta_ns::INPUT_PORT
+                || x == meta_ns::PKT_LEN
+                || x == meta_ns::HOP_COUNT
+                || x == meta_ns::INGRESS_TSTAMP_NS_LO
+                || x == meta_ns::INGRESS_TSTAMP_NS_HI =>
+            {
+                0
+            }
+            // Produced by the routing stage.
+            x if x == meta_ns::OUTPUT_PORT
+                || x == meta_ns::OUTPUT_QUEUE
+                || x == meta_ns::MATCHED_ENTRY_ID
+                || x == meta_ns::PATH_HASH =>
+            {
+                cfg.routing_stage()
+            }
+            // Known only after the packet buffer.
+            _ => cfg.egress_stage(),
+        }),
+        Namespace::CurrentLink
+        | Namespace::CurrentQueue
+        | Namespace::Link(_)
+        | Namespace::Queue(_, _) => Some(cfg.egress_stage()),
+        Namespace::FlowEntry(s) => {
+            let s = s as usize;
+            (s < cfg.total_stages()).then_some(s)
+        }
+        Namespace::Stage(s) => {
+            let s = s as usize;
+            (s < cfg.total_stages()).then_some(s)
+        }
+    }
+}
+
+/// Verify the §3.5 ordering requirement: each conditional must execute at a
+/// stage no later than every instruction it gates, so its outcome is
+/// available in time.
+pub fn check_pipeline_order(tpp: &Tpp, cfg: &PipelineConfig) -> bool {
+    for (i, ins) in tpp.instrs.iter().enumerate() {
+        if !ins.opcode.is_conditional() {
+            continue;
+        }
+        let Some(cond_stage) = stage_of(ins.addr, cfg) else { continue };
+        for later in &tpp.instrs[i + 1..] {
+            if let Some(s) = stage_of(later.addr, cfg) {
+                if s < cond_stage {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// How one instruction addresses packet memory after parse-time
+/// serialization of PUSH/POP (§3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    /// Hop-relative operands straight from the instruction.
+    Direct,
+    /// A preassigned absolute word index (serialized PUSH/POP).
+    Stack(usize),
+    /// Statically impossible (stack underflow / memory overflow).
+    Invalid,
+}
+
+/// The in-flight execution state of one TPP as it traverses the pipeline.
+/// Created at ingress parse, carried through the packet buffer, finished at
+/// egress.
+#[derive(Clone, Debug)]
+pub struct TppRun {
+    pub tpp: Tpp,
+    slots: Vec<Slot>,
+    status: Vec<Option<InstrStatus>>,
+    /// Program index of the first failed conditional, if any.
+    fail_idx: Option<usize>,
+    final_sp: u8,
+    pub wrote: bool,
+    /// Opcodes that reached an execution unit, for latency accounting.
+    pub executed_ops: Vec<Opcode>,
+    pub rejected: bool,
+}
+
+impl TppRun {
+    /// Parse-time planning: serialize PUSH/POP to preassigned offsets and
+    /// check the instruction budget.
+    pub fn plan(tpp: Tpp, opts: &ExecOptions) -> TppRun {
+        let rejected = tpp.instrs.len() > opts.max_instructions;
+        let mut sp = tpp.sp as usize;
+        let words = tpp.memory_words();
+        let mut slots = Vec::with_capacity(tpp.instrs.len());
+        for ins in &tpp.instrs {
+            match ins.opcode {
+                Opcode::Push => {
+                    if sp < words {
+                        slots.push(Slot::Stack(sp));
+                        sp += 1;
+                    } else {
+                        slots.push(Slot::Invalid);
+                    }
+                }
+                Opcode::Pop => {
+                    if sp > 0 {
+                        sp -= 1;
+                        slots.push(Slot::Stack(sp));
+                    } else {
+                        slots.push(Slot::Invalid);
+                    }
+                }
+                _ => slots.push(Slot::Direct),
+            }
+        }
+        let n = tpp.instrs.len();
+        TppRun {
+            tpp,
+            slots,
+            status: vec![None; n],
+            fail_idx: None,
+            final_sp: sp.min(u8::MAX as usize) as u8,
+            wrote: false,
+            executed_ops: Vec::new(),
+            rejected,
+        }
+    }
+
+    /// Execute all instructions assigned to stages in `range` (processed in
+    /// stage order, program order within a stage).
+    pub fn exec_stages(
+        &mut self,
+        bus: &mut SwitchBus<'_>,
+        range: std::ops::Range<usize>,
+        cfg: &PipelineConfig,
+        opts: &ExecOptions,
+    ) {
+        if self.rejected {
+            return;
+        }
+        for stage in range {
+            for idx in 0..self.tpp.instrs.len() {
+                if self.status[idx].is_some() {
+                    continue;
+                }
+                let ins = self.tpp.instrs[idx];
+                let Some(s) = stage_of(ins.addr, cfg) else { continue };
+                if s != stage {
+                    continue;
+                }
+                if self.fail_idx.is_some_and(|f| idx > f) {
+                    self.status[idx] = Some(InstrStatus::Suppressed);
+                    continue;
+                }
+                let st = self.exec_one(bus, idx, opts);
+                if matches!(st, InstrStatus::CondFailed | InstrStatus::PredicateFalse) {
+                    self.fail_idx = Some(self.fail_idx.map_or(idx, |f| f.min(idx)));
+                }
+                if !matches!(st, InstrStatus::Skipped | InstrStatus::Suppressed) {
+                    self.executed_ops.push(self.tpp.instrs[idx].opcode);
+                }
+                self.status[idx] = Some(st);
+            }
+        }
+    }
+
+    fn exec_one(&mut self, bus: &mut SwitchBus<'_>, idx: usize, opts: &ExecOptions) -> InstrStatus {
+        let ins = self.tpp.instrs[idx];
+        match ins.opcode {
+            Opcode::Push => {
+                let Slot::Stack(word) = self.slots[idx] else { return InstrStatus::Skipped };
+                let Some(v) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+                match self.tpp.write_word(word, v) {
+                    Some(()) => InstrStatus::Executed,
+                    None => InstrStatus::Skipped,
+                }
+            }
+            Opcode::Pop => {
+                let Slot::Stack(word) = self.slots[idx] else { return InstrStatus::Skipped };
+                let Some(v) = self.tpp.read_word(word) else { return InstrStatus::Skipped };
+                if !opts.allow_writes {
+                    return InstrStatus::Skipped;
+                }
+                match bus.write(ins.addr, v) {
+                    WriteOutcome::Ok => {
+                        self.wrote = true;
+                        InstrStatus::Executed
+                    }
+                    _ => InstrStatus::Skipped,
+                }
+            }
+            Opcode::Load => {
+                let Some(v) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+                match self.tpp.write_hop_word(ins.op1, v) {
+                    Some(()) => InstrStatus::Executed,
+                    None => InstrStatus::Skipped,
+                }
+            }
+            Opcode::Store => {
+                let Some(v) = self.tpp.read_hop_word(ins.op1) else {
+                    return InstrStatus::Skipped;
+                };
+                if !opts.allow_writes {
+                    return InstrStatus::Skipped;
+                }
+                match bus.write(ins.addr, v) {
+                    WriteOutcome::Ok => {
+                        self.wrote = true;
+                        InstrStatus::Executed
+                    }
+                    _ => InstrStatus::Skipped,
+                }
+            }
+            Opcode::Cstore => {
+                let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+                let (Some(pre), Some(post)) =
+                    (self.tpp.read_hop_word(ins.op1), self.tpp.read_hop_word(ins.op2))
+                else {
+                    return InstrStatus::Skipped;
+                };
+                let mut observed = x;
+                let mut succeeded = false;
+                if x == pre && opts.allow_writes {
+                    if let WriteOutcome::Ok = bus.write(ins.addr, post) {
+                        self.wrote = true;
+                        succeeded = true;
+                        observed = post;
+                    }
+                }
+                let _ = self.tpp.write_hop_word(ins.op1, observed);
+                if succeeded {
+                    InstrStatus::Executed
+                } else {
+                    InstrStatus::CondFailed
+                }
+            }
+            Opcode::Cexec => {
+                let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+                let (Some(mask), Some(value)) =
+                    (self.tpp.read_hop_word(ins.op1), self.tpp.read_hop_word(ins.op2))
+                else {
+                    return InstrStatus::Skipped;
+                };
+                if x & mask == value {
+                    InstrStatus::Executed
+                } else {
+                    InstrStatus::PredicateFalse
+                }
+            }
+        }
+    }
+
+    /// Complete the run after the last stage: resolve remaining statuses,
+    /// advance SP/hop, and return the updated TPP plus final statuses.
+    pub fn finish(mut self, opts: &ExecOptions) -> (Tpp, Vec<InstrStatus>, bool) {
+        let statuses: Vec<InstrStatus> = self
+            .status
+            .iter()
+            .enumerate()
+            .map(|(idx, s)| match s {
+                Some(st) => *st,
+                None => {
+                    if self.fail_idx.is_some_and(|f| idx > f) {
+                        InstrStatus::Suppressed
+                    } else {
+                        InstrStatus::Skipped
+                    }
+                }
+            })
+            .collect();
+        if !self.rejected {
+            self.tpp.sp = self.final_sp;
+            if self.wrote {
+                self.tpp.wrote = true;
+            }
+            if opts.increment_hop {
+                self.tpp.hop = self.tpp.hop.wrapping_add(1);
+            }
+        }
+        (self.tpp, statuses, self.wrote)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memmap::{PacketContext, SwitchMemory};
+    use tpp_core::addr::resolve_mnemonic;
+    use tpp_core::asm::{assemble, TppBuilder};
+    use tpp_core::exec::{execute as ref_execute, MapBus};
+
+    fn a(m: &str) -> Address {
+        resolve_mnemonic(m).unwrap()
+    }
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig::default()
+    }
+
+    fn run_full(tpp: Tpp, mem: &mut SwitchMemory, ctx: &mut PacketContext) -> (Tpp, Vec<InstrStatus>) {
+        let opts = ExecOptions::default();
+        let mut run = TppRun::plan(tpp, &opts);
+        let c = cfg();
+        {
+            let mut bus = SwitchBus { mem, ctx };
+            run.exec_stages(&mut bus, 0..c.n_ingress, &c, &opts);
+        }
+        {
+            let mut bus = SwitchBus { mem, ctx };
+            run.exec_stages(&mut bus, c.n_ingress..c.total_stages(), &c, &opts);
+        }
+        let (tpp, st, _) = run.finish(&opts);
+        (tpp, st)
+    }
+
+    #[test]
+    fn stage_assignment() {
+        let c = cfg();
+        assert_eq!(stage_of(a("Switch:SwitchID"), &c), Some(0));
+        assert_eq!(stage_of(a("PacketMetadata:InputPort"), &c), Some(0));
+        assert_eq!(stage_of(a("PacketMetadata:OutputPort"), &c), Some(3));
+        assert_eq!(stage_of(a("Link:TX-Utilization"), &c), Some(4));
+        assert_eq!(stage_of(a("Queue:QueueOccupancy"), &c), Some(4));
+        assert_eq!(stage_of(a("Stage2:Reg0"), &c), Some(2));
+        assert_eq!(stage_of(a("Stage5:Reg0"), &c), Some(5));
+        assert_eq!(stage_of(a("Stage7:Reg0"), &c), None); // beyond 6 stages
+        assert_eq!(stage_of(Address::new(0x0900), &c), None); // unmapped
+    }
+
+    #[test]
+    fn paper_section35_example_order() {
+        // PUSH out-port; PUSH in-port; PUSH Stage1:Reg1; POP Stage3:Reg3.
+        // Values must land in packet memory in *program* order even though
+        // the input port (stage 0) is known before the output port (stage 3).
+        let mut mem = SwitchMemory::new(1, 4, 6);
+        mem.stages[1].sram[1] = 0xAA;
+        let mut ctx = PacketContext::new(3, 100, 0, 6);
+        ctx.out_port = Some(2); // routing already decided
+        let tpp = TppBuilder::stack_mode()
+            .push(a("PacketMetadata:OutputPort"))
+            .push(a("PacketMetadata:InputPort"))
+            .push(a("Stage1:Reg1"))
+            .pop(a("Stage3:Reg3"))
+            .memory_words(4)
+            .build()
+            .unwrap();
+        let (out, st) = run_full(tpp, &mut mem, &mut ctx);
+        assert_eq!(st, vec![InstrStatus::Executed; 4]);
+        // Program order preserved: word0 = output port, word1 = input port.
+        assert_eq!(out.read_word(0), Some(2));
+        assert_eq!(out.read_word(1), Some(3));
+        assert_eq!(out.read_word(2), Some(0xAA));
+        // POP landed in Stage3:Reg3 and consumed the stack slot.
+        assert_eq!(mem.stages[3].sram[3], 0xAA);
+        assert_eq!(out.sp, 2);
+    }
+
+    #[test]
+    fn pipelined_matches_reference_semantics() {
+        // For hazard-free, pipeline-ordered programs the distributed TCPU
+        // must be observationally equivalent to the reference interpreter.
+        let programs = [
+            "PUSH [Switch:SwitchID]\nPUSH [PacketMetadata:InputPort]\nPUSH [Queue:QueueOccupancy]",
+            ".mode hop\n.perhop 12\n.hops 2\nLOAD [Switch:SwitchID], [Packet:Hop[0]]\nLOAD [Link:QueueSize], [Packet:Hop[1]]\nLOAD [Link:TX-Utilization], [Packet:Hop[2]]",
+            "PUSH [Switch:Version]\nPUSH [Stage1:Version]\nPUSH [FlowEntry$3:MatchPkts]",
+        ];
+        for src in programs {
+            let tpp = assemble(src).unwrap();
+
+            // Pipelined execution against the real switch memory.
+            let mut mem = SwitchMemory::new(9, 4, 6);
+            mem.links[2].queued_bytes = 777;
+            mem.links[2].tx_util_bps = 1234;
+            mem.queues[2][0].bytes = 555;
+            mem.stages[1].version = 6;
+            let mut ctx = PacketContext::new(1, 100, 0, 6);
+            ctx.out_port = Some(2);
+            ctx.matched_entry[3] = Some(crate::memmap::FlowEntryStats {
+                entry_id: 5,
+                insert_clock: 0,
+                match_pkts: 42,
+                match_bytes: 0,
+            });
+            let (pipe_out, _) = run_full(tpp.clone(), &mut mem, &mut ctx.clone());
+
+            // Reference execution against a MapBus snapshot of the same state.
+            let mut mem2 = SwitchMemory::new(9, 4, 6);
+            mem2.links[2].queued_bytes = 777;
+            mem2.links[2].tx_util_bps = 1234;
+            mem2.queues[2][0].bytes = 555;
+            mem2.stages[1].version = 6;
+            let mut ctx2 = ctx.clone();
+            let mut snapshot = MapBus::default();
+            for ins in &tpp.instrs {
+                let mut bus = SwitchBus { mem: &mut mem2, ctx: &mut ctx2 };
+                if let Some(v) = bus.read(ins.addr) {
+                    snapshot.mem.insert(ins.addr.raw(), v);
+                }
+            }
+            let mut ref_tpp = tpp.clone();
+            ref_execute(&mut ref_tpp, &mut snapshot, &ExecOptions::default());
+
+            assert_eq!(pipe_out.memory, ref_tpp.memory, "program: {src}");
+            assert_eq!(pipe_out.sp, ref_tpp.sp, "program: {src}");
+            assert_eq!(pipe_out.hop, ref_tpp.hop, "program: {src}");
+        }
+    }
+
+    #[test]
+    fn cexec_at_stage0_gates_egress_instructions() {
+        // Targeted TPP: CEXEC on switch id gates a link-state push at egress.
+        let mk = |memory: Vec<u8>| {
+            let mut t = TppBuilder::stack_mode()
+                .cexec(a("Switch:SwitchID"), 0, 1)
+                .push(a("Link:QueueSize"))
+                .memory_words(4)
+                .build()
+                .unwrap();
+            t.memory = memory;
+            t.write_word(0, 0xFFFF_FFFF).unwrap();
+            t.write_word(1, 9).unwrap(); // target switch 9
+            t.sp = 2;
+            t
+        };
+        // On switch 9 it runs.
+        let mut mem = SwitchMemory::new(9, 4, 6);
+        mem.links[2].queued_bytes = 42;
+        let mut ctx = PacketContext::new(0, 100, 0, 6);
+        ctx.out_port = Some(2);
+        let (out, st) = run_full(mk(vec![0; 16]), &mut mem, &mut ctx);
+        assert_eq!(st, vec![InstrStatus::Executed, InstrStatus::Executed]);
+        assert_eq!(out.read_word(2), Some(42));
+
+        // On switch 8 the egress push is suppressed.
+        let mut mem = SwitchMemory::new(8, 4, 6);
+        mem.links[2].queued_bytes = 42;
+        let mut ctx = PacketContext::new(0, 100, 0, 6);
+        ctx.out_port = Some(2);
+        let (out, st) = run_full(mk(vec![0; 16]), &mut mem, &mut ctx);
+        assert_eq!(st, vec![InstrStatus::PredicateFalse, InstrStatus::Suppressed]);
+        assert_eq!(out.read_word(2), Some(0));
+    }
+
+    #[test]
+    fn rcp_update_tpp_versioned_write() {
+        // §2.2 Phase 3 at the egress stage.
+        let tpp = assemble(
+            "
+            .mode hop
+            .perhop 12
+            .hops 1
+            CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]
+            STORE [Link:AppSpecific_1], [Packet:Hop[2]]
+            .word 0 5
+            .word 1 6
+            .word 2 7777
+            ",
+        )
+        .unwrap();
+        let mut mem = SwitchMemory::new(1, 4, 6);
+        mem.links[3].app[0] = 5; // version matches
+        let mut ctx = PacketContext::new(0, 100, 0, 6);
+        ctx.out_port = Some(3);
+        let (_, st) = run_full(tpp.clone(), &mut mem, &mut ctx);
+        assert_eq!(st, vec![InstrStatus::Executed, InstrStatus::Executed]);
+        assert_eq!(mem.links[3].app[0], 6);
+        assert_eq!(mem.links[3].app[1], 7777);
+
+        // Stale version: both writes refused.
+        let mut mem = SwitchMemory::new(1, 4, 6);
+        mem.links[3].app[0] = 9;
+        let mut ctx = PacketContext::new(0, 100, 0, 6);
+        ctx.out_port = Some(3);
+        let (out, st) = run_full(tpp, &mut mem, &mut ctx);
+        assert_eq!(st, vec![InstrStatus::CondFailed, InstrStatus::Suppressed]);
+        assert_eq!(mem.links[3].app[1], 0);
+        assert_eq!(out.read_word(0), Some(9)); // observed version for the host
+    }
+
+    #[test]
+    fn pipeline_order_check() {
+        let c = cfg();
+        // CEXEC on switch id (stage 0) before an egress push: fine.
+        let ok = TppBuilder::stack_mode()
+            .cexec(a("Switch:SwitchID"), 0, 1)
+            .push(a("Link:QueueSize"))
+            .memory_words(4)
+            .build()
+            .unwrap();
+        assert!(check_pipeline_order(&ok, &c));
+        // CSTORE on egress link state before a stage-0 read: violates §3.5.
+        let bad = TppBuilder::stack_mode()
+            .cstore(a("Link:AppSpecific_0"), 0, 1)
+            .push(a("Switch:SwitchID"))
+            .memory_words(4)
+            .build()
+            .unwrap();
+        assert!(!check_pipeline_order(&bad, &c));
+    }
+
+    #[test]
+    fn rejected_tpp_untouched() {
+        let tpp = Tpp {
+            instrs: vec![tpp_core::isa::Instruction::push(a("Switch:SwitchID")); 6],
+            memory: vec![0; 32],
+            ..Tpp::default()
+        };
+        let mut mem = SwitchMemory::new(1, 4, 6);
+        let mut ctx = PacketContext::new(0, 100, 0, 6);
+        let (out, _) = run_full(tpp.clone(), &mut mem, &mut ctx);
+        assert_eq!(out.hop, 0);
+        assert_eq!(out.sp, 0);
+        assert_eq!(out.memory, tpp.memory);
+    }
+
+    #[test]
+    fn unmapped_stage_instruction_skipped() {
+        let tpp = TppBuilder::stack_mode()
+            .push(a("Stage7:Reg0")) // stage beyond the 6-stage pipeline
+            .push(a("Switch:SwitchID"))
+            .memory_words(4)
+            .build()
+            .unwrap();
+        let mut mem = SwitchMemory::new(5, 4, 6);
+        let mut ctx = PacketContext::new(0, 100, 0, 6);
+        let (out, st) = run_full(tpp, &mut mem, &mut ctx);
+        assert_eq!(st, vec![InstrStatus::Skipped, InstrStatus::Executed]);
+        // The skipped PUSH still owns its preassigned slot (hole), the
+        // second lands at word 1 — stack order reflects program order.
+        assert_eq!(out.read_word(0), Some(0));
+        assert_eq!(out.read_word(1), Some(5));
+        assert_eq!(out.sp, 2);
+    }
+}

@@ -1,0 +1,900 @@
+//! A TPP-capable switch: parser, ingress pipeline, output queues, egress
+//! pipeline, and the distributed TCPU (§3, Figure 6).
+//!
+//! The switch is driven by its owner (the network simulator):
+//!
+//! * [`Switch::receive`] — a frame arrives on a port: parse, execute the
+//!   ingress portion of any TPP, route, and enqueue (or drop).
+//! * [`Switch::dequeue`] — the port is ready to transmit: pop the next
+//!   frame, execute the egress portion of its TPP, rewrite the packet.
+//! * [`Switch::tick`] — advance time-driven state (link-utilization EWMAs).
+
+use std::collections::VecDeque;
+
+use crate::cost::{CostProfile, ASIC};
+use crate::memmap::{FlowEntryStats, PacketContext, SwitchBus, SwitchMemory};
+use crate::pipeline::{PipelineConfig, TppRun};
+use crate::tables::{Action, FlowKey, FlowTable, GroupTable};
+use tpp_core::addr::layout;
+use tpp_core::exec::ExecOptions;
+use tpp_core::wire::{
+    ethernet, locate_tpp, replace_tpp, EthernetFrame, Ipv4Address, Ipv4Packet, Tpp,
+    TppLocation,
+};
+
+/// Static configuration of one switch.
+#[derive(Clone, Debug)]
+pub struct SwitchConfig {
+    pub switch_id: u32,
+    /// The switch's own IP, used for targeted TPPs (§4.4).
+    pub ip: Ipv4Address,
+    pub n_ports: usize,
+    pub pipeline: PipelineConfig,
+    /// Administrative write kill-switch (§4.3).
+    pub allow_writes: bool,
+    pub max_instructions: usize,
+    /// Drop-tail limit per queue, bytes.
+    pub queue_limit_bytes: u32,
+    /// Link-utilization refresh interval (§2.2: "the network updates link
+    /// utilization counters every millisecond").
+    pub util_interval_ns: u64,
+    /// Include the L4 destination port in the ECMP hash. CONGA* deployments
+    /// exclude it so a flow's TPP probes follow the flow's path (§2.4).
+    pub ecmp_hash_dst_port: bool,
+    pub cost: CostProfile,
+}
+
+impl SwitchConfig {
+    pub fn new(switch_id: u32, n_ports: usize) -> Self {
+        SwitchConfig {
+            switch_id,
+            ip: Ipv4Address::new(192, 168, (switch_id >> 8) as u8, switch_id as u8),
+            n_ports,
+            pipeline: PipelineConfig::default(),
+            allow_writes: true,
+            max_instructions: tpp_core::isa::MAX_INSTRUCTIONS,
+            queue_limit_bytes: 150_000,
+            util_interval_ns: 1_000_000,
+            ecmp_hash_dst_port: true,
+            cost: ASIC,
+        }
+    }
+}
+
+/// Why a packet was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// No route for the destination.
+    NoRoute,
+    /// Drop-tail queue overflow.
+    QueueFull,
+    /// TTL expired.
+    TtlExpired,
+    /// Unparseable frame or unsupported ethertype.
+    Malformed,
+    /// Explicit drop action.
+    Policy,
+}
+
+/// Result of [`Switch::receive`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReceiveOutcome {
+    /// Frame enqueued on `port`/`queue`; the pipeline spent
+    /// `proc_latency_ns` on it (baseline + TPP execution, §6.1).
+    Enqueued { port: u8, queue: u8, proc_latency_ns: u64 },
+    Dropped(DropReason),
+}
+
+struct QueuedPacket {
+    frame: Vec<u8>,
+    run: Option<TppRun>,
+    loc: TppLocation,
+    ctx: PacketContext,
+    enq_ns: u64,
+    /// Reflect back toward the source after egress execution.
+    reflect: bool,
+}
+
+/// A TPP-capable switch.
+pub struct Switch {
+    pub cfg: SwitchConfig,
+    pub mem: SwitchMemory,
+    pub table: FlowTable,
+    pub groups: GroupTable,
+    queues: Vec<Vec<VecDeque<QueuedPacket>>>,
+    rr_next: Vec<usize>,
+    last_util_ns: u64,
+}
+
+impl Switch {
+    pub fn new(cfg: SwitchConfig) -> Self {
+        let mem = SwitchMemory::new(cfg.switch_id, cfg.n_ports, cfg.pipeline.total_stages());
+        let queues = (0..cfg.n_ports)
+            .map(|_| (0..layout::QUEUES_PER_PORT as usize).map(|_| VecDeque::new()).collect())
+            .collect();
+        let mut sw = Switch {
+            mem,
+            table: FlowTable::default(),
+            groups: GroupTable::default(),
+            queues,
+            rr_next: vec![0; cfg.n_ports],
+            last_util_ns: 0,
+            cfg,
+        };
+        for q in 0..layout::QUEUES_PER_PORT as usize {
+            for p in 0..sw.cfg.n_ports {
+                sw.mem.queues[p][q].limit_bytes = sw.cfg.queue_limit_bytes;
+            }
+        }
+        sw
+    }
+
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            allow_writes: self.cfg.allow_writes,
+            max_instructions: self.cfg.max_instructions,
+            increment_hop: true,
+        }
+    }
+
+    /// Set the speed of a port (called when the simulator attaches a link).
+    pub fn set_link_speed(&mut self, port: u8, mbps: u32) {
+        self.mem.links[port as usize].speed_mbps = mbps;
+    }
+
+    /// Control-plane route insertion; bumps flow-table and switch versions.
+    pub fn add_route(&mut self, prefix: (Ipv4Address, u8), action: Action) -> u32 {
+        let now = self.mem.now_ns;
+        let id = self.table.upsert(prefix, action, now);
+        self.sync_table_meta();
+        id
+    }
+
+    pub fn add_host_route(&mut self, dst: Ipv4Address, action: Action) -> u32 {
+        self.add_route((dst, 32), action)
+    }
+
+    pub fn add_group(&mut self, ports: Vec<u8>) -> u16 {
+        self.groups.add(ports)
+    }
+
+    fn sync_table_meta(&mut self) {
+        let rs = self.cfg.pipeline.routing_stage();
+        self.mem.stages[rs].version = self.table.version;
+        self.mem.stages[rs].refcount = self.table.len() as u32;
+        self.mem.version = self.mem.version.wrapping_add(1);
+    }
+
+    /// Total bytes queued on a port (all queues).
+    pub fn queued_bytes(&self, port: u8) -> u64 {
+        self.mem.links[port as usize].queued_bytes
+    }
+
+    pub fn has_queued(&self, port: u8) -> bool {
+        self.queues[port as usize].iter().any(|q| !q.is_empty())
+    }
+
+    /// Advance time-driven state. Call at least once per utilization
+    /// interval.
+    pub fn tick(&mut self, now_ns: u64) {
+        self.mem.now_ns = now_ns;
+        while now_ns - self.last_util_ns >= self.cfg.util_interval_ns {
+            self.last_util_ns += self.cfg.util_interval_ns;
+            self.mem.update_utilization(self.cfg.util_interval_ns);
+        }
+    }
+
+    /// A frame arrives on `in_port` at `now_ns`.
+    pub fn receive(&mut self, now_ns: u64, in_port: u8, mut frame: Vec<u8>) -> ReceiveOutcome {
+        self.mem.now_ns = now_ns;
+        let len = frame.len() as u64;
+        {
+            let l = &mut self.mem.links[in_port as usize];
+            l.rx_bytes += len;
+            l.rx_pkts += 1;
+            l.rx_bytes_interval += len;
+        }
+
+        let Some(eth) = EthernetFrame::new_checked(&frame[..]) else {
+            return self.drop_malformed(in_port, len);
+        };
+        let ethertype = eth.ethertype();
+        if ethertype != ethernet::ethertype::IPV4 && ethertype != ethernet::ethertype::TPP {
+            return self.drop_malformed(in_port, len);
+        }
+
+        // Locate and parse the TPP, if any (Figure 7a parse graph).
+        let loc = locate_tpp(&frame);
+        let (tpp, ip_offset): (Option<Tpp>, usize) = match loc {
+            TppLocation::Transparent { section } => match Tpp::parse(&frame[section..]) {
+                Ok((t, consumed)) => {
+                    if t.encap_proto != ethernet::ethertype::IPV4 {
+                        // Can't route a non-IP payload.
+                        self.mem.tpp_rejected += 1;
+                        return self.drop_malformed(in_port, len);
+                    }
+                    (Some(t), section + consumed)
+                }
+                Err(_) => {
+                    // Damaged TPP in transparent mode: the inner packet's
+                    // location is unknowable; count and drop.
+                    self.mem.tpp_rejected += 1;
+                    return self.drop_malformed(in_port, len);
+                }
+            },
+            TppLocation::Standalone { section, ip, .. } => match Tpp::parse(&frame[section..]) {
+                Ok((t, _)) => (Some(t), ip),
+                Err(_) => {
+                    // Forward as a normal UDP packet, uninstrumented.
+                    self.mem.tpp_rejected += 1;
+                    (None, ip)
+                }
+            },
+            TppLocation::None => (None, ethernet::HEADER_LEN),
+        };
+
+        // Routing header checks (TTL) on the routed IP header.
+        let (dst_ip, ttl) = {
+            let Some(ip) = Ipv4Packet::new_checked(&frame[ip_offset..]) else {
+                return self.drop_malformed(in_port, len);
+            };
+            (ip.dst(), ip.ttl())
+        };
+        if ttl <= 1 {
+            let l = &mut self.mem.links[in_port as usize];
+            l.drop_bytes += len;
+            l.drop_pkts += 1;
+            return ReceiveOutcome::Dropped(DropReason::TtlExpired);
+        }
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut frame[ip_offset..]);
+            ip.decrement_ttl();
+        }
+
+        let mut ctx = PacketContext::new(in_port, frame.len() as u32, now_ns, self.mem.n_stages);
+        if let Some(t) = &tpp {
+            ctx.hop_count = t.hop as u32;
+        }
+
+        // Plan the TPP run and execute the pre-routing ingress stages.
+        let opts = self.exec_options();
+        let cfg = self.cfg.pipeline;
+        let mut run = tpp.map(|t| TppRun::plan(t, &opts));
+        if let Some(r) = &mut run {
+            if r.rejected {
+                self.mem.tpp_rejected += 1;
+            }
+            let mut bus = SwitchBus { mem: &mut self.mem, ctx: &mut ctx };
+            r.exec_stages(&mut bus, 0..cfg.routing_stage(), &cfg, &opts);
+        }
+
+        // Targeted TPP addressed to this switch (§4.4): execute and reflect.
+        let reflect_here = dst_ip == self.cfg.ip
+            || run.as_ref().is_some_and(|r| r.tpp.reflect)
+                && matches!(loc, TppLocation::Standalone { .. });
+
+        // Routing lookup at the routing stage.
+        let rs = cfg.routing_stage();
+        let out_port: Option<u8> = if reflect_here {
+            Some(in_port)
+        } else {
+            let key = FlowKey::from_frame(&frame).unwrap_or_default();
+            ctx.path_hash = key.hash_with(self.cfg.ecmp_hash_dst_port);
+            self.mem.stages[rs].lookup_pkts += 1;
+            self.mem.stages[rs].lookup_bytes += len;
+            match self.table.lookup(dst_ip, len) {
+                Some(entry) => {
+                    self.mem.stages[rs].match_pkts += 1;
+                    self.mem.stages[rs].match_bytes += len;
+                    ctx.matched_entry[rs] = Some(FlowEntryStats {
+                        entry_id: entry.entry_id,
+                        insert_clock: entry.insert_clock,
+                        match_pkts: entry.match_pkts,
+                        match_bytes: entry.match_bytes,
+                    });
+                    match entry.action {
+                        Action::Output(p) => Some(p),
+                        Action::Group(g) => self.groups.select(g, ctx.path_hash),
+                        Action::Drop => None,
+                    }
+                }
+                None => None,
+            }
+        };
+        let Some(out_port) = out_port else {
+            let l = &mut self.mem.links[in_port as usize];
+            l.drop_bytes += len;
+            l.drop_pkts += 1;
+            return ReceiveOutcome::Dropped(DropReason::NoRoute);
+        };
+        ctx.out_port = Some(out_port % self.cfg.n_ports as u8);
+
+        // Execute the routing stage itself (output port now visible; a TPP
+        // write to [PacketMetadata:OutputPort] supersedes the lookup, §3.2).
+        if let Some(r) = &mut run {
+            let mut bus = SwitchBus { mem: &mut self.mem, ctx: &mut ctx };
+            r.exec_stages(&mut bus, rs..cfg.n_ingress, &cfg, &opts);
+        }
+        let out_port = ctx.out_port.unwrap() % self.cfg.n_ports as u8;
+        ctx.out_port = Some(out_port);
+        let queue = ctx.out_queue % layout::QUEUES_PER_PORT as u8;
+
+        // Drop-tail admission against the queue limit.
+        let qstats = &self.mem.queues[out_port as usize][queue as usize];
+        if qstats.bytes + len > qstats.limit_bytes as u64 {
+            let q = &mut self.mem.queues[out_port as usize][queue as usize];
+            q.drop_pkts += 1;
+            q.drop_bytes += len;
+            let l = &mut self.mem.links[out_port as usize];
+            l.drop_bytes += len;
+            l.drop_pkts += 1;
+            return ReceiveOutcome::Dropped(DropReason::QueueFull);
+        }
+
+        // Enqueue-time snapshot: the congestion this packet experienced.
+        ctx.enq_qdepth_bytes = Some(qstats.bytes as u32);
+        ctx.enq_qdepth_pkts = Some(qstats.pkts as u32);
+        {
+            let q = &mut self.mem.queues[out_port as usize][queue as usize];
+            q.bytes += len;
+            q.pkts += 1;
+            let l = &mut self.mem.links[out_port as usize];
+            l.queued_bytes += len;
+            l.queued_pkts += 1;
+        }
+
+        // Pipeline latency: baseline plus what the executed instructions
+        // cost so far (egress instructions are charged at dequeue).
+        let proc_latency_ns = self.cfg.cost.base_latency_ns
+            + run
+                .as_ref()
+                .map(|r| self.cfg.cost.tpp_latency_ns(r.executed_ops.iter().copied()))
+                .unwrap_or(0);
+
+        self.queues[out_port as usize][queue as usize].push_back(QueuedPacket {
+            frame,
+            run,
+            loc,
+            ctx,
+            enq_ns: now_ns,
+            reflect: reflect_here,
+        });
+        ReceiveOutcome::Enqueued { port: out_port, queue, proc_latency_ns }
+    }
+
+    fn drop_malformed(&mut self, in_port: u8, len: u64) -> ReceiveOutcome {
+        let l = &mut self.mem.links[in_port as usize];
+        l.err_pkts += 1;
+        l.drop_bytes += len;
+        l.drop_pkts += 1;
+        ReceiveOutcome::Dropped(DropReason::Malformed)
+    }
+
+    /// The port is ready to transmit: pop the next frame (round-robin over
+    /// non-empty queues), run the egress pipeline, rewrite the TPP.
+    pub fn dequeue(&mut self, now_ns: u64, port: u8) -> Option<Vec<u8>> {
+        self.mem.now_ns = now_ns;
+        let p = port as usize;
+        let nq = layout::QUEUES_PER_PORT as usize;
+        let start = self.rr_next[p];
+        let qi = (0..nq).map(|i| (start + i) % nq).find(|&i| !self.queues[p][i].is_empty())?;
+        self.rr_next[p] = (qi + 1) % nq;
+        let mut pkt = self.queues[p][qi].pop_front().unwrap();
+        let len = pkt.frame.len() as u64;
+
+        {
+            let q = &mut self.mem.queues[p][qi];
+            q.bytes -= len;
+            q.pkts -= 1;
+            q.tx_bytes += len;
+            q.tx_pkts += 1;
+            let l = &mut self.mem.links[p];
+            l.queued_bytes -= len;
+            l.queued_pkts -= 1;
+            l.tx_bytes += len;
+            l.tx_pkts += 1;
+            l.tx_bytes_interval += len;
+        }
+
+        pkt.ctx.queue_wait_ns = Some((now_ns - pkt.enq_ns).min(u32::MAX as u64) as u32);
+
+        if let Some(mut run) = pkt.run.take() {
+            let opts = self.exec_options();
+            let cfg = self.cfg.pipeline;
+            {
+                let mut bus = SwitchBus { mem: &mut self.mem, ctx: &mut pkt.ctx };
+                run.exec_stages(&mut bus, cfg.egress_stage()..cfg.total_stages(), &cfg, &opts);
+            }
+            let rejected = run.rejected;
+            let (tpp, _statuses, _) = run.finish(&opts);
+            if !rejected {
+                self.mem.tpp_executed += 1;
+                replace_tpp(&mut pkt.frame, pkt.loc, &tpp);
+            }
+        }
+
+        if pkt.reflect {
+            reflect_frame(&mut pkt.frame, pkt.loc);
+        }
+        Some(pkt.frame)
+    }
+}
+
+/// Send a standalone TPP back toward its source (§4.4 "Reflective TPP"):
+/// swap Ethernet and IP addresses. Swapping src/dst leaves both the IPv4
+/// header checksum and the UDP pseudo-header checksum unchanged (the ones'
+/// complement sum is commutative), and the UDP destination port stays
+/// 0x6666 so the origin's parse graph still recognizes the TPP.
+pub fn reflect_frame(frame: &mut [u8], loc: TppLocation) {
+    // Swap MACs.
+    for i in 0..6 {
+        frame.swap(i, i + 6);
+    }
+    if let TppLocation::Standalone { ip, .. } = loc {
+        for i in 0..4 {
+            frame.swap(ip + 12 + i, ip + 16 + i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_core::addr::resolve_mnemonic;
+    use tpp_core::asm::TppBuilder;
+    use tpp_core::wire::{self, build_standalone, insert_transparent, ipv4, udp, EthernetAddress};
+
+    fn host_frame(src: u32, dst: u32, payload_len: usize, sport: u16, dport: u16) -> Vec<u8> {
+        let src_ip = Ipv4Address::from_host_id(src);
+        let dst_ip = Ipv4Address::from_host_id(dst);
+        let u = udp::Repr { src_port: sport, dst_port: dport, payload_len };
+        let udp_bytes = u.encapsulate(src_ip, dst_ip, &vec![0xAB; payload_len]);
+        let ip = ipv4::Repr {
+            src: src_ip,
+            dst: dst_ip,
+            protocol: ipv4::protocol::UDP,
+            ttl: 64,
+            payload_len: udp_bytes.len(),
+        };
+        let ip_bytes = ip.encapsulate(&udp_bytes);
+        wire::EthernetRepr {
+            dst: EthernetAddress::from_node_id(dst),
+            src: EthernetAddress::from_node_id(src),
+            ethertype: ethernet::ethertype::IPV4,
+        }
+        .encapsulate(&ip_bytes)
+    }
+
+    fn basic_switch() -> Switch {
+        let mut sw = Switch::new(SwitchConfig::new(7, 4));
+        sw.add_host_route(Ipv4Address::from_host_id(2), Action::Output(2));
+        sw
+    }
+
+    #[test]
+    fn plain_forwarding() {
+        let mut sw = basic_switch();
+        let frame = host_frame(1, 2, 100, 1000, 2000);
+        let out = sw.receive(0, 0, frame.clone());
+        match out {
+            ReceiveOutcome::Enqueued { port: 2, queue: 0, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let sent = sw.dequeue(10, 2).unwrap();
+        // TTL decremented, checksum still valid.
+        let ip = Ipv4Packet::new_checked(&sent[14..]).unwrap();
+        assert_eq!(ip.ttl(), 63);
+        assert!(ip.verify_checksum());
+        // Stats updated.
+        assert_eq!(sw.mem.links[0].rx_pkts, 1);
+        assert_eq!(sw.mem.links[2].tx_pkts, 1);
+        assert!(!sw.has_queued(2));
+    }
+
+    #[test]
+    fn no_route_drops() {
+        let mut sw = basic_switch();
+        let frame = host_frame(1, 99, 100, 1000, 2000);
+        assert_eq!(sw.receive(0, 0, frame), ReceiveOutcome::Dropped(DropReason::NoRoute));
+        assert_eq!(sw.mem.links[0].drop_pkts, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let mut sw = basic_switch();
+        let mut frame = host_frame(1, 2, 100, 1, 2);
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut frame[14..]);
+            ip.set_ttl(1);
+            ip.fill_checksum();
+        }
+        assert_eq!(sw.receive(0, 0, frame), ReceiveOutcome::Dropped(DropReason::TtlExpired));
+    }
+
+    #[test]
+    fn queue_overflow_drops_and_counts() {
+        let mut cfg = SwitchConfig::new(7, 4);
+        cfg.queue_limit_bytes = 300;
+        let mut sw = Switch::new(cfg);
+        sw.add_host_route(Ipv4Address::from_host_id(2), Action::Output(2));
+        let mut drops = 0;
+        for _ in 0..4 {
+            if let ReceiveOutcome::Dropped(DropReason::QueueFull) =
+                sw.receive(0, 0, host_frame(1, 2, 100, 1, 2))
+            {
+                drops += 1;
+            }
+        }
+        assert!(drops >= 2, "expected overflow drops, got {drops}");
+        assert_eq!(sw.mem.queues[2][0].drop_pkts, drops);
+        assert_eq!(sw.mem.links[2].drop_pkts, drops);
+    }
+
+    #[test]
+    fn transparent_tpp_executes_and_forwards() {
+        let mut sw = basic_switch();
+        let inner = host_frame(1, 2, 64, 1000, 2000);
+        let tpp = TppBuilder::stack_mode()
+            .push_m("Switch:SwitchID")
+            .unwrap()
+            .push_m("PacketMetadata:OutputPort")
+            .unwrap()
+            .push_m("Queue:QueueOccupancy")
+            .unwrap()
+            .hops(2)
+            .build()
+            .unwrap();
+        let frame = insert_transparent(&inner, &tpp);
+        let out = sw.receive(5, 0, frame);
+        assert!(matches!(out, ReceiveOutcome::Enqueued { port: 2, .. }));
+        let sent = sw.dequeue(10, 2).unwrap();
+        let (_, executed) = wire::extract_tpp(&sent).expect("TPP still present and valid");
+        assert_eq!(executed.hop, 1);
+        assert_eq!(executed.sp, 3);
+        let w = executed.words();
+        assert_eq!(w[0], 7); // switch id
+        assert_eq!(w[1], 2); // output port
+        assert_eq!(w[2], 0); // empty queue at enqueue
+        assert_eq!(sw.mem.tpp_executed, 1);
+    }
+
+    #[test]
+    fn tpp_sees_enqueue_snapshot_of_queue() {
+        let mut sw = basic_switch();
+        // First fill the queue with two plain packets.
+        sw.receive(0, 0, host_frame(1, 2, 200, 1, 2));
+        sw.receive(1, 0, host_frame(1, 2, 200, 1, 2));
+        let inner = host_frame(1, 2, 64, 1000, 2000);
+        let tpp =
+            TppBuilder::stack_mode().push_m("Queue:QueueOccupancy").unwrap().hops(1).build().unwrap();
+        sw.receive(2, 0, insert_transparent(&inner, &tpp));
+        // Drain: two plain packets then the instrumented one.
+        sw.dequeue(10, 2);
+        sw.dequeue(20, 2);
+        let sent = sw.dequeue(30, 2).unwrap();
+        let (_, executed) = wire::extract_tpp(&sent).unwrap();
+        // Two 242-byte frames were ahead of it at enqueue.
+        let expected = 2 * (200 + 8 + 20 + 14) as u32;
+        assert_eq!(executed.words()[0], expected);
+    }
+
+    #[test]
+    fn standalone_tpp_to_switch_ip_reflects() {
+        let mut sw = basic_switch();
+        let src_ip = Ipv4Address::from_host_id(1);
+        let tpp = TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(1).build().unwrap();
+        let frame = build_standalone(
+            EthernetAddress::from_node_id(1),
+            EthernetAddress::from_node_id(1000),
+            src_ip,
+            sw.cfg.ip,
+            5000,
+            &tpp,
+        );
+        let out = sw.receive(0, 1, frame);
+        // Reflected: queued back out the ingress port.
+        assert!(matches!(out, ReceiveOutcome::Enqueued { port: 1, .. }));
+        let sent = sw.dequeue(5, 1).unwrap();
+        let ip = Ipv4Packet::new_checked(&sent[14..]).unwrap();
+        assert_eq!(ip.dst(), src_ip);
+        assert!(ip.verify_checksum());
+        // Still recognizable as a standalone TPP, now executed.
+        let (_, executed) = wire::extract_tpp(&sent).unwrap();
+        assert_eq!(executed.words()[0], 7);
+        assert_eq!(executed.hop, 1);
+    }
+
+    #[test]
+    fn ecmp_group_spreads_flows() {
+        let mut sw = Switch::new(SwitchConfig::new(7, 4));
+        let g = sw.add_group(vec![2, 3]);
+        sw.add_host_route(Ipv4Address::from_host_id(2), Action::Group(g));
+        let mut ports = std::collections::BTreeSet::new();
+        for sport in 0..32 {
+            let frame = host_frame(1, 2, 64, 1000 + sport, 2000);
+            if let ReceiveOutcome::Enqueued { port, .. } = sw.receive(0, 0, frame) {
+                ports.insert(port);
+            }
+        }
+        assert_eq!(ports.into_iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn tpp_reroute_write_overrides_lookup() {
+        // A STORE to [PacketMetadata:OutputPort] supersedes forwarding (§3.2).
+        let mut sw = basic_switch();
+        let inner = host_frame(1, 2, 64, 1, 2);
+        let mut tpp = TppBuilder::hop_mode(1)
+            .store_m("PacketMetadata:OutputPort", 0)
+            .unwrap()
+            .hops(1)
+            .build()
+            .unwrap();
+        tpp.write_word(0, 3).unwrap(); // force port 3 instead of routed 2
+        let frame = insert_transparent(&inner, &tpp);
+        let out = sw.receive(0, 0, frame);
+        assert!(matches!(out, ReceiveOutcome::Enqueued { port: 3, .. }));
+    }
+
+    #[test]
+    fn writes_disabled_by_admin() {
+        let mut cfg = SwitchConfig::new(7, 4);
+        cfg.allow_writes = false;
+        let mut sw = Switch::new(cfg);
+        sw.add_host_route(Ipv4Address::from_host_id(2), Action::Output(2));
+        let inner = host_frame(1, 2, 64, 1, 2);
+        let mut tpp =
+            TppBuilder::hop_mode(1).store_m("Link:AppSpecific_0", 0).unwrap().hops(1).build().unwrap();
+        tpp.write_word(0, 999).unwrap();
+        sw.receive(0, 0, insert_transparent(&inner, &tpp));
+        let sent = sw.dequeue(1, 2).unwrap();
+        let (_, executed) = wire::extract_tpp(&sent).unwrap();
+        assert!(!executed.wrote);
+        assert_eq!(sw.mem.links[2].app[0], 0);
+    }
+
+    #[test]
+    fn over_budget_tpp_counted_and_forwarded_unexecuted() {
+        let mut sw = basic_switch();
+        let inner = host_frame(1, 2, 64, 1, 2);
+        let sid = resolve_mnemonic("Switch:SwitchID").unwrap();
+        let tpp = Tpp {
+            instrs: vec![tpp_core::isa::Instruction::push(sid); 6],
+            memory: vec![0; 32],
+            ..Tpp::default()
+        };
+        sw.receive(0, 0, insert_transparent(&inner, &tpp));
+        let sent = sw.dequeue(1, 2).unwrap();
+        let (_, t) = wire::extract_tpp(&sent).unwrap();
+        assert_eq!(t.hop, 0); // untouched
+        assert_eq!(sw.mem.tpp_rejected, 1);
+        assert_eq!(sw.mem.tpp_executed, 0);
+    }
+
+    #[test]
+    fn corrupted_transparent_tpp_dropped() {
+        let mut sw = basic_switch();
+        let inner = host_frame(1, 2, 64, 1, 2);
+        let tpp = TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(1).build().unwrap();
+        let mut frame = insert_transparent(&inner, &tpp);
+        frame[20] ^= 0xFF;
+        assert!(matches!(sw.receive(0, 0, frame), ReceiveOutcome::Dropped(DropReason::Malformed)));
+        assert_eq!(sw.mem.tpp_rejected, 1);
+    }
+
+    #[test]
+    fn utilization_ticks() {
+        let mut sw = basic_switch();
+        sw.set_link_speed(2, 100); // 100 Mb/s
+        // ~50% load for 1ms: 6250 bytes.
+        for _ in 0..10 {
+            sw.receive(0, 0, host_frame(1, 2, 583, 1, 2));
+            sw.dequeue(0, 2);
+        }
+        sw.tick(1_000_000);
+        let util = sw.mem.links[2].tx_util_bps;
+        assert!(util > 2000 && util < 3000, "expected ~2500 (EWMA of 5000), got {util}");
+    }
+
+    #[test]
+    fn flow_table_version_exposed_to_tpps() {
+        let mut sw = basic_switch();
+        let rs = sw.cfg.pipeline.routing_stage();
+        let v0 = sw.mem.stages[rs].version;
+        sw.add_host_route(Ipv4Address::from_host_id(3), Action::Output(1));
+        assert_eq!(sw.mem.stages[rs].version, v0 + 1);
+        assert_eq!(sw.mem.stages[rs].refcount, 2);
+    }
+
+    #[test]
+    fn matched_entry_visible_to_tpp() {
+        let mut sw = basic_switch();
+        let inner = host_frame(1, 2, 64, 1, 2);
+        let tpp = TppBuilder::stack_mode()
+            .push_m("PacketMetadata:MatchedEntryID")
+            .unwrap()
+            .push_m("FlowEntry$3:MatchPkts")
+            .unwrap()
+            .hops(1)
+            .build()
+            .unwrap();
+        sw.receive(0, 0, insert_transparent(&inner, &tpp));
+        let sent = sw.dequeue(1, 2).unwrap();
+        let (_, t) = wire::extract_tpp(&sent).unwrap();
+        let w = t.words();
+        assert_eq!(w[0], 0); // first entry id
+        assert_eq!(w[1], 1); // this packet's match incremented it
+    }
+}
+
+#[cfg(test)]
+mod scheduler_tests {
+    use super::*;
+    use tpp_core::asm::TppBuilder;
+    use tpp_core::wire::{self, insert_transparent, ipv4, udp, EthernetAddress};
+
+    fn frame_to_queue(src: u32, dst: u32, queue: u8, payload: usize) -> Vec<u8> {
+        // Steer into a queue via a TPP that writes [PacketMetadata:OutputQueue].
+        let inner = {
+            let src_ip = Ipv4Address::from_host_id(src);
+            let dst_ip = Ipv4Address::from_host_id(dst);
+            let u = udp::Repr { src_port: 1, dst_port: 2, payload_len: payload };
+            let udp_b = u.encapsulate(src_ip, dst_ip, &vec![0u8; payload]);
+            let ip = ipv4::Repr {
+                src: src_ip,
+                dst: dst_ip,
+                protocol: ipv4::protocol::UDP,
+                ttl: 64,
+                payload_len: udp_b.len(),
+            };
+            wire::EthernetRepr {
+                dst: EthernetAddress::from_node_id(dst),
+                src: EthernetAddress::from_node_id(src),
+                ethertype: ethernet::ethertype::IPV4,
+            }
+            .encapsulate(&ip.encapsulate(&udp_b))
+        };
+        let mut tpp = TppBuilder::hop_mode(1)
+            .store_m("PacketMetadata:OutputQueue", 0)
+            .unwrap()
+            .hops(1)
+            .build()
+            .unwrap();
+        tpp.write_word(0, queue as u32).unwrap();
+        insert_transparent(&inner, &tpp)
+    }
+
+    fn sw() -> Switch {
+        let mut sw = Switch::new(SwitchConfig::new(3, 4));
+        sw.add_host_route(Ipv4Address::from_host_id(2), Action::Output(2));
+        sw
+    }
+
+    #[test]
+    fn tpp_can_steer_packets_into_queues() {
+        let mut s = sw();
+        let out = s.receive(0, 0, frame_to_queue(1, 2, 5, 64));
+        assert!(matches!(out, ReceiveOutcome::Enqueued { port: 2, queue: 5, .. }), "{out:?}");
+        assert_eq!(s.mem.queues[2][5].pkts, 1);
+        assert_eq!(s.mem.queues[2][0].pkts, 0);
+    }
+
+    #[test]
+    fn round_robin_across_nonempty_queues() {
+        let mut s = sw();
+        // Two packets into queue 1, two into queue 6.
+        for q in [1u8, 1, 6, 6] {
+            s.receive(0, 0, frame_to_queue(1, 2, q, 64));
+        }
+        // Dequeue order must alternate between the two queues.
+        let mut order = Vec::new();
+        for t in 1..=4 {
+            s.dequeue(t, 2).unwrap();
+            // Infer which queue was served from tx counters.
+            order.push((s.mem.queues[2][1].tx_pkts, s.mem.queues[2][6].tx_pkts));
+        }
+        assert_eq!(order, vec![(1, 0), (1, 1), (2, 1), (2, 2)]);
+        assert!(!s.has_queued(2));
+    }
+
+    #[test]
+    fn per_queue_limits_are_tpp_tunable() {
+        let mut s = sw();
+        // An admin TPP shrinks queue 0's drop-tail limit to ~1 packet.
+        let mut tpp = TppBuilder::hop_mode(1)
+            .store_m("Queue$2$0:LimitBytes", 0)
+            .unwrap()
+            .hops(1)
+            .build()
+            .unwrap();
+        tpp.write_word(0, 200).unwrap();
+        let inner = {
+            let src_ip = Ipv4Address::from_host_id(1);
+            let dst_ip = Ipv4Address::from_host_id(2);
+            let u = udp::Repr { src_port: 1, dst_port: 2, payload_len: 16 };
+            let udp_b = u.encapsulate(src_ip, dst_ip, &[0u8; 16]);
+            let ip = ipv4::Repr {
+                src: src_ip,
+                dst: dst_ip,
+                protocol: ipv4::protocol::UDP,
+                ttl: 64,
+                payload_len: udp_b.len(),
+            };
+            wire::EthernetRepr {
+                dst: EthernetAddress::from_node_id(2),
+                src: EthernetAddress::from_node_id(1),
+                ethertype: ethernet::ethertype::IPV4,
+            }
+            .encapsulate(&ip.encapsulate(&udp_b))
+        };
+        s.receive(0, 0, insert_transparent(&inner, &tpp));
+        s.dequeue(1, 2);
+        assert_eq!(s.mem.queues[2][0].limit_bytes, 200);
+        // Now a second full-size packet overflows immediately.
+        let out = s.receive(2, 0, frame_to_queue(1, 2, 0, 400));
+        assert_eq!(out, ReceiveOutcome::Dropped(DropReason::QueueFull));
+    }
+
+    #[test]
+    fn reflect_frame_swaps_addresses_in_place() {
+        let tpp = TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(1).build().unwrap();
+        let mut frame = wire::build_standalone(
+            EthernetAddress::from_node_id(1),
+            EthernetAddress::from_node_id(9),
+            Ipv4Address::from_host_id(1),
+            Ipv4Address::new(192, 168, 0, 9),
+            5555,
+            &tpp,
+        );
+        let loc = wire::locate_tpp(&frame);
+        reflect_frame(&mut frame, loc);
+        let eth = EthernetFrame::new_checked(&frame[..]).unwrap();
+        assert_eq!(eth.dst(), EthernetAddress::from_node_id(1));
+        assert_eq!(eth.src(), EthernetAddress::from_node_id(9));
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert_eq!(ip.dst(), Ipv4Address::from_host_id(1));
+        assert!(ip.verify_checksum(), "address swap must not break the checksum");
+        // Still a recognizable standalone TPP.
+        assert!(matches!(wire::locate_tpp(&frame), wire::TppLocation::Standalone { .. }));
+    }
+
+    #[test]
+    fn forwarding_loop_is_bounded_by_ttl() {
+        // Two switches routing the destination at each other: the packet
+        // must die by TTL, not live forever.
+        let mut a = Switch::new(SwitchConfig::new(1, 2));
+        let mut b = Switch::new(SwitchConfig::new(2, 2));
+        let dst = Ipv4Address::from_host_id(9);
+        a.add_host_route(dst, Action::Output(0));
+        b.add_host_route(dst, Action::Output(0));
+        let mut frame = {
+            let u = udp::Repr { src_port: 1, dst_port: 2, payload_len: 8 };
+            let udp_b = u.encapsulate(Ipv4Address::from_host_id(1), dst, &[0u8; 8]);
+            let ip = ipv4::Repr {
+                src: Ipv4Address::from_host_id(1),
+                dst,
+                protocol: ipv4::protocol::UDP,
+                ttl: 8,
+                payload_len: udp_b.len(),
+            };
+            wire::EthernetRepr {
+                dst: EthernetAddress::from_node_id(9),
+                src: EthernetAddress::from_node_id(1),
+                ethertype: ethernet::ethertype::IPV4,
+            }
+            .encapsulate(&ip.encapsulate(&udp_b))
+        };
+        let mut hops = 0;
+        loop {
+            let out = a.receive(hops, 0, frame.clone());
+            if matches!(out, ReceiveOutcome::Dropped(DropReason::TtlExpired)) {
+                break;
+            }
+            frame = a.dequeue(hops, 0).unwrap();
+            std::mem::swap(&mut a, &mut b);
+            hops += 1;
+            assert!(hops < 20, "TTL must bound the loop");
+        }
+        assert_eq!(hops, 7);
+    }
+}

@@ -1,0 +1,366 @@
+//! Match-action flow tables and ECMP group tables (§3.1, §2.4).
+//!
+//! The routing stage holds an L3 exact/longest-prefix table keyed on
+//! destination IPv4 address. Actions either output to a fixed port or
+//! select among a *group* of ports by hashing packet headers — the "group
+//! table available in many switches today for multipath routing" that
+//! CONGA* repurposes (§2.4): end-hosts steer flowlets by varying the fields
+//! the hash covers (we hash the UDP/TCP source port, among others).
+
+use tpp_core::wire::{ipv4, udp, EthernetFrame, Ipv4Address, Ipv4Packet};
+
+/// Forwarding actions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Forward out a specific port.
+    Output(u8),
+    /// Hash-select a port from a group.
+    Group(u16),
+    Drop,
+}
+
+/// One flow-table entry.
+#[derive(Clone, Debug)]
+pub struct FlowEntry {
+    pub entry_id: u32,
+    /// Destination prefix: `(addr, prefix_len)`.
+    pub prefix: (Ipv4Address, u8),
+    pub action: Action,
+    pub insert_clock: u64,
+    pub match_pkts: u64,
+    pub match_bytes: u64,
+}
+
+fn prefix_matches(prefix: (Ipv4Address, u8), addr: Ipv4Address) -> bool {
+    let (net, len) = prefix;
+    if len == 0 {
+        return true;
+    }
+    let mask = if len >= 32 { u32::MAX } else { !(u32::MAX >> len) };
+    (net.to_u32() & mask) == (addr.to_u32() & mask)
+}
+
+/// A longest-prefix-match flow table.
+#[derive(Clone, Debug, Default)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    next_id: u32,
+    /// Bumped on every mutation; mirrored into `Stage:Version` (Table 6:
+    /// "a per flow table version number that monotonically increases on
+    /// every flow update").
+    pub version: u32,
+}
+
+impl FlowTable {
+    /// Insert a route; returns the entry id.
+    pub fn insert(&mut self, prefix: (Ipv4Address, u8), action: Action, now: u64) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push(FlowEntry {
+            entry_id: id,
+            prefix,
+            action,
+            insert_clock: now,
+            match_pkts: 0,
+            match_bytes: 0,
+        });
+        self.version = self.version.wrapping_add(1);
+        id
+    }
+
+    /// Insert a host route (`/32`).
+    pub fn insert_host(&mut self, dst: Ipv4Address, action: Action, now: u64) -> u32 {
+        self.insert((dst, 32), action, now)
+    }
+
+    /// Remove an entry by id. Returns whether it existed.
+    pub fn remove(&mut self, entry_id: u32) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.entry_id != entry_id);
+        let removed = self.entries.len() != before;
+        if removed {
+            self.version = self.version.wrapping_add(1);
+        }
+        removed
+    }
+
+    /// Replace the action of an existing destination (exact prefix match),
+    /// or insert if absent. Used for fast network updates (§2.6).
+    pub fn upsert(&mut self, prefix: (Ipv4Address, u8), action: Action, now: u64) -> u32 {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.prefix == prefix) {
+            e.action = action;
+            e.insert_clock = now;
+            self.version = self.version.wrapping_add(1);
+            return e.entry_id;
+        }
+        self.insert(prefix, action, now)
+    }
+
+    /// Longest-prefix match; updates the entry's counters on hit.
+    pub fn lookup(&mut self, dst: Ipv4Address, pkt_bytes: u64) -> Option<&FlowEntry> {
+        let mut best: Option<usize> = None;
+        let mut best_len = 0u8;
+        for (i, e) in self.entries.iter().enumerate() {
+            if prefix_matches(e.prefix, dst) && (best.is_none() || e.prefix.1 > best_len) {
+                best = Some(i);
+                best_len = e.prefix.1;
+            }
+        }
+        let i = best?;
+        let e = &mut self.entries[i];
+        e.match_pkts += 1;
+        e.match_bytes += pkt_bytes;
+        Some(&self.entries[i])
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+    pub fn entries(&self) -> &[FlowEntry] {
+        &self.entries
+    }
+}
+
+/// ECMP group table: each group is a list of candidate output ports.
+#[derive(Clone, Debug, Default)]
+pub struct GroupTable {
+    groups: Vec<Vec<u8>>,
+}
+
+impl GroupTable {
+    /// Register a group; returns its id.
+    pub fn add(&mut self, ports: Vec<u8>) -> u16 {
+        assert!(!ports.is_empty(), "empty ECMP group");
+        self.groups.push(ports);
+        (self.groups.len() - 1) as u16
+    }
+
+    /// Pick a member port by hash.
+    pub fn select(&self, group: u16, hash: u32) -> Option<u8> {
+        let ports = self.groups.get(group as usize)?;
+        Some(ports[hash as usize % ports.len()])
+    }
+
+    pub fn ports(&self, group: u16) -> Option<&[u8]> {
+        self.groups.get(group as usize).map(|v| v.as_slice())
+    }
+}
+
+/// The fields covered by the ECMP hash.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowKey {
+    pub src: Ipv4Address,
+    pub dst: Ipv4Address,
+    pub protocol: u8,
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+impl FlowKey {
+    /// Extract the 5-tuple from an (inner) IPv4 packet.
+    pub fn from_ipv4(ip: &Ipv4Packet<&[u8]>) -> FlowKey {
+        let mut key = FlowKey {
+            src: ip.src(),
+            dst: ip.dst(),
+            protocol: ip.protocol(),
+            src_port: 0,
+            dst_port: 0,
+        };
+        if matches!(ip.protocol(), ipv4::protocol::UDP | ipv4::protocol::TCP) {
+            let pl = ip.payload();
+            if pl.len() >= 4 {
+                key.src_port = u16::from_be_bytes([pl[0], pl[1]]);
+                key.dst_port = u16::from_be_bytes([pl[2], pl[3]]);
+            }
+        }
+        key
+    }
+
+    /// Extract the key from a full Ethernet frame, looking through a
+    /// transparent-mode TPP if present.
+    pub fn from_frame(frame: &[u8]) -> Option<FlowKey> {
+        let eth = EthernetFrame::new_checked(frame)?;
+        let l3 = match eth.ethertype() {
+            tpp_core::wire::ethernet::ethertype::IPV4 => eth.payload(),
+            tpp_core::wire::ethernet::ethertype::TPP => {
+                let (tpp, consumed) = tpp_core::wire::Tpp::parse(eth.payload()).ok()?;
+                if tpp.encap_proto != tpp_core::wire::ethernet::ethertype::IPV4 {
+                    return None;
+                }
+                &eth.payload()[consumed..]
+            }
+            _ => return None,
+        };
+        let ip = Ipv4Packet::new_checked(l3)?;
+        Some(FlowKey::from_ipv4(&ip))
+    }
+
+    /// FNV-1a over the tuple: deterministic, well-mixed, cheap — a stand-in
+    /// for the proprietary hash functions the paper notes are "often
+    /// proprietary and unknown" (§2.1).
+    pub fn hash(&self) -> u32 {
+        self.hash_with(true)
+    }
+
+    /// Hash with or without the destination port. Excluding it makes a
+    /// flow's standalone TPP probes (UDP dst 0x6666) follow the *same* ECMP
+    /// path as its data packets — the configuration CONGA* uses (§2.4).
+    pub fn hash_with(&self, include_dst_port: bool) -> u32 {
+        let mut h: u32 = 0x811C_9DC5;
+        let mut mix = |b: u8| {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        };
+        for b in self.src.0 {
+            mix(b);
+        }
+        for b in self.dst.0 {
+            mix(b);
+        }
+        mix(self.protocol);
+        for b in self.src_port.to_be_bytes() {
+            mix(b);
+        }
+        if include_dst_port {
+            for b in self.dst_port.to_be_bytes() {
+                mix(b);
+            }
+        }
+        h
+    }
+}
+
+/// Is this frame's UDP destination port the TPP port? (Used by hosts to
+/// avoid hashing TPP probes differently from their flows.)
+pub fn is_standalone_tpp_key(key: &FlowKey) -> bool {
+    key.protocol == ipv4::protocol::UDP && key.dst_port == udp::TPP_PORT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Address {
+        Ipv4Address::new(a, b, c, d)
+    }
+
+    #[test]
+    fn exact_and_prefix_matching() {
+        let mut t = FlowTable::default();
+        t.insert((ip(10, 0, 0, 0), 8), Action::Output(1), 0);
+        t.insert_host(ip(10, 0, 0, 5), Action::Output(2), 0);
+        // Host route wins (longest prefix).
+        assert_eq!(t.lookup(ip(10, 0, 0, 5), 100).unwrap().action, Action::Output(2));
+        assert_eq!(t.lookup(ip(10, 9, 9, 9), 100).unwrap().action, Action::Output(1));
+        assert!(t.lookup(ip(192, 168, 0, 1), 100).is_none());
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = FlowTable::default();
+        t.insert((ip(0, 0, 0, 0), 0), Action::Drop, 0);
+        assert_eq!(t.lookup(ip(1, 2, 3, 4), 10).unwrap().action, Action::Drop);
+    }
+
+    #[test]
+    fn counters_and_version() {
+        let mut t = FlowTable::default();
+        assert_eq!(t.version, 0);
+        let id = t.insert_host(ip(10, 0, 0, 1), Action::Output(0), 42);
+        assert_eq!(t.version, 1);
+        t.lookup(ip(10, 0, 0, 1), 100);
+        t.lookup(ip(10, 0, 0, 1), 200);
+        let e = t.entries().iter().find(|e| e.entry_id == id).unwrap();
+        assert_eq!(e.match_pkts, 2);
+        assert_eq!(e.match_bytes, 300);
+        assert_eq!(e.insert_clock, 42);
+        assert!(t.remove(id));
+        assert_eq!(t.version, 2);
+        assert!(!t.remove(id));
+        assert_eq!(t.version, 2);
+    }
+
+    #[test]
+    fn upsert_replaces_action() {
+        let mut t = FlowTable::default();
+        let id1 = t.upsert((ip(10, 0, 0, 1), 32), Action::Output(0), 0);
+        let id2 = t.upsert((ip(10, 0, 0, 1), 32), Action::Output(3), 5);
+        assert_eq!(id1, id2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ip(10, 0, 0, 1), 1).unwrap().action, Action::Output(3));
+    }
+
+    #[test]
+    fn group_selection_is_deterministic_and_covers_members() {
+        let mut g = GroupTable::default();
+        let gid = g.add(vec![2, 3]);
+        let mut seen = std::collections::BTreeSet::new();
+        for sport in 0..64u16 {
+            let key = FlowKey {
+                src: ip(10, 0, 0, 1),
+                dst: ip(10, 0, 0, 9),
+                protocol: 17,
+                src_port: sport,
+                dst_port: 80,
+            };
+            let p = g.select(gid, key.hash()).unwrap();
+            assert!(p == 2 || p == 3);
+            seen.insert(p);
+            // Deterministic.
+            assert_eq!(g.select(gid, key.hash()), Some(p));
+        }
+        assert_eq!(seen.len(), 2, "hash should spread across both paths");
+        assert_eq!(g.select(99, 0), None);
+    }
+
+    #[test]
+    fn flow_key_from_frames() {
+        use tpp_core::wire::*;
+        let src_ip = ip(10, 0, 0, 1);
+        let dst_ip = ip(10, 0, 0, 2);
+        let u = udp::Repr { src_port: 4321, dst_port: 80, payload_len: 2 };
+        let udp_bytes = u.encapsulate(src_ip, dst_ip, b"hi");
+        let ip_repr = ipv4::Repr {
+            src: src_ip,
+            dst: dst_ip,
+            protocol: ipv4::protocol::UDP,
+            ttl: 64,
+            payload_len: udp_bytes.len(),
+        };
+        let ip_bytes = ip_repr.encapsulate(&udp_bytes);
+        let frame = EthernetRepr {
+            dst: EthernetAddress::from_node_id(2),
+            src: EthernetAddress::from_node_id(1),
+            ethertype: ethernet::ethertype::IPV4,
+        }
+        .encapsulate(&ip_bytes);
+
+        let key = FlowKey::from_frame(&frame).unwrap();
+        assert_eq!(key.src_port, 4321);
+        assert_eq!(key.dst_port, 80);
+
+        // The key is identical when a transparent TPP is piggy-backed: the
+        // hash (and thus the path) must not change when we instrument a
+        // packet.
+        let tpp = Tpp { memory: vec![0; 8], ..Tpp::default() };
+        let outer = insert_transparent(&frame, &tpp);
+        assert_eq!(FlowKey::from_frame(&outer).unwrap(), key);
+    }
+
+    #[test]
+    fn hash_differs_across_ports() {
+        let base = FlowKey {
+            src: ip(10, 0, 0, 1),
+            dst: ip(10, 0, 0, 2),
+            protocol: 17,
+            src_port: 1000,
+            dst_port: 80,
+        };
+        let mut other = base;
+        other.src_port = 1001;
+        assert_ne!(base.hash(), other.hash());
+    }
+}

@@ -1,0 +1,26 @@
+//! §2.4 CONGA*: congestion-aware load balancing from the edge.
+//!
+//! ```text
+//! cargo run --release --example conga
+//! ```
+
+use minions::apps::conga::{run_conga_fig4, Balancer, Metric};
+use minions::netsim::SECONDS;
+
+fn main() {
+    println!("2 spines x 3 leaves; L0->L2 pinned to one path at 50 Mb/s;");
+    println!("L1->L2 offers 120 Mb/s across both paths.\n");
+    let ecmp = run_conga_fig4(Balancer::Ecmp, Metric::Max, 4 * SECONDS, 1);
+    let conga = run_conga_fig4(Balancer::Conga, Metric::Max, 4 * SECONDS, 1);
+    println!(
+        "ECMP  : L0->L2 {:5.1} Mb/s, L1->L2 {:6.1} Mb/s, max link util {:5.1}%",
+        ecmp.l0_mbps, ecmp.l1_mbps, ecmp.max_util_percent
+    );
+    println!(
+        "CONGA*: L0->L2 {:5.1} Mb/s, L1->L2 {:6.1} Mb/s, max link util {:5.1}% ({} flowlet moves)",
+        conga.l0_mbps, conga.l1_mbps, conga.max_util_percent, conga.path_switches
+    );
+    println!("\nCONGA* discovered both paths by probing [Link:ID] sequences, tracked");
+    println!("their congestion with millisecond [Link:TX-Utilization] probes, and");
+    println!("steered flowlets off the hot path — no custom ASIC required.");
+}

@@ -1,0 +1,41 @@
+//! §2.1 micro-burst detection: instrument every packet of an all-to-all
+//! burst workload and print the queue-occupancy distribution each queue
+//! experienced — per-packet visibility no SNMP poller could deliver.
+//!
+//! ```text
+//! cargo run --release --example microburst
+//! ```
+
+use std::collections::BTreeMap;
+
+use minions::apps::common::{cdf, cdf_at};
+use minions::apps::microburst::{queue_key, run_microburst};
+use minions::netsim::SECONDS;
+
+fn main() {
+    let r = run_microburst(3, SECONDS, 1);
+    println!(
+        "sent {} messages; observer host saw {} per-hop queue samples",
+        r.total_messages,
+        r.observer_samples.len()
+    );
+    let mut by_queue: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
+    for s in &r.all_samples {
+        by_queue.entry(queue_key(s)).or_default().push(s.q_pkts);
+    }
+    println!("\nper-queue occupancy at packet arrival:");
+    println!("{:>10} {:>8} {:>10} {:>10} {:>6}", "queue", "samples", "P(empty)", "P(q<=5)", "max");
+    for (k, v) in &by_queue {
+        let c = cdf(v);
+        println!(
+            "{:>10} {:>8} {:>10.2} {:>10.2} {:>6}",
+            format!("{}:{}", k.0, k.1),
+            v.len(),
+            cdf_at(&c, 0),
+            cdf_at(&c, 5),
+            v.iter().max().unwrap()
+        );
+    }
+    println!("\nqueues look idle most of the time, yet bursts of several packets");
+    println!("appear in the tail — exactly the micro-bursts of Figure 1b.");
+}

@@ -1,0 +1,32 @@
+//! §2.5 measurement: count unique destination IPs per fat-tree link with
+//! end-host bitmap sketches fed by TPP routing context.
+//!
+//! ```text
+//! cargo run --release --example sketch
+//! ```
+
+use minions::apps::sketch::{fat_tree_sizing, run_sketch};
+use minions::netsim::MILLIS;
+
+fn main() {
+    let r = run_sketch(500 * MILLIS, 1024, 1, 9);
+    println!(
+        "{} instrumented packets crossed a k=4 fat-tree; {} (switch,link) pairs observed",
+        r.packets_sent,
+        r.links.len()
+    );
+    println!("\nbusiest links (estimate vs exact unique destinations):");
+    let mut links = r.links.clone();
+    links.sort_by(|a, b| b.truth.cmp(&a.truth));
+    println!("{:>10} {:>10} {:>7}", "link", "estimate", "truth");
+    for l in links.iter().take(10) {
+        println!("{:>10} {:>10.1} {:>7}", format!("{}:{}", l.link.0, l.link.1), l.estimate, l.truth);
+    }
+    println!("\nmean relative error: {:.1}%", 100.0 * r.mean_relative_error);
+    let (servers, links_n, bytes) = fat_tree_sizing(64, 1024);
+    println!(
+        "scaled to the paper's k=64 fabric: {servers} servers x {links_n} core links \
+         = {:.0} MB of bitmaps per server",
+        bytes as f64 / (1 << 20) as f64
+    );
+}

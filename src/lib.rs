@@ -1,0 +1,21 @@
+//! # minions — Tiny Packet Programs, end to end
+//!
+//! Umbrella crate for the reproduction of *"Millions of Little Minions:
+//! Using Packets for Low Latency Network Programming and Visibility"*
+//! (SIGCOMM 2014). Re-exports the workspace crates and hosts the runnable
+//! examples:
+//!
+//! ```text
+//! cargo run --release --example quickstart     # craft & execute a TPP
+//! cargo run --release --example microburst     # §2.1 queue visibility
+//! cargo run --release --example rcp_fairness   # §2.2 RCP* congestion control
+//! cargo run --release --example conga          # §2.4 load balancing
+//! cargo run --release --example ndb            # §2.3 troubleshooting
+//! cargo run --release --example sketch         # §2.5 measurement
+//! ```
+
+pub use tpp_apps as apps;
+pub use tpp_core as core;
+pub use tpp_endhost as endhost;
+pub use tpp_netsim as netsim;
+pub use tpp_switch as switch;
