@@ -29,8 +29,12 @@ pub fn udp_frame(
         ttl: 64,
         payload_len: udp_b.len(),
     };
-    EthernetRepr { dst: mac_of_ip(dst_ip), src: mac_of_ip(src_ip), ethertype: ethernet::ethertype::IPV4 }
-        .encapsulate(&ip.encapsulate(&udp_b))
+    EthernetRepr {
+        dst: mac_of_ip(dst_ip),
+        src: mac_of_ip(src_ip),
+        ethertype: ethernet::ethertype::IPV4,
+    }
+    .encapsulate(&ip.encapsulate(&udp_b))
 }
 
 /// Parsed view of a received UDP frame.

@@ -574,13 +574,8 @@ mod tests {
 
     #[test]
     fn rewrite_sport_keeps_checksum_valid() {
-        let f0 = udp_frame(
-            Ipv4Address::from_host_id(1),
-            Ipv4Address::from_host_id(2),
-            1111,
-            2222,
-            64,
-        );
+        let f0 =
+            udp_frame(Ipv4Address::from_host_id(1), Ipv4Address::from_host_id(2), 1111, 2222, 64);
         let mut f = f0.clone();
         rewrite_udp_sport(&mut f, 4444);
         let info = parse_udp(&f).unwrap();

@@ -218,9 +218,7 @@ pub fn ndb_query<'a>(store: &'a [PacketHistory], q: &Query) -> Vec<&'a PacketHis
         .filter(|h| q.src.is_none_or(|s| h.flow.src == s))
         .filter(|h| q.dst.is_none_or(|d| h.flow.dst == d))
         .filter(|h| q.traverses_switch.is_none_or(|s| h.traverses(s)))
-        .filter(|h| {
-            q.matched_entry.is_none_or(|e| h.hops.iter().any(|hop| hop.matched_entry == e))
-        })
+        .filter(|h| q.matched_entry.is_none_or(|e| h.hops.iter().any(|hop| hop.matched_entry == e)))
         .filter(|h| q.after_ns.is_none_or(|t| h.t_ns >= t))
         .filter(|h| q.before_ns.is_none_or(|t| h.t_ns <= t))
         .collect()
@@ -233,9 +231,7 @@ pub fn netshark_flows(
     let mut out: std::collections::BTreeMap<_, Vec<&PacketHistory>> =
         std::collections::BTreeMap::new();
     for h in store {
-        out.entry((h.flow.src, h.flow.dst, h.flow.src_port, h.flow.dst_port))
-            .or_default()
-            .push(h);
+        out.entry((h.flow.src, h.flow.dst, h.flow.src_port, h.flow.dst_port)).or_default().push(h);
     }
     out
 }
@@ -312,7 +308,11 @@ pub fn netwatch_check(store: &[PacketHistory], rules: &[Rule]) -> Vec<RuleViolat
 /// Loss localization: given histories of a flow whose packets stopped
 /// arriving, report the switch most recently seen forwarding it (the
 /// failure is just downstream of it).
-pub fn last_seen_switch(store: &[PacketHistory], src: Ipv4Address, dst: Ipv4Address) -> Option<u32> {
+pub fn last_seen_switch(
+    store: &[PacketHistory],
+    src: Ipv4Address,
+    dst: Ipv4Address,
+) -> Option<u32> {
     store
         .iter()
         .filter(|h| h.flow.src == src && h.flow.dst == dst)
@@ -429,9 +429,26 @@ mod tests {
             hist(20, flow(1, 3), &[1, 2, 3]),
             hist(30, flow(4, 2), &[2]),
         ];
-        assert_eq!(ndb_query(&store, &Query { src: Some(Ipv4Address::from_host_id(1)), ..Query::default() }).len(), 2);
-        assert_eq!(ndb_query(&store, &Query { traverses_switch: Some(3), ..Query::default() }).len(), 1);
-        assert_eq!(ndb_query(&store, &Query { after_ns: Some(15), before_ns: Some(25), ..Query::default() }).len(), 1);
+        assert_eq!(
+            ndb_query(
+                &store,
+                &Query { src: Some(Ipv4Address::from_host_id(1)), ..Query::default() }
+            )
+            .len(),
+            2
+        );
+        assert_eq!(
+            ndb_query(&store, &Query { traverses_switch: Some(3), ..Query::default() }).len(),
+            1
+        );
+        assert_eq!(
+            ndb_query(
+                &store,
+                &Query { after_ns: Some(15), before_ns: Some(25), ..Query::default() }
+            )
+            .len(),
+            1
+        );
         let both = Query {
             src: Some(Ipv4Address::from_host_id(1)),
             traverses_switch: Some(2),
@@ -442,11 +459,8 @@ mod tests {
 
     #[test]
     fn netshark_groups_by_flow() {
-        let store = vec![
-            hist(1, flow(1, 2), &[1]),
-            hist(2, flow(1, 2), &[1]),
-            hist(3, flow(2, 1), &[1]),
-        ];
+        let store =
+            vec![hist(1, flow(1, 2), &[1]), hist(2, flow(1, 2), &[1]), hist(3, flow(2, 1), &[1])];
         let flows = netshark_flows(&store);
         assert_eq!(flows.len(), 2);
         assert_eq!(flows.values().map(|v| v.len()).max(), Some(2));
@@ -460,7 +474,10 @@ mod tests {
             hist(3, flow(5, 6), &[2, 3]),    // bypasses waypoint 1
         ];
         let rules = vec![
-            Rule::Isolation { src: Ipv4Address::from_host_id(1), dst: Ipv4Address::from_host_id(2) },
+            Rule::Isolation {
+                src: Ipv4Address::from_host_id(1),
+                dst: Ipv4Address::from_host_id(2),
+            },
             Rule::NoLoops,
             Rule::Waypoint {
                 src: Ipv4Address::from_host_id(5),

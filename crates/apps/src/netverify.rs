@@ -147,7 +147,11 @@ pub fn convergence_time(
 /// once probes started failing.
 pub fn blackhole_frontier(observations: &[PathObservation]) -> Option<u32> {
     let first_loss = observations.iter().position(|o| !o.completed)?;
-    observations[..first_loss].iter().rev().find(|o| o.completed).and_then(|o| o.path.last().copied())
+    observations[..first_loss]
+        .iter()
+        .rev()
+        .find(|o| o.completed)
+        .and_then(|o| o.path.last().copied())
 }
 
 #[cfg(test)]

@@ -58,7 +58,13 @@ pub struct TcpSenderApp {
 }
 
 impl TcpSenderApp {
-    pub fn new(dst: Ipv4Address, n_flows: usize, mss: usize, sample_frequency: u32, tpp_bytes: usize) -> Self {
+    pub fn new(
+        dst: Ipv4Address,
+        n_flows: usize,
+        mss: usize,
+        sample_frequency: u32,
+        tpp_bytes: usize,
+    ) -> Self {
         TcpSenderApp {
             dst,
             n_flows,
@@ -232,7 +238,10 @@ pub fn run_fig10_point(
         s.add_host_route(snd_ip, Action::Output(0));
         s.add_host_route(rcv_ip, Action::Output(1));
     }
-    net.set_app(snd, Box::new(TcpSenderApp::new(rcv_ip, n_flows, 1240, sample_frequency, tpp_bytes)));
+    net.set_app(
+        snd,
+        Box::new(TcpSenderApp::new(rcv_ip, n_flows, 1240, sample_frequency, tpp_bytes)),
+    );
     net.set_app(rcv, Box::new(TcpSinkApp::new()));
     net.run_until(duration);
     let secs = duration as f64 / 1e9;
@@ -253,6 +262,13 @@ pub fn run_fig10(duration: Time, seed: u64) -> Vec<Fig10Point> {
         }
     }
     out
+}
+
+impl TcpSenderApp {
+    /// Expose connection state for diagnostics.
+    pub fn conns_debug(&self) -> &[TcpConn] {
+        &self.conns
+    }
 }
 
 #[cfg(test)]
@@ -295,12 +311,5 @@ mod tests {
     fn multiple_flows_share_the_link() {
         let p = run_fig10_point(10, 0, 260, 100 * MILLIS, 2);
         assert!(p.goodput_gbps > 7.0, "{p:?}");
-    }
-}
-
-impl TcpSenderApp {
-    /// Expose connection state for diagnostics.
-    pub fn conns_debug(&self) -> &[TcpConn] {
-        &self.conns
     }
 }

@@ -422,6 +422,7 @@ pub fn run_rcp_fig2(alpha: f64, duration: Time, seed: u64) -> RcpResult {
 
     let cfg = RcpConfig { alpha, ..RcpConfig::default() };
     let bucket = 100_000_000; // 100 ms
+
     // flow a: h0a -> h2a (both trunks); flow b: h0b -> h1a (first trunk);
     // flow c: h1b -> h2b (second trunk) — all in the same direction, so `a`
     // shares one link with each of `b` and `c` (the Figure 2 inset).
@@ -447,10 +448,7 @@ pub fn run_rcp_fig2(alpha: f64, duration: Time, seed: u64) -> RcpResult {
             let sink = topo.net.app_mut::<RcpSink>(h[dst]);
             let meters = sink.meters.borrow();
             let m = meters.get(&(src_ip, sport));
-            series.push((
-                name.to_string(),
-                m.map(|m| m.series_mbps()).unwrap_or_default(),
-            ));
+            series.push((name.to_string(), m.map(|m| m.series_mbps()).unwrap_or_default()));
             steady.push((name.to_string(), m.map(|m| m.avg_mbps(half, end)).unwrap_or(0.0)));
         }
         let sender = topo.net.app_mut::<RcpSender>(h[src]);

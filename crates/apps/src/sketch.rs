@@ -50,7 +50,7 @@ pub struct BitmapSketch {
 
 impl BitmapSketch {
     pub fn new(b: usize) -> Self {
-        assert!(b > 0 && b % 64 == 0, "bitmap size must be a multiple of 64");
+        assert!(b > 0 && b.is_multiple_of(64), "bitmap size must be a multiple of 64");
         BitmapSketch { bits: vec![0; b / 64], b }
     }
 
@@ -127,7 +127,12 @@ pub struct SketchHost {
 }
 
 impl SketchHost {
-    pub fn new(peers: Vec<Ipv4Address>, bitmap_bits: usize, sample_frequency: u32, seed: u64) -> Self {
+    pub fn new(
+        peers: Vec<Ipv4Address>,
+        bitmap_bits: usize,
+        sample_frequency: u32,
+        seed: u64,
+    ) -> Self {
         SketchHost {
             peers,
             bitmap_bits,
@@ -344,11 +349,7 @@ mod tests {
         assert!(!r.links.is_empty());
         // With 16 hosts, truth per link is at most 16 — tiny against 1024
         // bits, so estimates should be tight.
-        assert!(
-            r.mean_relative_error < 0.25,
-            "mean relative error {}",
-            r.mean_relative_error
-        );
+        assert!(r.mean_relative_error < 0.25, "mean relative error {}", r.mean_relative_error);
         for l in &r.links {
             assert!(l.truth <= 16);
         }

@@ -50,7 +50,7 @@ fn bench_filters(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

@@ -20,7 +20,15 @@ fn programs() -> Vec<(&'static str, Tpp)> {
         ("push1", TppBuilder::stack_mode().push(sid).hops(2).build().unwrap()),
         (
             "push5",
-            TppBuilder::stack_mode().push(sid).push(q).push(sid).push(q).push(sid).hops(2).build().unwrap(),
+            TppBuilder::stack_mode()
+                .push(sid)
+                .push(q)
+                .push(sid)
+                .push(q)
+                .push(sid)
+                .hops(2)
+                .build()
+                .unwrap(),
         ),
         (
             "load5",
@@ -81,7 +89,7 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

@@ -7,7 +7,9 @@ use std::hint::black_box;
 
 use tpp_apps::common::udp_frame;
 use tpp_core::asm::TppBuilder;
-use tpp_core::wire::{extract_tpp, insert_transparent, locate_tpp, strip_transparent, Ipv4Address, Tpp};
+use tpp_core::wire::{
+    extract_tpp, insert_transparent, locate_tpp, strip_transparent, Ipv4Address, Tpp,
+};
 
 fn sample_tpp() -> Tpp {
     TppBuilder::stack_mode()
@@ -38,13 +40,11 @@ fn bench_wire(c: &mut Criterion) {
     g.bench_function("insert_transparent", |b| {
         b.iter(|| black_box(insert_transparent(&inner, &tpp)))
     });
-    g.bench_function("strip_transparent", |b| {
-        b.iter(|| black_box(strip_transparent(&stamped)))
-    });
+    g.bench_function("strip_transparent", |b| b.iter(|| black_box(strip_transparent(&stamped))));
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

@@ -12,15 +12,13 @@ use tpp_netsim::MILLIS;
 
 fn main() {
     println!("# Figure 10 — goodput vs TPP sampling frequency (§6.2)");
-    println!(
-        "{:>7} {:>10} {:>14} {:>14}",
-        "flows", "freq", "goodput Gb/s", "network Gb/s"
-    );
+    println!("{:>7} {:>10} {:>14} {:>14}", "flows", "freq", "goodput Gb/s", "network Gb/s");
     for p in run_fig10(200 * MILLIS, 3) {
-        let freq = if p.sample_frequency == 0 { "inf".to_string() } else { p.sample_frequency.to_string() };
-        println!(
-            "{:>7} {:>10} {:>14.2} {:>14.2}",
-            p.n_flows, freq, p.goodput_gbps, p.network_gbps
-        );
+        let freq = if p.sample_frequency == 0 {
+            "inf".to_string()
+        } else {
+            p.sample_frequency.to_string()
+        };
+        println!("{:>7} {:>10} {:>14.2} {:>14.2}", p.n_flows, freq, p.goodput_gbps, p.network_gbps);
     }
 }

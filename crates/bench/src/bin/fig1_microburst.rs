@@ -28,7 +28,10 @@ fn main() {
     }
 
     println!("\n## CDF of queue occupancy at packet arrival (packets)");
-    println!("{:>8} {:>6} {:>9} {:>9} {:>9} {:>9} {:>7}", "switch", "port", "P(q<=0)", "P(q<=2)", "P(q<=5)", "P(q<=10)", "max");
+    println!(
+        "{:>8} {:>6} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "switch", "port", "P(q<=0)", "P(q<=2)", "P(q<=5)", "P(q<=10)", "max"
+    );
     for (k, samples) in &by_queue {
         if samples.len() < 100 {
             continue; // uninteresting queue
@@ -48,11 +51,8 @@ fn main() {
     }
 
     println!("\n## Time series (10 ms bins, mean / max queue in packets)");
-    let busiest = by_queue
-        .iter()
-        .max_by_key(|(_, v)| v.len())
-        .map(|(k, _)| *k)
-        .expect("at least one queue");
+    let busiest =
+        by_queue.iter().max_by_key(|(_, v)| v.len()).map(|(k, _)| *k).expect("at least one queue");
     println!("# busiest queue: switch {} port {}", busiest.0, busiest.1);
     println!("{:>8} {:>8} {:>8}", "t(ms)", "mean_q", "max_q");
     let bin = 10_000_000u64;

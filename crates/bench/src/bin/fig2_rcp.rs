@@ -17,11 +17,8 @@ fn main() {
         let n = r.flows[0].1.len();
         for i in (0..n).step_by(5) {
             let t = r.flows[0].1[i].0;
-            let vals: Vec<f64> = r
-                .flows
-                .iter()
-                .map(|(_, s)| s.get(i).map(|&(_, v)| v).unwrap_or(0.0))
-                .collect();
+            let vals: Vec<f64> =
+                r.flows.iter().map(|(_, s)| s.get(i).map(|&(_, v)| v).unwrap_or(0.0)).collect();
             println!("{t:>8.1} {:>10.1} {:>10.1} {:>10.1}", vals[0], vals[1], vals[2]);
         }
         println!("\n## steady-state (second half) goodput, Mb/s");

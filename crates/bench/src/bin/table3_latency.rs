@@ -9,9 +9,20 @@ use tpp_core::isa::Opcode;
 use tpp_switch::{ASIC, NETFPGA};
 
 fn main() {
+    // Bounded by default; CI smoke runs set TPP_BENCH_ITERS lower still.
+    // A set-but-invalid value must fail loudly — before any measurement —
+    // not silently unbound the smoke run.
+    let iters: u64 = match std::env::var("TPP_BENCH_ITERS") {
+        Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("TPP_BENCH_ITERS must be a positive integer, got {v:?}");
+            std::process::exit(2);
+        }),
+        Err(_) => 200_000,
+    };
     println!("# Table 3 — hardware latency cost model (§6.1)");
     println!("{:>24} {:>12} {:>12}", "task", "NetFPGA", "ASIC");
-    let rows: [(&str, fn(&tpp_switch::CostProfile) -> String); 5] = [
+    type CostCell = fn(&tpp_switch::CostProfile) -> String;
+    let rows: [(&str, CostCell); 5] = [
         ("Parsing (cycles)", |p| p.parse_cycles.to_string()),
         ("Memory access (cycles)", |p| p.mem_access_cycles.to_string()),
         ("CSTORE exec (cycles)", |p| p.cstore_exec_cycles.to_string()),
@@ -41,14 +52,46 @@ fn main() {
     let sid = tpp_core::addr::resolve_mnemonic("Switch:SwitchID").unwrap();
     let reg = tpp_core::addr::resolve_mnemonic("Link$0:AppSpecific_0").unwrap();
     let cases = [
-        ("5x PUSH", TppBuilder::stack_mode().push(sid).push(sid).push(sid).push(sid).push(sid).hops(1).build().unwrap()),
-        ("5x LOAD", TppBuilder::hop_mode(5).load(sid, 0).load(sid, 1).load(sid, 2).load(sid, 3).load(sid, 4).hops(1).build().unwrap()),
-        ("5x CSTORE", TppBuilder::hop_mode(5).cstore(reg, 0, 1).cstore(reg, 0, 1).cstore(reg, 0, 1).cstore(reg, 0, 1).cstore(reg, 0, 1).hops(1).build().unwrap()),
+        (
+            "5x PUSH",
+            TppBuilder::stack_mode()
+                .push(sid)
+                .push(sid)
+                .push(sid)
+                .push(sid)
+                .push(sid)
+                .hops(1)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "5x LOAD",
+            TppBuilder::hop_mode(5)
+                .load(sid, 0)
+                .load(sid, 1)
+                .load(sid, 2)
+                .load(sid, 3)
+                .load(sid, 4)
+                .hops(1)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "5x CSTORE",
+            TppBuilder::hop_mode(5)
+                .cstore(reg, 0, 1)
+                .cstore(reg, 0, 1)
+                .cstore(reg, 0, 1)
+                .cstore(reg, 0, 1)
+                .cstore(reg, 0, 1)
+                .hops(1)
+                .build()
+                .unwrap(),
+        ),
     ];
     for (name, tpp) in cases {
         let mut bus = MapBus::with(&[(sid, 7), (reg, 0)]);
         let opts = ExecOptions::default();
-        let iters = 200_000u64;
         let start = Instant::now();
         for _ in 0..iters {
             let mut t = tpp.clone();

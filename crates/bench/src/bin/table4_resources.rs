@@ -22,8 +22,14 @@ fn main() {
 
     println!("\n# Resource model of this implementation's pipeline (§3.5, Fig. 8)");
     for (name, m) in [
-        ("NetFPGA-like (4 pipelines x 4 stages)", ResourceModel { n_pipelines: 4, stages_per_pipeline: 4, max_instructions: 5 }),
-        ("ASIC-like (16 pipelines x 4 stages)", ResourceModel { n_pipelines: 16, stages_per_pipeline: 4, max_instructions: 5 }),
+        (
+            "NetFPGA-like (4 pipelines x 4 stages)",
+            ResourceModel { n_pipelines: 4, stages_per_pipeline: 4, max_instructions: 5 },
+        ),
+        (
+            "ASIC-like (16 pipelines x 4 stages)",
+            ResourceModel { n_pipelines: 16, stages_per_pipeline: 4, max_instructions: 5 },
+        ),
     ] {
         println!("  {name}:");
         println!("    execution units        : {}", m.execution_units());

@@ -9,8 +9,8 @@ use std::time::Instant;
 
 use tpp_apps::common::udp_frame;
 use tpp_core::asm::TppBuilder;
-use tpp_endhost::{Filter, Shim};
 use tpp_core::wire::{EthernetAddress, Ipv4Address};
+use tpp_endhost::{Filter, Shim};
 
 fn probe() -> tpp_core::wire::Tpp {
     TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(5).build().unwrap()
@@ -22,7 +22,13 @@ fn build_shim(n: usize, scenario: &str) -> (Shim, Vec<Vec<u8>>) {
     let mut shim = Shim::new(ip, EthernetAddress::from_node_id(1), 1);
     for i in 0..n {
         // Each rule matches one TCP destination port, like the paper.
-        shim.add_tpp(1, Filter { protocol: Some(17), dst_port: Some(1000 + i as u16), ..Filter::default() }, probe(), 1, i as u32);
+        shim.add_tpp(
+            1,
+            Filter { protocol: Some(17), dst_port: Some(1000 + i as u16), ..Filter::default() },
+            probe(),
+            1,
+            i as u32,
+        );
     }
     let dst = Ipv4Address::from_host_id(2);
     let frames: Vec<Vec<u8>> = match scenario {

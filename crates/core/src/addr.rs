@@ -307,10 +307,9 @@ impl Namespace {
 pub fn is_architecturally_writable(addr: Address) -> bool {
     match Namespace::of(addr) {
         Some(Namespace::Switch) => false,
-        Some(Namespace::PacketMetadata) => matches!(
-            addr.offset(),
-            meta_ns::OUTPUT_PORT | meta_ns::OUTPUT_QUEUE
-        ),
+        Some(Namespace::PacketMetadata) => {
+            matches!(addr.offset(), meta_ns::OUTPUT_PORT | meta_ns::OUTPUT_QUEUE)
+        }
         Some(Namespace::CurrentLink) | Some(Namespace::Link(_)) => {
             let off = addr.offset();
             (link_ns::APP_BASE..link_ns::APP_BASE + link_ns::APP_COUNT).contains(&off)
@@ -465,26 +464,18 @@ pub fn resolve_mnemonic(m: &str) -> Result<Address, AddrError> {
     let mut parts = ns.split('$');
     let ns_name = parts.next().ok_or_else(unknown)?;
     let idx1: Option<u16> = match parts.next() {
-        Some(s) => Some(
-            s.parse()
-                .map_err(|_| AddrError::IndexOutOfRange(m.to_string()))?,
-        ),
+        Some(s) => Some(s.parse().map_err(|_| AddrError::IndexOutOfRange(m.to_string()))?),
         None => None,
     };
     let idx2: Option<u16> = match parts.next() {
-        Some(s) => Some(
-            s.parse()
-                .map_err(|_| AddrError::IndexOutOfRange(m.to_string()))?,
-        ),
+        Some(s) => Some(s.parse().map_err(|_| AddrError::IndexOutOfRange(m.to_string()))?),
         None => None,
     };
 
     // `StageN` compact syntax ("Stage1:Reg5").
     let (ns_name, idx1) = if let Some(num) = ns_name.strip_prefix("Stage").filter(|s| !s.is_empty())
     {
-        let i: u16 = num
-            .parse()
-            .map_err(|_| AddrError::UnknownMnemonic(m.to_string()))?;
+        let i: u16 = num.parse().map_err(|_| AddrError::UnknownMnemonic(m.to_string()))?;
         ("Stage", Some(i))
     } else {
         (ns_name, idx1)
@@ -492,49 +483,41 @@ pub fn resolve_mnemonic(m: &str) -> Result<Address, AddrError> {
 
     let out_of_range = || AddrError::IndexOutOfRange(m.to_string());
     match (ns_name, idx1, idx2) {
-        ("Switch", None, None) => switch_stat(stat)
-            .map(|o| Namespace::Switch.at(o))
-            .ok_or_else(unknown),
-        ("PacketMetadata", None, None) => meta_stat(stat)
-            .map(|o| Namespace::PacketMetadata.at(o))
-            .ok_or_else(unknown),
-        ("Link", None, None) => link_stat(stat)
-            .map(|o| Namespace::CurrentLink.at(o))
-            .ok_or_else(unknown),
+        ("Switch", None, None) => {
+            switch_stat(stat).map(|o| Namespace::Switch.at(o)).ok_or_else(unknown)
+        }
+        ("PacketMetadata", None, None) => {
+            meta_stat(stat).map(|o| Namespace::PacketMetadata.at(o)).ok_or_else(unknown)
+        }
+        ("Link", None, None) => {
+            link_stat(stat).map(|o| Namespace::CurrentLink.at(o)).ok_or_else(unknown)
+        }
         ("Link", Some(p), None) => {
             if p >= layout::MAX_PORTS {
                 return Err(out_of_range());
             }
-            link_stat(stat)
-                .map(|o| Namespace::Link(p as u8).at(o))
-                .ok_or_else(unknown)
+            link_stat(stat).map(|o| Namespace::Link(p as u8).at(o)).ok_or_else(unknown)
         }
-        ("Queue", None, None) => queue_stat(stat)
-            .map(|o| Namespace::CurrentQueue.at(o))
-            .ok_or_else(unknown),
+        ("Queue", None, None) => {
+            queue_stat(stat).map(|o| Namespace::CurrentQueue.at(o)).ok_or_else(unknown)
+        }
         ("Queue", Some(p), Some(q)) => {
             if p >= layout::MAX_PORTS || q >= layout::QUEUES_PER_PORT {
                 return Err(out_of_range());
             }
-            queue_stat(stat)
-                .map(|o| Namespace::Queue(p as u8, q as u8).at(o))
-                .ok_or_else(unknown)
+            queue_stat(stat).map(|o| Namespace::Queue(p as u8, q as u8).at(o)).ok_or_else(unknown)
         }
         ("FlowEntry", Some(s), None) => {
             if s >= layout::MAX_STAGES {
                 return Err(out_of_range());
             }
-            flow_entry_stat(stat)
-                .map(|o| Namespace::FlowEntry(s as u8).at(o))
-                .ok_or_else(unknown)
+            flow_entry_stat(stat).map(|o| Namespace::FlowEntry(s as u8).at(o)).ok_or_else(unknown)
         }
         ("Stage", Some(s), None) => {
             if s >= layout::MAX_STAGES {
                 return Err(out_of_range());
             }
-            stage_stat(stat)
-                .map(|o| Namespace::Stage(s as u8).at(o))
-                .ok_or_else(unknown)
+            stage_stat(stat).map(|o| Namespace::Stage(s as u8).at(o)).ok_or_else(unknown)
         }
         _ => Err(unknown()),
     }
@@ -749,26 +732,16 @@ mod tests {
         assert!(!is_architecturally_writable(
             resolve_mnemonic("PacketMetadata:MatchedEntryID").unwrap()
         ));
-        assert!(!is_architecturally_writable(
-            resolve_mnemonic("Link:RX-Bytes").unwrap()
-        ));
-        assert!(!is_architecturally_writable(
-            resolve_mnemonic("Switch:SwitchID").unwrap()
-        ));
+        assert!(!is_architecturally_writable(resolve_mnemonic("Link:RX-Bytes").unwrap()));
+        assert!(!is_architecturally_writable(resolve_mnemonic("Switch:SwitchID").unwrap()));
         // Modifiable examples from Table 2 / §2.2.
         assert!(is_architecturally_writable(
             resolve_mnemonic("PacketMetadata:OutputPort").unwrap()
         ));
-        assert!(is_architecturally_writable(
-            resolve_mnemonic("Link:AppSpecific_0").unwrap()
-        ));
-        assert!(is_architecturally_writable(
-            resolve_mnemonic("Stage1:Reg0").unwrap()
-        ));
+        assert!(is_architecturally_writable(resolve_mnemonic("Link:AppSpecific_0").unwrap()));
+        assert!(is_architecturally_writable(resolve_mnemonic("Stage1:Reg0").unwrap()));
         // Flow-table stats are never writable.
-        assert!(!is_architecturally_writable(
-            resolve_mnemonic("Stage1:Version").unwrap()
-        ));
+        assert!(!is_architecturally_writable(resolve_mnemonic("Stage1:Version").unwrap()));
     }
 
     #[test]

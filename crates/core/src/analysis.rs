@@ -105,7 +105,12 @@ pub fn check_segments(instrs: &[Instruction], segments: &[Segment]) -> Vec<Viola
         let (addr, access) = instruction_access(ins);
         let covering: Vec<&Segment> = segments.iter().filter(|s| s.contains(addr)).collect();
         if covering.is_empty() {
-            out.push(Violation { instr_index: idx, addr, access, reason: ViolationReason::OutsideSegments });
+            out.push(Violation {
+                instr_index: idx,
+                addr,
+                access,
+                reason: ViolationReason::OutsideSegments,
+            });
             continue;
         }
         if access.is_write() {
@@ -150,8 +155,12 @@ pub fn find_hazards(instrs: &[Instruction]) -> Vec<Hazard> {
                 continue;
             }
             match (acci.is_write(), accj.is_write()) {
-                (true, true) => hazards.push(Hazard::WriteAfterWrite { first: i, second: j, addr: ai }),
-                (true, false) => hazards.push(Hazard::ReadAfterWrite { write: i, read: j, addr: ai }),
+                (true, true) => {
+                    hazards.push(Hazard::WriteAfterWrite { first: i, second: j, addr: ai })
+                }
+                (true, false) => {
+                    hazards.push(Hazard::ReadAfterWrite { write: i, read: j, addr: ai })
+                }
                 _ => {}
             }
         }
@@ -180,7 +189,10 @@ pub enum SerializeError {
 /// PUSH [Stage1:Reg1]                    LOAD  [Stage1:Reg1],  [Packet:Hop[2]]
 /// POP  [Stage3:Reg3]                    STORE [Stage3:Reg3],  [Packet:Hop[2]]
 /// ```
-pub fn serialize_pushes(instrs: &[Instruction], start_sp: u8) -> Result<Vec<Instruction>, SerializeError> {
+pub fn serialize_pushes(
+    instrs: &[Instruction],
+    start_sp: u8,
+) -> Result<Vec<Instruction>, SerializeError> {
     let mut sp = start_sp as usize;
     let mut out = Vec::with_capacity(instrs.len());
     for (idx, ins) in instrs.iter().enumerate() {
@@ -215,7 +227,8 @@ pub fn check_memory_bounds(tpp: &Tpp, max_hops: usize) -> bool {
         match ins.packet_operands() {
             PacketOperands::Stack => pushes_per_hop += 1,
             PacketOperands::One { off, .. } => {
-                let max_idx = if phw > 0 { (max_hops - 1) * phw + off as usize } else { off as usize };
+                let max_idx =
+                    if phw > 0 { (max_hops - 1) * phw + off as usize } else { off as usize };
                 if max_idx >= words {
                     return false;
                 }
@@ -313,25 +326,17 @@ mod tests {
     #[test]
     fn hazard_detection() {
         // RAW: write then read of the same register.
-        let instrs = [
-            Instruction::store(a("Stage1:Reg0"), 0),
-            Instruction::push(a("Stage1:Reg0")),
-        ];
+        let instrs = [Instruction::store(a("Stage1:Reg0"), 0), Instruction::push(a("Stage1:Reg0"))];
         let h = find_hazards(&instrs);
         assert_eq!(h, vec![Hazard::ReadAfterWrite { write: 0, read: 1, addr: a("Stage1:Reg0") }]);
 
         // WAW.
-        let instrs = [
-            Instruction::store(a("Stage1:Reg0"), 0),
-            Instruction::store(a("Stage1:Reg0"), 1),
-        ];
+        let instrs =
+            [Instruction::store(a("Stage1:Reg0"), 0), Instruction::store(a("Stage1:Reg0"), 1)];
         assert!(matches!(find_hazards(&instrs)[0], Hazard::WriteAfterWrite { .. }));
 
         // Distinct addresses: no hazard.
-        let instrs = [
-            Instruction::store(a("Stage1:Reg0"), 0),
-            Instruction::push(a("Stage1:Reg1")),
-        ];
+        let instrs = [Instruction::store(a("Stage1:Reg0"), 0), Instruction::push(a("Stage1:Reg1"))];
         assert!(find_hazards(&instrs).is_empty());
     }
 

@@ -67,14 +67,11 @@ fn parse_address(tok: &str, line: usize) -> Result<Address, AsmError> {
 fn parse_hop_operand(tok: &str, line: usize) -> Result<u8, AsmError> {
     // [Packet:Hop[3]]  (case-insensitive)
     let lower = tok.to_ascii_lowercase();
-    let rest = lower
-        .strip_prefix("[packet:hop[")
-        .and_then(|s| s.strip_suffix("]]"))
-        .ok_or_else(|| {
+    let rest =
+        lower.strip_prefix("[packet:hop[").and_then(|s| s.strip_suffix("]]")).ok_or_else(|| {
             AsmError::Syntax(line, format!("expected [Packet:Hop[n]] operand, got {tok}"))
         })?;
-    rest.parse::<u8>()
-        .map_err(|_| AsmError::OperandOutOfRange(line, tok.to_string()))
+    rest.parse::<u8>().map_err(|_| AsmError::OperandOutOfRange(line, tok.to_string()))
 }
 
 /// Split an instruction line into comma-separated operand tokens, respecting
@@ -172,22 +169,21 @@ pub fn assemble(src: &str) -> Result<Tpp, AsmError> {
                 let v: u8 = rest
                     .parse()
                     .map_err(|_| AsmError::Syntax(line, format!("bad perhop {rest}")))?;
-                if v % 4 != 0 {
+                if !v.is_multiple_of(4) {
                     return Err(AsmError::Syntax(line, "perhop must be word-aligned".into()));
                 }
                 tpp.per_hop_len = v;
             }
             ".HOPS" => {
                 hops = Some(
-                    rest.parse()
-                        .map_err(|_| AsmError::Syntax(line, format!("bad hops {rest}")))?,
+                    rest.parse().map_err(|_| AsmError::Syntax(line, format!("bad hops {rest}")))?,
                 );
             }
             ".MEMORY" => {
                 let v: usize = rest
                     .parse()
                     .map_err(|_| AsmError::Syntax(line, format!("bad memory {rest}")))?;
-                if v % 4 != 0 {
+                if !v.is_multiple_of(4) {
                     return Err(AsmError::Syntax(line, "memory must be word-aligned".into()));
                 }
                 mem_bytes = Some(v);
@@ -225,9 +221,10 @@ pub fn assemble(src: &str) -> Result<Tpp, AsmError> {
                     ("LOAD", [addr, off]) => {
                         Instruction::load(parse_address(addr, line)?, parse_hop_operand(off, line)?)
                     }
-                    ("STORE", [addr, off]) => {
-                        Instruction::store(parse_address(addr, line)?, parse_hop_operand(off, line)?)
-                    }
+                    ("STORE", [addr, off]) => Instruction::store(
+                        parse_address(addr, line)?,
+                        parse_hop_operand(off, line)?,
+                    ),
                     ("CSTORE", [addr, pre, post]) => {
                         let (pre, post) =
                             (parse_hop_operand(pre, line)?, parse_hop_operand(post, line)?);
@@ -451,7 +448,8 @@ impl TppBuilder {
         }
         // Validate nibble operands.
         for ins in &self.tpp.instrs {
-            if matches!(ins.opcode, Opcode::Cstore | Opcode::Cexec) && (ins.op1 >= 16 || ins.op2 >= 16)
+            if matches!(ins.opcode, Opcode::Cstore | Opcode::Cexec)
+                && (ins.op1 >= 16 || ins.op2 >= 16)
             {
                 return Err(AsmError::OperandOutOfRange(
                     0,

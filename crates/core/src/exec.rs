@@ -139,12 +139,18 @@ impl ExecOutcome {
         self.status.iter().filter(|s| matches!(s, InstrStatus::Executed)).count()
     }
     /// The opcodes that actually touched the datapath, for cost accounting.
-    pub fn executed_ops<'a>(&'a self, instrs: &'a [Instruction]) -> impl Iterator<Item = Opcode> + 'a {
+    pub fn executed_ops<'a>(
+        &'a self,
+        instrs: &'a [Instruction],
+    ) -> impl Iterator<Item = Opcode> + 'a {
         self.status
             .iter()
             .zip(instrs)
             .filter(|(s, _)| {
-                matches!(s, InstrStatus::Executed | InstrStatus::CondFailed | InstrStatus::PredicateFalse)
+                matches!(
+                    s,
+                    InstrStatus::Executed | InstrStatus::CondFailed | InstrStatus::PredicateFalse
+                )
             })
             .map(|(_, i)| i.opcode)
     }
@@ -287,7 +293,8 @@ fn step(
         Opcode::Cexec => {
             // CEXEC [X], [Packet:hop[mask]], [Packet:hop[value]]
             let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
-            let (Some(mask), Some(value)) = (tpp.read_hop_word(ins.op1), tpp.read_hop_word(ins.op2))
+            let (Some(mask), Some(value)) =
+                (tpp.read_hop_word(ins.op1), tpp.read_hop_word(ins.op2))
             else {
                 return InstrStatus::Skipped;
             };
@@ -407,11 +414,8 @@ mod tests {
         // The RCP* update TPP (§2.2): version-checked write.
         let v_addr = a("Link:AppSpecific_0");
         let r_addr = a("Link:AppSpecific_1");
-        let mut tpp = hop_tpp(
-            vec![Instruction::cstore(v_addr, 0, 1), Instruction::store(r_addr, 2)],
-            12,
-            2,
-        );
+        let mut tpp =
+            hop_tpp(vec![Instruction::cstore(v_addr, 0, 1), Instruction::store(r_addr, 2)], 12, 2);
         // Hop 0 memory: [V, V+1, R_new]
         tpp.write_word(0, 10).unwrap();
         tpp.write_word(1, 11).unwrap();

@@ -187,13 +187,9 @@ impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.opcode {
             Opcode::Push | Opcode::Pop => write!(f, "{} {}", self.opcode.mnemonic(), self.addr),
-            Opcode::Load | Opcode::Store => write!(
-                f,
-                "{} {}, [Packet:Hop[{}]]",
-                self.opcode.mnemonic(),
-                self.addr,
-                self.op1
-            ),
+            Opcode::Load | Opcode::Store => {
+                write!(f, "{} {}, [Packet:Hop[{}]]", self.opcode.mnemonic(), self.addr, self.op1)
+            }
             Opcode::Cstore | Opcode::Cexec => write!(
                 f,
                 "{} {}, [Packet:Hop[{}]], [Packet:Hop[{}]]",
@@ -217,13 +213,10 @@ pub fn encode_program(instrs: &[Instruction]) -> Vec<u8> {
 
 /// Decode a program from bytes. Fails on trailing bytes or unknown opcodes.
 pub fn decode_program(bytes: &[u8]) -> Option<Vec<Instruction>> {
-    if bytes.len() % INSTR_BYTES != 0 {
+    if !bytes.len().is_multiple_of(INSTR_BYTES) {
         return None;
     }
-    bytes
-        .chunks_exact(INSTR_BYTES)
-        .map(|c| Instruction::decode([c[0], c[1], c[2], c[3]]))
-        .collect()
+    bytes.chunks_exact(INSTR_BYTES).map(|c| Instruction::decode([c[0], c[1], c[2], c[3]])).collect()
 }
 
 #[cfg(test)]
@@ -270,10 +263,7 @@ mod tests {
 
     #[test]
     fn program_roundtrip_and_trailing_bytes() {
-        let p = vec![
-            Instruction::push(qsize()),
-            Instruction::cstore(qsize(), 0, 1),
-        ];
+        let p = vec![Instruction::push(qsize()), Instruction::cstore(qsize(), 0, 1)];
         let bytes = encode_program(&p);
         assert_eq!(decode_program(&bytes).unwrap(), p);
         let mut trailing = bytes.clone();

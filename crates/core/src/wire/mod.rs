@@ -141,7 +141,8 @@ pub fn build_standalone(
         payload_len: udp_bytes.len(),
     };
     let ip_bytes = ip_repr.encapsulate(&udp_bytes);
-    let eth_repr = EthernetRepr { dst: dst_mac, src: src_mac, ethertype: ethernet::ethertype::IPV4 };
+    let eth_repr =
+        EthernetRepr { dst: dst_mac, src: src_mac, ethertype: ethernet::ethertype::IPV4 };
     eth_repr.encapsulate(&ip_bytes)
 }
 

@@ -228,7 +228,7 @@ impl Tpp {
         let wrote = bytes[0] & 0x02 != 0;
         let n_instr = bytes[1] as usize;
         let mem_len = bytes[2] as usize;
-        if mem_len % 4 != 0 {
+        if !mem_len.is_multiple_of(4) {
             return Err(TppError::UnalignedMemory(bytes[2]));
         }
         let total = HEADER_LEN + n_instr * INSTR_BYTES + mem_len;
@@ -323,7 +323,7 @@ mod tests {
     #[test]
     fn checksum_detects_corruption() {
         let t = sample();
-        let mut bytes = t.serialize();
+        let bytes = t.serialize();
         for byte in [0usize, 3, HEADER_LEN, bytes.len() - 1] {
             let mut m = bytes.clone();
             m[byte] ^= 0x10;
@@ -333,7 +333,6 @@ mod tests {
             }
         }
         // Untouched still parses.
-        bytes[6] = bytes[6]; // no-op
         assert!(Tpp::parse(&bytes).is_ok());
     }
 
@@ -396,7 +395,10 @@ mod tests {
         let t = sample();
         let mut bytes = t.serialize();
         bytes[2] = 13;
-        assert!(matches!(Tpp::parse(&bytes), Err(TppError::UnalignedMemory(13) | TppError::Truncated | TppError::BadChecksum)));
+        assert!(matches!(
+            Tpp::parse(&bytes),
+            Err(TppError::UnalignedMemory(13) | TppError::Truncated | TppError::BadChecksum)
+        ));
     }
 
     #[test]

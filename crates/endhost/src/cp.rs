@@ -160,7 +160,7 @@ impl Policy {
                 tpp.instrs.len()
             )));
         }
-        if tpp.memory.len() % 4 != 0 {
+        if !tpp.memory.len().is_multiple_of(4) {
             return Err(CpError::Malformed("packet memory not word-aligned".into()));
         }
         if self.drop_writes && writes_switch_memory(&tpp.instrs) {

@@ -37,9 +37,14 @@ impl Default for ExecutorConfig {
 /// Why a probe finished.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProbeOutcome {
-    Completed { token: u32, tpp: Tpp },
+    Completed {
+        token: u32,
+        tpp: Tpp,
+    },
     /// All retries exhausted.
-    Failed { token: u32 },
+    Failed {
+        token: u32,
+    },
 }
 
 struct Pending {
@@ -105,7 +110,8 @@ impl Executor {
         // A per-probe source port doubles as a completion key (the shim's
         // echo channel carries the probe's flow context back).
         let src_port = 40_000 + (token % 16_384) as u16;
-        let frame = build_standalone(self.src_mac, mac_of_ip(dst), self.src_ip, dst, src_port, &tpp);
+        let frame =
+            build_standalone(self.src_mac, mac_of_ip(dst), self.src_ip, dst, src_port, &tpp);
         self.pending.insert(
             token,
             Pending {
@@ -149,12 +155,8 @@ impl Executor {
     pub fn poll(&mut self, now: u64) -> (Vec<Vec<u8>>, Vec<ProbeOutcome>) {
         let mut resend = Vec::new();
         let mut done = Vec::new();
-        let expired: Vec<u32> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| p.deadline <= now)
-            .map(|(t, _)| *t)
-            .collect();
+        let expired: Vec<u32> =
+            self.pending.iter().filter(|(_, p)| p.deadline <= now).map(|(t, _)| *t).collect();
         for token in expired {
             let p = self.pending.get_mut(&token).unwrap();
             if p.retries_left == 0 {
@@ -228,8 +230,11 @@ impl ScatterGather {
         tpp: &Tpp,
         switches: &[(u32, Ipv4Address)],
     ) -> Result<(ScatterGather, Vec<Vec<u8>>), AsmError> {
-        let mut sg =
-            ScatterGather { memberships: BTreeMap::new(), results: BTreeMap::new(), failed: Vec::new() };
+        let mut sg = ScatterGather {
+            memberships: BTreeMap::new(),
+            results: BTreeMap::new(),
+            failed: Vec::new(),
+        };
         let mut frames = Vec::new();
         for &(sid, ip) in switches {
             let probe = targeted(tpp, sid)?;
@@ -280,11 +285,8 @@ pub fn split_for_path(
     }
     let per_hop_words = stats.len();
     let hops_per_tpp = (max_memory_words / per_hop_words).max(1);
-    let instrs: Vec<Instruction> = stats
-        .iter()
-        .enumerate()
-        .map(|(i, &a)| Instruction::load(a, i as u8))
-        .collect();
+    let instrs: Vec<Instruction> =
+        stats.iter().enumerate().map(|(i, &a)| Instruction::load(a, i as u8)).collect();
     let mut out = Vec::new();
     let mut start = 0usize;
     while start < path_len {
@@ -316,8 +318,8 @@ pub fn merge_split_results(tpps: &[Tpp], path_len: usize, n_stats: usize) -> Vec
             if hop >= path_len {
                 break;
             }
-            for s in 0..n_stats {
-                rows[hop][s] = t.read_word(h * n_stats + s).unwrap_or(0);
+            for (s, cell) in rows[hop].iter_mut().enumerate().take(n_stats) {
+                *cell = t.read_word(h * n_stats + s).unwrap_or(0);
             }
             hop += 1;
         }

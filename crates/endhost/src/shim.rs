@@ -249,12 +249,7 @@ impl Shim {
         if to == self.ip {
             self.counters.completed_delivered += 1;
             return Incoming {
-                completed: Some(CompletedTpp {
-                    app_id: tpp.app_id,
-                    from: flow.src,
-                    tpp,
-                    flow,
-                }),
+                completed: Some(CompletedTpp { app_id: tpp.app_id, from: flow.src, tpp, flow }),
                 ..Incoming::default()
             };
         }

@@ -74,8 +74,12 @@ pub fn seg_frame(src_ip: Ipv4Address, dst_ip: Ipv4Address, hdr: &SegHeader) -> V
         ttl: 64,
         payload_len: seg.len(),
     };
-    EthernetRepr { dst: mac_of_ip(dst_ip), src: mac_of_ip(src_ip), ethertype: ethernet::ethertype::IPV4 }
-        .encapsulate(&ip.encapsulate(&seg))
+    EthernetRepr {
+        dst: mac_of_ip(dst_ip),
+        src: mac_of_ip(src_ip),
+        ethertype: ethernet::ethertype::IPV4,
+    }
+    .encapsulate(&ip.encapsulate(&seg))
 }
 
 /// Extract a segment from a received frame, if it is one of ours.
@@ -286,9 +290,8 @@ impl TcpConn {
                     self.ssthresh = (self.cwnd / 2.0).max(2.0);
                     self.cwnd = self.ssthresh;
                     self.retransmits += 1;
-                    let len = (self.mss as u64)
-                        .min(self.bytes_to_send - self.snd_una as u64)
-                        as usize;
+                    let len =
+                        (self.mss as u64).min(self.bytes_to_send - self.snd_una as u64) as usize;
                     out.push(SegOut {
                         seq: self.snd_una,
                         ack: self.rcv_nxt,
@@ -397,8 +400,8 @@ impl PacedSender {
         // an unbounded burst.
         while self.next_send_ns <= now && n < 32 {
             n += 1;
-            self.next_send_ns = self.next_send_ns.max(now.saturating_sub(self.interval_ns()))
-                + self.interval_ns();
+            self.next_send_ns =
+                self.next_send_ns.max(now.saturating_sub(self.interval_ns())) + self.interval_ns();
         }
         n
     }
@@ -424,7 +427,8 @@ mod tests {
         let mut b = TcpConn::new(2, 1, 1000);
         b.bytes_to_send = 0;
         let mut now = 0u64;
-        let mut wire: Vec<(bool, SegOut)> = drain(&mut a, now).into_iter().map(|s| (true, s)).collect();
+        let mut wire: Vec<(bool, SegOut)> =
+            drain(&mut a, now).into_iter().map(|s| (true, s)).collect();
         for _ in 0..steps {
             if wire.is_empty() {
                 break;
@@ -473,7 +477,14 @@ mod tests {
         let w0 = a.pump(0).len(); // initial cwnd = 2
         assert_eq!(w0, 2);
         // ACK both: cwnd 2 -> 4.
-        let ack = SegHeader { src_port: 0, dst_port: 0, seq: 0, ack: 2000, flags: flags::ACK, payload_len: 0 };
+        let ack = SegHeader {
+            src_port: 0,
+            dst_port: 0,
+            seq: 0,
+            ack: 2000,
+            flags: flags::ACK,
+            payload_len: 0,
+        };
         a.on_segment(1000, &ack);
         let w1 = a.pump(1000).len();
         assert_eq!(w1, 4);
@@ -490,7 +501,14 @@ mod tests {
         for s in &segs {
             acked += s.payload_len as u32;
         }
-        let ack = SegHeader { src_port: 0, dst_port: 0, seq: 0, ack: acked, flags: flags::ACK, payload_len: 0 };
+        let ack = SegHeader {
+            src_port: 0,
+            dst_port: 0,
+            seq: 0,
+            ack: acked,
+            flags: flags::ACK,
+            payload_len: 0,
+        };
         a.on_segment(1000, &ack);
         // Gained ~1 MSS per cwnd of data.
         assert!(a.cwnd - before > 0.9 && a.cwnd - before < 1.1, "cwnd {} -> {}", before, a.cwnd);
@@ -503,7 +521,14 @@ mod tests {
         a.cwnd = 8.0;
         let _segs = a.pump(0);
         let cwnd_before = a.cwnd;
-        let dup = SegHeader { src_port: 0, dst_port: 0, seq: 0, ack: 0, flags: flags::ACK, payload_len: 0 };
+        let dup = SegHeader {
+            src_port: 0,
+            dst_port: 0,
+            seq: 0,
+            ack: 0,
+            flags: flags::ACK,
+            payload_len: 0,
+        };
         assert!(a.on_segment(10, &dup).is_empty());
         assert!(a.on_segment(20, &dup).is_empty());
         let rtx = a.on_segment(30, &dup);
@@ -533,7 +558,14 @@ mod tests {
     #[test]
     fn receiver_reassembles_out_of_order() {
         let mut b = TcpConn::new(2, 1, 1000);
-        let seg = |seq, len| SegHeader { src_port: 0, dst_port: 0, seq, ack: 0, flags: 0, payload_len: len };
+        let seg = |seq, len| SegHeader {
+            src_port: 0,
+            dst_port: 0,
+            seq,
+            ack: 0,
+            flags: 0,
+            payload_len: len,
+        };
         // Deliver 1000..2000 first (out of order).
         let acks = b.on_segment(0, &seg(1000, 1000));
         assert_eq!(acks[0].ack, 0); // dup-ack semantics
@@ -552,7 +584,14 @@ mod tests {
             let segs = a.pump(now);
             let end = segs.iter().map(|s| s.seq + s.payload_len as u32).max().unwrap_or(a.snd_una);
             now += 5_000_000; // 5 ms RTT
-            let ack = SegHeader { src_port: 0, dst_port: 0, seq: 0, ack: end, flags: flags::ACK, payload_len: 0 };
+            let ack = SegHeader {
+                src_port: 0,
+                dst_port: 0,
+                seq: 0,
+                ack: end,
+                flags: flags::ACK,
+                payload_len: 0,
+            };
             a.on_segment(now, &ack);
         }
         let srtt = a.srtt_ns().unwrap();
@@ -563,7 +602,14 @@ mod tests {
     fn seg_frame_roundtrip() {
         let src = Ipv4Address::from_host_id(1);
         let dst = Ipv4Address::from_host_id(2);
-        let hdr = SegHeader { src_port: 7, dst_port: 9, seq: 100, ack: 50, flags: flags::ACK, payload_len: 64 };
+        let hdr = SegHeader {
+            src_port: 7,
+            dst_port: 9,
+            seq: 100,
+            ack: 50,
+            flags: flags::ACK,
+            payload_len: 64,
+        };
         let frame = seg_frame(src, dst, &hdr);
         let (s, d, back) = parse_seg_frame(&frame).unwrap();
         assert_eq!((s, d), (src, dst));

@@ -169,7 +169,7 @@ mod tests {
             state ^= state << 17;
             if popped < 500 {
                 q.schedule_in(state % 100, popped);
-                if state % 3 == 0 {
+                if state.is_multiple_of(3) {
                     q.schedule_in(0, popped + 1000);
                 }
             }

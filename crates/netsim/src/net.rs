@@ -19,8 +19,8 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::engine::{EventQueue, Time, MILLIS};
-use tpp_switch::{ReceiveOutcome, Switch, SwitchConfig};
 use tpp_core::wire::{EthernetAddress, Ipv4Address};
+use tpp_switch::{ReceiveOutcome, Switch, SwitchConfig};
 
 /// Identifies a node (switch or host) in the network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -127,12 +127,24 @@ struct Port {
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Frame fully received at `(node, port)`.
-    Arrive { node: NodeId, port: u8 },
+    Arrive {
+        node: NodeId,
+        port: u8,
+    },
     /// Transmitter at `(node, port)` finished serializing a frame.
-    TxDone { node: NodeId, port: u8 },
+    TxDone {
+        node: NodeId,
+        port: u8,
+    },
     /// Try to start transmitting on `(node, port)` (pipeline-latency kick).
-    Kick { node: NodeId, port: u8 },
-    HostTimer { node: NodeId, token: u64 },
+    Kick {
+        node: NodeId,
+        port: u8,
+    },
+    HostTimer {
+        node: NodeId,
+        token: u64,
+    },
     UtilTick,
 }
 
@@ -408,8 +420,7 @@ impl Network {
                     ReceiveOutcome::Enqueued { port: out, proc_latency_ns, .. } => {
                         // The pipeline needs proc_latency before the frame is
                         // eligible for transmission.
-                        self.queue
-                            .schedule_at(now + proc_latency_ns, Ev::Kick { node, port: out });
+                        self.queue.schedule_at(now + proc_latency_ns, Ev::Kick { node, port: out });
                     }
                     ReceiveOutcome::Dropped(_) => {}
                 }
@@ -418,13 +429,8 @@ impl Network {
                 h.rx_frames += 1;
                 let mut effects = Vec::new();
                 {
-                    let mut ctx = HostCtx {
-                        now,
-                        node,
-                        ip: h.ip,
-                        mac: h.mac,
-                        effects: &mut effects,
-                    };
+                    let mut ctx =
+                        HostCtx { now, node, ip: h.ip, mac: h.mac, effects: &mut effects };
                     h.app.on_frame(&mut ctx, frame);
                 }
                 self.apply_effects(node, effects);
@@ -437,8 +443,7 @@ impl Network {
         let mut effects = Vec::new();
         {
             let NodeKind::Host(h) = &mut self.nodes[node.0 as usize] else { return };
-            let mut ctx =
-                HostCtx { now, node, ip: h.ip, mac: h.mac, effects: &mut effects };
+            let mut ctx = HostCtx { now, node, ip: h.ip, mac: h.mac, effects: &mut effects };
             h.app.on_timer(&mut ctx, token);
         }
         self.apply_effects(node, effects);
@@ -519,12 +524,14 @@ mod tests {
     use tpp_core::wire::{ethernet, ipv4, udp, EthernetRepr};
     use tpp_switch::Action;
 
+    type ReceivedLog = Rc<RefCell<Vec<(Time, Vec<u8>)>>>;
+
     /// Sends `count` UDP frames to `dst` at start, records received frames.
     struct Blaster {
         dst_ip: Ipv4Address,
         dst_mac: EthernetAddress,
         count: usize,
-        received: Rc<RefCell<Vec<(Time, Vec<u8>)>>>,
+        received: ReceivedLog,
     }
 
     impl HostApp for Blaster {
@@ -556,11 +563,7 @@ mod tests {
         }
     }
 
-    fn two_hosts_one_switch(
-        rate_mbps: u64,
-        delay_ns: u64,
-        count: usize,
-    ) -> (Network, Rc<RefCell<Vec<(Time, Vec<u8>)>>>) {
+    fn two_hosts_one_switch(rate_mbps: u64, delay_ns: u64, count: usize) -> (Network, ReceivedLog) {
         let mut net = Network::new(1);
         let received = Rc::new(RefCell::new(Vec::new()));
         let sw = net.add_switch(SwitchConfig::new(1, 2));
@@ -613,10 +616,7 @@ mod tests {
         let frame_len = log[0].1.len() as u64;
         let ser = frame_len * 8 * 1000 / 100;
         let expected = 2 * ser + 2 * 1000 + 500;
-        assert!(
-            t >= expected && t < expected + 2000,
-            "arrival at {t}, expected ~{expected}"
-        );
+        assert!(t >= expected && t < expected + 2000, "arrival at {t}, expected ~{expected}");
     }
 
     #[test]
@@ -717,7 +717,7 @@ mod tests {
         net.connect(sw, sink, LinkSpec::new(10, 0));
         net.connect(sw, src, LinkSpec::new(10, 0));
         net.switch_mut(sw).add_host_route(Ipv4Address::from_host_id(1), Action::Output(0));
-        net.run_until(1 * MILLIS);
+        net.run_until(MILLIS);
         assert!(net.host(src).nic_drops > 0);
     }
 

@@ -34,14 +34,13 @@ fn bfs_dist(net: &Network, start: NodeId) -> HashMap<NodeId, u32> {
     while let Some(n) = q.pop_front() {
         let d = dist[&n];
         for (_, peer) in net.neighbors(n) {
-            // Hosts are leaves: never route *through* a host.
-            if net.is_switch(peer) || dist.is_empty() {
-                if !dist.contains_key(&peer) {
-                    dist.insert(peer, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(peer) {
+                e.insert(d + 1);
+                // Hosts are leaves: record their distance, never route
+                // *through* them.
+                if net.is_switch(peer) {
                     q.push_back(peer);
                 }
-            } else if !dist.contains_key(&peer) {
-                dist.insert(peer, d + 1); // record host distance, don't expand
             }
         }
     }
@@ -207,7 +206,7 @@ pub fn leaf_spine(
 /// A k-ary fat-tree (§2.5 uses k = 64; tests use k = 4): k pods of k/2 edge
 /// and k/2 aggregation switches, (k/2)^2 cores, k^3/4 hosts.
 pub fn fat_tree(k: usize, link_mbps: u64, delay_ns: u64, seed: u64) -> Topology {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
     let half = k / 2;
     let mut net = Network::new(seed);
 
@@ -227,8 +226,8 @@ pub fn fat_tree(k: usize, link_mbps: u64, delay_ns: u64, seed: u64) -> Topology 
     for j in 0..half {
         for i in 0..half {
             let core = cores[j * half + i];
-            for pod in 0..k {
-                net.connect(aggs[pod][j], core, LinkSpec::new(link_mbps, delay_ns));
+            for pod_aggs in &aggs {
+                net.connect(pod_aggs[j], core, LinkSpec::new(link_mbps, delay_ns));
             }
         }
     }
@@ -285,11 +284,7 @@ mod tests {
         fn start(&mut self, ctx: &mut HostCtx<'_>) {
             for i in 0..self.n {
                 let dst_ip = Ipv4Address::from_host_id(self.dst.0);
-                let u = udp::Repr {
-                    src_port: self.sport + i as u16,
-                    dst_port: 7,
-                    payload_len: 10,
-                };
+                let u = udp::Repr { src_port: self.sport + i as u16, dst_port: 7, payload_len: 10 };
                 let udp_b = u.encapsulate(ctx.ip, dst_ip, &[0; 10]);
                 let ip = ipv4::Repr {
                     src: ctx.ip,

@@ -9,8 +9,8 @@
 //! Wide counters are stored as `u64` and exposed as `_LO`/`_HI` word pairs.
 
 use tpp_core::addr::{
-    flow_entry_ns, layout, link_ns, meta_ns, queue_ns, stage_ns, switch_ns, Address,
-    Namespace, Word,
+    flow_entry_ns, layout, link_ns, meta_ns, queue_ns, stage_ns, switch_ns, Address, Namespace,
+    Word,
 };
 use tpp_core::exec::{MemoryBus, WriteOutcome};
 
@@ -308,16 +308,12 @@ impl SwitchMemory {
     pub fn update_utilization(&mut self, interval_ns: u64) {
         for link in &mut self.links {
             let cap_bits = (link.speed_mbps as u64) * interval_ns / 1000; // Mbps * ns / 1000 = bits
-            let tx_bps = if cap_bits == 0 {
-                0
-            } else {
-                ((link.tx_bytes_interval * 8 * 10_000) / cap_bits).min(10_000) as u32
-            };
-            let rx_bps = if cap_bits == 0 {
-                0
-            } else {
-                ((link.rx_bytes_interval * 8 * 10_000) / cap_bits).min(10_000) as u32
-            };
+            let tx_bps = (link.tx_bytes_interval * 8 * 10_000)
+                .checked_div(cap_bits)
+                .map_or(0, |v| v.min(10_000) as u32);
+            let rx_bps = (link.rx_bytes_interval * 8 * 10_000)
+                .checked_div(cap_bits)
+                .map_or(0, |v| v.min(10_000) as u32);
             // EWMA with alpha = 1/2: responsive at RTT timescales yet smooth.
             link.tx_util_bps = (link.tx_util_bps + tx_bps) / 2;
             link.rx_util_bps = (link.rx_util_bps + rx_bps) / 2;
@@ -682,7 +678,7 @@ mod tests {
     #[test]
     fn utilization_update_ewma() {
         let mut m = mem();
-        m.links[0].speed_mbps = 100; // 100 Mb/s
+        m.links[0].speed_mbps = 100;
         // 50% utilization over 1 ms: 100Mb/s * 1ms = 100_000 bits capacity;
         // send 6250 bytes = 50_000 bits.
         m.links[0].tx_bytes_interval = 6_250;

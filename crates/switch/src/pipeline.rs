@@ -359,7 +359,11 @@ mod tests {
         PipelineConfig::default()
     }
 
-    fn run_full(tpp: Tpp, mem: &mut SwitchMemory, ctx: &mut PacketContext) -> (Tpp, Vec<InstrStatus>) {
+    fn run_full(
+        tpp: Tpp,
+        mem: &mut SwitchMemory,
+        ctx: &mut PacketContext,
+    ) -> (Tpp, Vec<InstrStatus>) {
         let opts = ExecOptions::default();
         let mut run = TppRun::plan(tpp, &opts);
         let c = cfg();

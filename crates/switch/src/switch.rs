@@ -18,8 +18,7 @@ use crate::tables::{Action, FlowKey, FlowTable, GroupTable};
 use tpp_core::addr::layout;
 use tpp_core::exec::ExecOptions;
 use tpp_core::wire::{
-    ethernet, locate_tpp, replace_tpp, EthernetFrame, Ipv4Address, Ipv4Packet, Tpp,
-    TppLocation,
+    ethernet, locate_tpp, replace_tpp, EthernetFrame, Ipv4Address, Ipv4Packet, Tpp, TppLocation,
 };
 
 /// Static configuration of one switch.
@@ -81,7 +80,11 @@ pub enum DropReason {
 pub enum ReceiveOutcome {
     /// Frame enqueued on `port`/`queue`; the pipeline spent
     /// `proc_latency_ns` on it (baseline + TPP execution, §6.1).
-    Enqueued { port: u8, queue: u8, proc_latency_ns: u64 },
+    Enqueued {
+        port: u8,
+        queue: u8,
+        proc_latency_ns: u64,
+    },
     Dropped(DropReason),
 }
 
@@ -565,8 +568,12 @@ mod tests {
         sw.receive(0, 0, host_frame(1, 2, 200, 1, 2));
         sw.receive(1, 0, host_frame(1, 2, 200, 1, 2));
         let inner = host_frame(1, 2, 64, 1000, 2000);
-        let tpp =
-            TppBuilder::stack_mode().push_m("Queue:QueueOccupancy").unwrap().hops(1).build().unwrap();
+        let tpp = TppBuilder::stack_mode()
+            .push_m("Queue:QueueOccupancy")
+            .unwrap()
+            .hops(1)
+            .build()
+            .unwrap();
         sw.receive(2, 0, insert_transparent(&inner, &tpp));
         // Drain: two plain packets then the instrumented one.
         sw.dequeue(10, 2);
@@ -582,7 +589,8 @@ mod tests {
     fn standalone_tpp_to_switch_ip_reflects() {
         let mut sw = basic_switch();
         let src_ip = Ipv4Address::from_host_id(1);
-        let tpp = TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(1).build().unwrap();
+        let tpp =
+            TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(1).build().unwrap();
         let frame = build_standalone(
             EthernetAddress::from_node_id(1),
             EthernetAddress::from_node_id(1000),
@@ -643,8 +651,12 @@ mod tests {
         let mut sw = Switch::new(cfg);
         sw.add_host_route(Ipv4Address::from_host_id(2), Action::Output(2));
         let inner = host_frame(1, 2, 64, 1, 2);
-        let mut tpp =
-            TppBuilder::hop_mode(1).store_m("Link:AppSpecific_0", 0).unwrap().hops(1).build().unwrap();
+        let mut tpp = TppBuilder::hop_mode(1)
+            .store_m("Link:AppSpecific_0", 0)
+            .unwrap()
+            .hops(1)
+            .build()
+            .unwrap();
         tpp.write_word(0, 999).unwrap();
         sw.receive(0, 0, insert_transparent(&inner, &tpp));
         let sent = sw.dequeue(1, 2).unwrap();
@@ -675,7 +687,8 @@ mod tests {
     fn corrupted_transparent_tpp_dropped() {
         let mut sw = basic_switch();
         let inner = host_frame(1, 2, 64, 1, 2);
-        let tpp = TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(1).build().unwrap();
+        let tpp =
+            TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(1).build().unwrap();
         let mut frame = insert_transparent(&inner, &tpp);
         frame[20] ^= 0xFF;
         assert!(matches!(sw.receive(0, 0, frame), ReceiveOutcome::Dropped(DropReason::Malformed)));
@@ -686,7 +699,7 @@ mod tests {
     fn utilization_ticks() {
         let mut sw = basic_switch();
         sw.set_link_speed(2, 100); // 100 Mb/s
-        // ~50% load for 1ms: 6250 bytes.
+                                   // ~50% load for 1ms: 6250 bytes.
         for _ in 0..10 {
             sw.receive(0, 0, host_frame(1, 2, 583, 1, 2));
             sw.dequeue(0, 2);
@@ -837,7 +850,8 @@ mod scheduler_tests {
 
     #[test]
     fn reflect_frame_swaps_addresses_in_place() {
-        let tpp = TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(1).build().unwrap();
+        let tpp =
+            TppBuilder::stack_mode().push_m("Switch:SwitchID").unwrap().hops(1).build().unwrap();
         let mut frame = wire::build_standalone(
             EthernetAddress::from_node_id(1),
             EthernetAddress::from_node_id(9),

@@ -24,7 +24,8 @@ fn main() {
     }
 
     // ndb: interactive queries.
-    let via_switch2 = ndb_query(&r.histories, &Query { traverses_switch: Some(2), ..Query::default() });
+    let via_switch2 =
+        ndb_query(&r.histories, &Query { traverses_switch: Some(2), ..Query::default() });
     println!("\nndb> histories traversing switch 2: {}", via_switch2.len());
     let from_h0 = ndb_query(&r.histories, &Query { src: Some(r.host_ips[0]), ..Query::default() });
     println!("ndb> histories from {}: {}", r.host_ips[0], from_h0.len());
@@ -44,7 +45,10 @@ fn main() {
 
     // Loss localization.
     match last_seen_switch(&r.histories, r.host_ips[0], r.host_ips[1]) {
-        Some(sw) => println!("\nif {} -> {} packets vanished now, the frontier switch is {sw}", r.host_ips[0], r.host_ips[1]),
+        Some(sw) => println!(
+            "\nif {} -> {} packets vanished now, the frontier switch is {sw}",
+            r.host_ips[0], r.host_ips[1]
+        ),
         None => println!("\nno histories for that pair"),
     }
 }

@@ -10,10 +10,9 @@ use minions::netsim::SECONDS;
 
 fn main() {
     println!("flow a crosses two 100 Mb/s links; flows b and c one each.\n");
-    for (alpha, name, expect) in [
-        (f64::INFINITY, "max-min", "a=b=c=50"),
-        (1.0, "proportional", "a=33, b=c=67"),
-    ] {
+    for (alpha, name, expect) in
+        [(f64::INFINITY, "max-min", "a=b=c=50"), (1.0, "proportional", "a=33, b=c=67")]
+    {
         let r = run_rcp_fig2(alpha, 12 * SECONDS, 5);
         println!("{name} fairness (theory: {expect}):");
         for (flow, mbps) in &r.steady_mbps {

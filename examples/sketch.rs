@@ -17,10 +17,15 @@ fn main() {
     );
     println!("\nbusiest links (estimate vs exact unique destinations):");
     let mut links = r.links.clone();
-    links.sort_by(|a, b| b.truth.cmp(&a.truth));
+    links.sort_by_key(|l| std::cmp::Reverse(l.truth));
     println!("{:>10} {:>10} {:>7}", "link", "estimate", "truth");
     for l in links.iter().take(10) {
-        println!("{:>10} {:>10.1} {:>7}", format!("{}:{}", l.link.0, l.link.1), l.estimate, l.truth);
+        println!(
+            "{:>10} {:>10.1} {:>7}",
+            format!("{}:{}", l.link.0, l.link.1),
+            l.estimate,
+            l.truth
+        );
     }
     println!("\nmean relative error: {:.1}%", 100.0 * r.mean_relative_error);
     let (servers, links_n, bytes) = fat_tree_sizing(64, 1024);

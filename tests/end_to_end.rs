@@ -20,12 +20,12 @@ struct OneProbe {
 }
 
 impl OneProbe {
-    fn new(dst: Ipv4Address, tpp: minions::core::wire::Tpp) -> (Self, Rc<RefCell<Option<ProbeOutcome>>>) {
+    fn new(
+        dst: Ipv4Address,
+        tpp: minions::core::wire::Tpp,
+    ) -> (Self, Rc<RefCell<Option<ProbeOutcome>>>) {
         let outcome = Rc::new(RefCell::new(None));
-        (
-            OneProbe { dst, tpp, shim: None, exec: None, outcome: outcome.clone() },
-            outcome,
-        )
+        (OneProbe { dst, tpp, shim: None, exec: None, outcome: outcome.clone() }, outcome)
     }
 }
 
@@ -203,7 +203,11 @@ fn concurrent_cstore_writers_serialize_by_version() {
             let mut ctx = PacketContext::new(0, 100, 0, 6);
             ctx.out_port = Some(2);
             let mut bus = SwitchBus { mem: &mut mem, ctx: &mut ctx };
-            let out = execute(&mut tpp, &mut bus, &ExecOptions { increment_hop: false, ..ExecOptions::default() });
+            let out = execute(
+                &mut tpp,
+                &mut bus,
+                &ExecOptions { increment_hop: false, ..ExecOptions::default() },
+            );
             if out.wrote {
                 successes += 1;
             } else {
@@ -261,10 +265,7 @@ fn topology_ground_truth_matches_histories() {
         // path is a contiguous, monotonic run.
         let path = h.path();
         for w in path.windows(2) {
-            assert!(
-                w[1] == w[0] + 1 || w[1] == w[0] - 1,
-                "non-contiguous path {path:?}"
-            );
+            assert!(w[1] == w[0] + 1 || w[1] == w[0] - 1, "non-contiguous path {path:?}");
         }
     }
 }

@@ -1,0 +1,61 @@
+//! Workspace-level smoke test: the umbrella crate re-exports resolve, and a
+//! TPP survives the full assemble → wire-encode → parse → execute cycle.
+//!
+//! This is the minimal end-to-end exercise CI relies on to prove the
+//! workspace is wired together — every `minions::*` re-export is touched by
+//! name so a broken re-export is a compile error here, not a user report.
+
+use minions::core::addr::resolve_mnemonic;
+use minions::core::asm::assemble;
+use minions::core::exec::{execute, ExecOptions, InstrStatus, MapBus};
+use minions::core::wire::Tpp;
+
+#[test]
+fn umbrella_reexports_resolve() {
+    // One load-bearing symbol per re-exported crate.
+    let _core: fn(&str) -> _ = minions::core::addr::resolve_mnemonic;
+    let _switch = minions::switch::SwitchConfig::new(1, 4);
+    let _endhost = minions::endhost::Filter::udp();
+    let _netsim: minions::netsim::Time = minions::netsim::MILLIS;
+    let _apps = minions::apps::sketch::BitmapSketch::new(64);
+}
+
+#[test]
+fn tpp_roundtrips_assemble_encode_parse_execute() {
+    // Assemble the paper's §2.1 three-instruction probe.
+    let tpp = assemble(
+        "
+        PUSH [Switch:SwitchID]
+        PUSH [PacketMetadata:OutputPort]
+        PUSH [Queue:QueueOccupancy]
+        ",
+    )
+    .expect("assembles");
+
+    // Wire-encode, then parse back: lossless round-trip.
+    let bytes = tpp.serialize();
+    let (parsed, consumed) = Tpp::parse(&bytes).expect("self-serialized TPP parses");
+    assert_eq!(consumed, bytes.len());
+    assert_eq!(parsed, tpp);
+
+    // Execute the parsed copy against a mock switch memory bus.
+    let entries =
+        [("Switch:SwitchID", 4u32), ("PacketMetadata:OutputPort", 2), ("Queue:QueueOccupancy", 17)];
+    let resolved: Vec<_> =
+        entries.iter().map(|(m, v)| (resolve_mnemonic(m).unwrap(), *v)).collect();
+    let mut bus = MapBus::with(&resolved);
+    let mut t = parsed;
+    let out = execute(&mut t, &mut bus, &ExecOptions::default());
+    assert!(out.status.iter().all(|s| *s == InstrStatus::Executed), "{:?}", out.status);
+
+    // The packet now carries the switch state snapshot and a hop count.
+    assert_eq!(&t.words()[..3], &[4, 2, 17]);
+    assert_eq!(t.hop, 1);
+    assert_eq!(t.sp, 3);
+
+    // And the executed TPP still serializes and parses — what the next
+    // switch on the path would receive.
+    let bytes2 = t.serialize();
+    let (parsed2, _) = Tpp::parse(&bytes2).expect("executed TPP still parses");
+    assert_eq!(parsed2, t);
+}

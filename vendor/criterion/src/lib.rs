@@ -1,0 +1,290 @@
+//! Offline, dependency-free stand-in for the subset of the `criterion`
+//! benchmarking API this workspace uses. It keeps criterion's shape
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, throughput,
+//! parametrised IDs) but reports plain wall-clock statistics to stdout —
+//! no plotting, no statistical regression analysis.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parametrised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the closure under timing and records per-iteration cost.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also yields a per-iteration estimate for batch sizing.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Size batches so `sample_size` samples fill the measurement window.
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((budget_ns / per_iter.max(1.0)).round() as u64).max(1);
+
+        self.samples_ns.clear();
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn stats(&self) -> Option<(f64, f64, f64)> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut v = self.samples_ns.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        let median = v[v.len() / 2];
+        Some((v[0], median, v[v.len() - 1]))
+    }
+}
+
+/// Benchmark configuration and entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(1),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, group: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self, None, &id.id, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.c, Some(&self.group), &id.id, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.c, Some(&self.group), &id.id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        warm_up: c.warm_up,
+        measurement: c.measurement,
+        sample_size: c.sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut line = format!("{full:<40}");
+    match b.stats() {
+        Some((min, median, max)) => {
+            let _ = write!(line, " time: [{} {} {}]", fmt_ns(min), fmt_ns(median), fmt_ns(max));
+            if let Some(t) = throughput {
+                let (units, label) = match t {
+                    Throughput::Elements(n) => (n as f64, "elem/s"),
+                    Throughput::Bytes(n) => (n as f64, "B/s"),
+                };
+                let rate = units / (median * 1e-9);
+                let _ = write!(line, " thrpt: {} {label}", fmt_si(rate));
+            }
+        }
+        None => line.push_str(" time: [no samples]"),
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(5);
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, x| b.iter(|| black_box(*x) * 2));
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(7u64).pow(2)));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

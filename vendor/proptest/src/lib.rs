@@ -1,0 +1,534 @@
+//! Offline, dependency-free stand-in for the subset of `proptest` this
+//! workspace uses: `proptest!`, `prop_compose!`, `prop_oneof!`, the
+//! `prop_assert*` / `prop_assume!` macros, `any::<T>()`, `Just`, integer
+//! ranges as strategies, `prop::collection::vec`, and `prop::sample::Index`.
+//!
+//! Semantics: each `#[test]` runs `PROPTEST_CASES` (default 256) random
+//! cases from a deterministic per-test seed. There is **no shrinking** — a
+//! failure reports the case number so it can be replayed deterministically.
+
+use std::fmt;
+
+/// Deterministic per-case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is discarded, not counted as a run.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "rejected by prop_assume!"),
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is just a deterministic function of the case RNG.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy backed by a plain closure; what `prop_compose!` expands to.
+pub struct FnStrategy<F>(F);
+
+impl<F> FnStrategy<F> {
+    pub fn new<T>(f: F) -> Self
+    where
+        F: Fn(&mut TestRng) -> T,
+    {
+        FnStrategy(f)
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives; what `prop_oneof!` builds.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Integer endpoints for range strategies.
+pub trait RangeEndpoint: Copy {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_range_endpoint {
+    ($($t:ty),+) => {$(
+        impl RangeEndpoint for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )+};
+}
+
+impl_range_endpoint!(u8, u16, u32, u64, usize);
+
+impl<T: RangeEndpoint> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "empty range strategy");
+        T::from_u64(lo + rng.below(hi - lo))
+    }
+}
+
+impl<T: RangeEndpoint> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "empty range strategy");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + rng.below(span + 1))
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Numbers of elements a collection strategy may generate.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for a `Vec` whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let n = self.size.lo + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// A position into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a concrete length (must be nonzero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Number of cases each `proptest!` test runs (`PROPTEST_CASES`, default 256).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
+
+/// Deterministic seed for `(test name, case index)`.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                if !(*a == *b) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "prop_assert_eq! failed at {}:{}: {:?} != {:?}",
+                        file!(),
+                        line!(),
+                        a,
+                        b
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                if !(*a == *b) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "prop_assert_eq! failed at {}:{}: {:?} != {:?}: {}",
+                        file!(),
+                        line!(),
+                        a,
+                        b,
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                if *a == *b {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "prop_assert_ne! failed at {}:{}: both {:?}",
+                        file!(),
+                        line!(),
+                        a
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                if *a == *b {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "prop_assert_ne! failed at {}:{}: both {:?}: {}",
+                        file!(),
+                        line!(),
+                        a,
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(::std::boxed::Box::new($strategy) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($outer:tt)* ) ( $($var:pat in $strategy:expr),+ $(,)? ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::FnStrategy::new(move |rng: &mut $crate::TestRng| -> $ret {
+                $(let $var = $crate::Strategy::sample(&($strategy), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($var:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::cases();
+            let mut rejects: u32 = 0;
+            let mut case: u32 = 0;
+            while case < cases {
+                let mut rng = $crate::TestRng::new($crate::case_seed(stringify!($name), case + rejects));
+                let mut run = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $(let $var = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                };
+                match run() {
+                    ::core::result::Result::Ok(()) => case += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {
+                        rejects += 1;
+                        assert!(
+                            rejects < 65536,
+                            "proptest {}: too many prop_assume! rejections",
+                            stringify!($name)
+                        );
+                    }
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} failed on case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, Arbitrary, Just, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in any::<u8>(), b in 0u8..=10) -> (u8, u8) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+
+        #[test]
+        fn composed_in_bounds(p in arb_pair()) {
+            prop_assert!(p.1 <= 10, "second is {}", p.1);
+        }
+
+        #[test]
+        fn oneof_and_vec(v in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 0..=8)) {
+            prop_assert!(v.len() <= 8);
+            prop_assert!(v.iter().all(|x| *x == 1u8 || *x == 2u8));
+        }
+
+        #[test]
+        fn assume_rejects(n in any::<u8>()) {
+            prop_assume!(n.is_multiple_of(2));
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn index_resolves(ix in any::<prop::sample::Index>()) {
+            prop_assert!(ix.index(17) < 17);
+        }
+    }
+}
