@@ -80,13 +80,13 @@ pub struct PathHop {
 
 /// Decode a probe (stack layout: 3 words per hop).
 pub fn parse_probe(tpp: &Tpp) -> Vec<PathHop> {
-    let words = tpp.words();
-    let hops = (tpp.sp as usize / 3).min(words.len() / 3);
+    let hops = (tpp.sp as usize / 3).min(tpp.memory_words() / 3);
+    let mut words = tpp.iter_words();
     (0..hops)
-        .map(|h| PathHop {
-            link_id: words[3 * h],
-            util_bps: words[3 * h + 1],
-            tx_bytes: words[3 * h + 2],
+        .map(|_| PathHop {
+            link_id: words.next().unwrap_or(0),
+            util_bps: words.next().unwrap_or(0),
+            tx_bytes: words.next().unwrap_or(0),
         })
         .collect()
 }

@@ -175,15 +175,15 @@ impl HostApp for BurstHost {
         }
         if let Some(done) = out.completed {
             // Stack layout: [switch, port, qsize] per hop.
-            let words = done.tpp.words();
-            let hops = (done.tpp.sp as usize / 3).min(words.len() / 3);
+            let hops = (done.tpp.sp as usize / 3).min(done.tpp.memory_words() / 3);
             let mut samples = self.samples.borrow_mut();
-            for h in 0..hops {
+            let mut words = done.tpp.iter_words();
+            for _ in 0..hops {
                 samples.push(QueueSample {
                     t_ns: ctx.now,
-                    switch_id: words[3 * h],
-                    port: words[3 * h + 1],
-                    q_pkts: words[3 * h + 2],
+                    switch_id: words.next().unwrap_or(0),
+                    port: words.next().unwrap_or(0),
+                    q_pkts: words.next().unwrap_or(0),
                 });
             }
         }
@@ -193,6 +193,8 @@ impl HostApp for BurstHost {
                     *self.bytes_received.borrow_mut() += info.payload_len as u64;
                 }
             }
+            // Fully consumed: hand the buffer back to the frame pool.
+            ctx.recycle(inner);
         }
     }
 

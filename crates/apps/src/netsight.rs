@@ -80,14 +80,14 @@ pub fn history_tpp(max_hops: usize) -> Tpp {
 
 /// Decode a completed history TPP.
 pub fn parse_history(t_ns: Time, tpp: &Tpp, flow: FlowRef) -> PacketHistory {
-    let words = tpp.words();
-    let hops = (tpp.sp as usize / 3).min(words.len() / 3);
+    let hops = (tpp.sp as usize / 3).min(tpp.memory_words() / 3);
+    let mut words = tpp.iter_words();
     let mut out = Vec::with_capacity(hops);
-    for h in 0..hops {
+    for _ in 0..hops {
         out.push(HopRecord {
-            switch_id: words[3 * h],
-            matched_entry: words[3 * h + 1],
-            in_port: words[3 * h + 2],
+            switch_id: words.next().unwrap_or(0),
+            matched_entry: words.next().unwrap_or(0),
+            in_port: words.next().unwrap_or(0),
         });
     }
     PacketHistory { t_ns, flow, hops: out }

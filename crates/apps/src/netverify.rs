@@ -101,10 +101,8 @@ impl HostApp for PathVerifier {
             {
                 // Stack of one word per hop; drop trailing zero slots and
                 // the nonce word.
-                let words = tpp.words();
-                let hops = (tpp.sp as usize).min(words.len().saturating_sub(1));
-                let path: Vec<u32> =
-                    words[..hops].iter().copied().take_while(|&w| w != 0).collect();
+                let hops = (tpp.sp as usize).min(tpp.memory_words().saturating_sub(1));
+                let path: Vec<u32> = tpp.iter_words().take(hops).take_while(|&w| w != 0).collect();
                 self.observations.borrow_mut().push(PathObservation {
                     t_ns: ctx.now,
                     path,

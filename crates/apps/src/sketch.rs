@@ -182,13 +182,13 @@ impl HostApp for SketchHost {
             //  bitmask[switch][index] = 1" (§2.5). This host *is* the
             // destination of the carrying packet.
             let dst = done.flow.dst.to_u32();
-            let words = done.tpp.words();
-            let hops = (done.tpp.sp as usize / 2).min(words.len() / 2);
+            let hops = (done.tpp.sp as usize / 2).min(done.tpp.memory_words() / 2);
             let bits = self.bitmap_bits;
             let mut maps = self.bitmaps.borrow_mut();
             let mut truth = self.truth.borrow_mut();
-            for h in 0..hops {
-                let key = (words[2 * h], words[2 * h + 1]);
+            let mut words = done.tpp.iter_words();
+            for _ in 0..hops {
+                let key = (words.next().unwrap_or(0), words.next().unwrap_or(0));
                 maps.entry(key).or_insert_with(|| BitmapSketch::new(bits)).insert(dst);
                 truth.entry(key).or_default().insert(dst);
             }

@@ -20,8 +20,9 @@
 //!   behaves like a failed condition for `CSTORE` and a skip for others.
 
 use crate::addr::{Address, Word};
-use crate::isa::{Instruction, Opcode};
+use crate::isa::{Instruction, Opcode, MAX_INSTRUCTIONS};
 use crate::wire::tpp::Tpp;
+use crate::wire::view::TppViewMut;
 
 /// Result of a switch-memory write attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,7 +86,7 @@ impl MemoryBus for MapBus {
 }
 
 /// Per-instruction execution status, for observability and tests.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum InstrStatus {
     /// Ran to completion (for CSTORE: the swap succeeded).
     Executed,
@@ -95,6 +96,7 @@ pub enum InstrStatus {
     PredicateFalse,
     /// Skipped: an operand address was unmapped, packet memory out of
     /// bounds, stack empty/full, or a non-conditional write was denied.
+    #[default]
     Skipped,
     /// Not executed because an earlier CSTORE/CEXEC suppressed it.
     Suppressed,
@@ -169,8 +171,10 @@ pub fn execute(tpp: &mut Tpp, bus: &mut dyn MemoryBus, opts: &ExecOptions) -> Ex
     let mut wrote = false;
     let mut live = true; // flipped off by failed CSTORE / false CEXEC
 
-    let instrs = tpp.instrs.clone();
-    for ins in &instrs {
+    // Iterate by index and copy each (4-byte, `Copy`) instruction out so the
+    // interpreter can borrow the TPP mutably without cloning the program.
+    for idx in 0..tpp.instrs.len() {
+        let ins = tpp.instrs[idx];
         if !live {
             // Stack slots are preassigned at parse time (§3.5 serialization),
             // so a suppressed PUSH/POP still consumes/releases its slot: the
@@ -183,7 +187,7 @@ pub fn execute(tpp: &mut Tpp, bus: &mut dyn MemoryBus, opts: &ExecOptions) -> Ex
             status.push(InstrStatus::Suppressed);
             continue;
         }
-        let st = step(tpp, bus, ins, opts, &mut wrote, &mut live);
+        let st = step(tpp, bus, &ins, opts, &mut wrote, &mut live);
         status.push(st);
     }
     if wrote {
@@ -295,6 +299,221 @@ fn step(
             let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
             let (Some(mask), Some(value)) =
                 (tpp.read_hop_word(ins.op1), tpp.read_hop_word(ins.op2))
+            else {
+                return InstrStatus::Skipped;
+            };
+            if x & mask == value {
+                InstrStatus::Executed
+            } else {
+                *live = false;
+                InstrStatus::PredicateFalse
+            }
+        }
+    }
+}
+
+/// A fixed-capacity per-instruction status list, sized by the architectural
+/// instruction budget — the allocation-free counterpart of
+/// [`ExecOutcome::status`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatusVec {
+    arr: [InstrStatus; MAX_INSTRUCTIONS],
+    len: u8,
+}
+
+impl StatusVec {
+    /// Append a status. Panics (with an explicit message) beyond the
+    /// architectural [`MAX_INSTRUCTIONS`] capacity — a caller bug, since
+    /// over-budget programs are rejected before any status is recorded.
+    pub fn push(&mut self, s: InstrStatus) {
+        assert!(
+            (self.len as usize) < MAX_INSTRUCTIONS,
+            "StatusVec holds at most MAX_INSTRUCTIONS statuses"
+        );
+        self.arr[self.len as usize] = s;
+        self.len += 1;
+    }
+    pub fn as_slice(&self) -> &[InstrStatus] {
+        &self.arr[..self.len as usize]
+    }
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for StatusVec {
+    type Target = [InstrStatus];
+    fn deref(&self) -> &[InstrStatus] {
+        self.as_slice()
+    }
+}
+
+/// Outcome of [`execute_in_place`]; same shape as [`ExecOutcome`] without
+/// the heap-backed status vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InPlaceOutcome {
+    /// One status per instruction, in program order.
+    pub status: StatusVec,
+    /// Whether any switch-memory write took effect.
+    pub wrote: bool,
+    /// TPP was rejected before execution (over budget).
+    pub rejected: bool,
+}
+
+impl InPlaceOutcome {
+    pub fn executed_count(&self) -> usize {
+        self.status.iter().filter(|s| matches!(s, InstrStatus::Executed)).count()
+    }
+}
+
+/// Execute a TPP **in place over its wire bytes** — the zero-allocation
+/// fast path a switch runs per packet.
+///
+/// Observationally equivalent to [`execute`] on the parsed section
+/// (property-tested in `tests/proptests.rs`): packet-memory words, the
+/// SP/hop/flag bytes and the section checksum end up byte-identical to a
+/// parse → [`execute`] → re-serialize round trip, and the per-instruction
+/// statuses and bus side effects match. The only intentional difference is
+/// capacity: this path enforces the architectural [`MAX_INSTRUCTIONS`]
+/// budget even if `opts.max_instructions` was configured above it.
+pub fn execute_in_place(
+    view: &mut TppViewMut<'_>,
+    bus: &mut dyn MemoryBus,
+    opts: &ExecOptions,
+) -> InPlaceOutcome {
+    let n = view.n_instr();
+    if n > opts.max_instructions || n > MAX_INSTRUCTIONS {
+        return InPlaceOutcome { status: StatusVec::default(), wrote: false, rejected: true };
+    }
+    let mut status = StatusVec::default();
+    let mut wrote = false;
+    let mut live = true;
+
+    for idx in 0..n {
+        let ins = view.instr(idx);
+        if !live {
+            // A suppressed PUSH/POP still consumes/releases its parse-time
+            // stack slot (see `execute`).
+            match ins.opcode {
+                Opcode::Push if (view.sp() as usize) < view.memory_words() => {
+                    let sp = view.sp();
+                    view.set_sp(sp + 1);
+                }
+                Opcode::Pop if view.sp() > 0 => {
+                    let sp = view.sp();
+                    view.set_sp(sp - 1);
+                }
+                _ => {}
+            }
+            status.push(InstrStatus::Suppressed);
+            continue;
+        }
+        let st = step_in_place(view, bus, &ins, opts, &mut wrote, &mut live);
+        status.push(st);
+    }
+    if wrote {
+        view.set_wrote(true);
+    }
+    if opts.increment_hop {
+        let hop = view.hop();
+        view.set_hop(hop.wrapping_add(1));
+    }
+    InPlaceOutcome { status, wrote, rejected: false }
+}
+
+fn step_in_place(
+    view: &mut TppViewMut<'_>,
+    bus: &mut dyn MemoryBus,
+    ins: &Instruction,
+    opts: &ExecOptions,
+    wrote: &mut bool,
+    live: &mut bool,
+) -> InstrStatus {
+    match ins.opcode {
+        Opcode::Push => {
+            let sp = view.sp() as usize;
+            if sp >= view.memory_words() {
+                return InstrStatus::Skipped; // stack overflow: no side effect
+            }
+            view.set_sp(sp as u8 + 1);
+            let Some(v) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+            view.write_word(sp, v).expect("slot bounds checked");
+            InstrStatus::Executed
+        }
+        Opcode::Pop => {
+            if view.sp() == 0 {
+                return InstrStatus::Skipped; // stack underflow
+            }
+            let sp = view.sp() - 1;
+            view.set_sp(sp);
+            let Some(v) = view.read_word(sp as usize) else {
+                return InstrStatus::Skipped;
+            };
+            if !opts.allow_writes {
+                return InstrStatus::Skipped;
+            }
+            match bus.write(ins.addr, v) {
+                WriteOutcome::Ok => {
+                    *wrote = true;
+                    InstrStatus::Executed
+                }
+                _ => InstrStatus::Skipped,
+            }
+        }
+        Opcode::Load => {
+            let Some(v) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+            match view.write_hop_word(ins.op1, v) {
+                Some(()) => InstrStatus::Executed,
+                None => InstrStatus::Skipped,
+            }
+        }
+        Opcode::Store => {
+            let Some(v) = view.read_hop_word(ins.op1) else { return InstrStatus::Skipped };
+            if !opts.allow_writes {
+                return InstrStatus::Skipped;
+            }
+            match bus.write(ins.addr, v) {
+                WriteOutcome::Ok => {
+                    *wrote = true;
+                    InstrStatus::Executed
+                }
+                _ => InstrStatus::Skipped,
+            }
+        }
+        Opcode::Cstore => {
+            let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+            let (Some(pre), Some(post)) =
+                (view.read_hop_word(ins.op1), view.read_hop_word(ins.op2))
+            else {
+                return InstrStatus::Skipped;
+            };
+            let mut observed = x;
+            let mut succeeded = false;
+            if x == pre && opts.allow_writes {
+                match bus.write(ins.addr, post) {
+                    WriteOutcome::Ok => {
+                        *wrote = true;
+                        succeeded = true;
+                        observed = post;
+                    }
+                    WriteOutcome::Denied | WriteOutcome::Unmapped => {}
+                }
+            }
+            let _ = view.write_hop_word(ins.op1, observed);
+            if succeeded {
+                InstrStatus::Executed
+            } else {
+                *live = false;
+                InstrStatus::CondFailed
+            }
+        }
+        Opcode::Cexec => {
+            let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+            let (Some(mask), Some(value)) =
+                (view.read_hop_word(ins.op1), view.read_hop_word(ins.op2))
             else {
                 return InstrStatus::Skipped;
             };
@@ -535,5 +754,60 @@ mod tests {
         let opts = ExecOptions { increment_hop: false, ..ExecOptions::default() };
         execute(&mut tpp, &mut bus, &opts);
         assert_eq!(tpp.hop, 1);
+    }
+
+    /// Run both interpreters on the same TPP/bus and require byte-identical
+    /// frames and matching outcomes.
+    fn assert_paths_agree(tpp: &Tpp, bus: &MapBus, opts: &ExecOptions) {
+        let bytes = tpp.serialize();
+
+        let mut ref_tpp = tpp.clone();
+        let mut ref_bus = bus.clone();
+        let ref_out = execute(&mut ref_tpp, &mut ref_bus, opts);
+        let ref_bytes = ref_tpp.serialize();
+
+        let mut wire = bytes.clone();
+        let mut fast_bus = bus.clone();
+        let (mut view, _) = TppViewMut::parse(&mut wire).unwrap();
+        let fast_out = execute_in_place(&mut view, &mut fast_bus, opts);
+
+        if ref_out.rejected {
+            assert!(fast_out.rejected);
+            assert_eq!(wire, bytes, "rejected TPP must be untouched");
+        } else {
+            assert_eq!(wire, ref_bytes, "in-place bytes != reference re-serialization");
+        }
+        assert_eq!(fast_out.status.as_slice(), &ref_out.status[..]);
+        assert_eq!(fast_out.wrote, ref_out.wrote);
+        assert_eq!(fast_bus.mem, ref_bus.mem);
+    }
+
+    #[test]
+    fn in_place_matches_reference_on_core_scenarios() {
+        let qsize = a("Queue:QueueOccupancy");
+        let reg = a("Link:AppSpecific_0");
+        let sid = a("Switch:SwitchID");
+
+        // PUSH/POP with a mapped bus.
+        let tpp = stack_tpp(vec![Instruction::push(qsize), Instruction::pop(reg)], 8);
+        assert_paths_agree(&tpp, &MapBus::with(&[(qsize, 42), (reg, 0)]), &ExecOptions::default());
+
+        // CSTORE failure suppressing a STORE, hop addressing.
+        let mut tpp =
+            hop_tpp(vec![Instruction::cstore(reg, 0, 1), Instruction::store(reg, 2)], 12, 2);
+        tpp.write_word(0, 19).unwrap();
+        tpp.write_word(1, 20).unwrap();
+        tpp.write_word(2, 6000).unwrap();
+        assert_paths_agree(&tpp, &MapBus::with(&[(reg, 77)]), &ExecOptions::default());
+
+        // Unmapped reads skip; writes disabled; no hop increment.
+        let tpp = stack_tpp(vec![Instruction::push(sid), Instruction::store(reg, 0)], 8);
+        let opts =
+            ExecOptions { allow_writes: false, increment_hop: false, ..ExecOptions::default() };
+        assert_paths_agree(&tpp, &MapBus::default(), &opts);
+
+        // Over budget: rejected, bytes untouched.
+        let tpp = stack_tpp(vec![Instruction::push(sid); 6], 64);
+        assert_paths_agree(&tpp, &MapBus::with(&[(sid, 1)]), &ExecOptions::default());
     }
 }

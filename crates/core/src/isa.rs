@@ -211,12 +211,39 @@ pub fn encode_program(instrs: &[Instruction]) -> Vec<u8> {
     out
 }
 
-/// Decode a program from bytes. Fails on trailing bytes or unknown opcodes.
-pub fn decode_program(bytes: &[u8]) -> Option<Vec<Instruction>> {
+/// Why a program failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The byte length is not a multiple of [`INSTR_BYTES`].
+    TrailingBytes,
+    /// The first unknown opcode encountered, in program order.
+    BadOpcode(u8),
+}
+
+/// Decode a program from bytes. Fails on trailing bytes or unknown opcodes,
+/// reporting the offending opcode directly.
+pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instruction>, ProgramError> {
     if !bytes.len().is_multiple_of(INSTR_BYTES) {
-        return None;
+        return Err(ProgramError::TrailingBytes);
     }
-    bytes.chunks_exact(INSTR_BYTES).map(|c| Instruction::decode([c[0], c[1], c[2], c[3]])).collect()
+    bytes
+        .chunks_exact(INSTR_BYTES)
+        .map(|c| Instruction::decode([c[0], c[1], c[2], c[3]]).ok_or(ProgramError::BadOpcode(c[0])))
+        .collect()
+}
+
+/// Validate the program bytes without building a `Vec` (the fast-path
+/// counterpart of [`decode_program`], used by the borrowed TPP view).
+pub fn validate_program(bytes: &[u8]) -> Result<(), ProgramError> {
+    if !bytes.len().is_multiple_of(INSTR_BYTES) {
+        return Err(ProgramError::TrailingBytes);
+    }
+    for c in bytes.chunks_exact(INSTR_BYTES) {
+        if Opcode::from_u8(c[0]).is_none() {
+            return Err(ProgramError::BadOpcode(c[0]));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -266,9 +293,19 @@ mod tests {
         let p = vec![Instruction::push(qsize()), Instruction::cstore(qsize(), 0, 1)];
         let bytes = encode_program(&p);
         assert_eq!(decode_program(&bytes).unwrap(), p);
+        assert_eq!(validate_program(&bytes), Ok(()));
         let mut trailing = bytes.clone();
         trailing.push(0x01);
-        assert!(decode_program(&trailing).is_none());
+        assert_eq!(decode_program(&trailing), Err(ProgramError::TrailingBytes));
+        assert_eq!(validate_program(&trailing), Err(ProgramError::TrailingBytes));
+    }
+
+    #[test]
+    fn bad_opcode_reported_directly() {
+        let mut bytes = encode_program(&[Instruction::push(qsize()), Instruction::pop(qsize())]);
+        bytes[4] = 0x7F; // corrupt the second opcode
+        assert_eq!(decode_program(&bytes), Err(ProgramError::BadOpcode(0x7F)));
+        assert_eq!(validate_program(&bytes), Err(ProgramError::BadOpcode(0x7F)));
     }
 
     #[test]

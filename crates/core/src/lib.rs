@@ -62,6 +62,9 @@ pub mod wire;
 
 pub use addr::{Address, Namespace, Word};
 pub use asm::{assemble, disassemble, TppBuilder};
-pub use exec::{execute, ExecOptions, ExecOutcome, MemoryBus, WriteOutcome};
+pub use exec::{
+    execute, execute_in_place, ExecOptions, ExecOutcome, InPlaceOutcome, MemoryBus, StatusVec,
+    WriteOutcome,
+};
 pub use isa::{Instruction, Opcode};
-pub use wire::{Tpp, TppError};
+pub use wire::{Tpp, TppError, TppView, TppViewMut};

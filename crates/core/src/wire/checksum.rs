@@ -41,6 +41,24 @@ pub fn verify(data: &[u8]) -> bool {
     sum(data) == 0xFFFF
 }
 
+/// RFC 1624 (eqn. 3) incremental update: the new checksum field value after
+/// the 16-bit word `old` (at any even offset outside the checksum field)
+/// is replaced by `new`.
+///
+/// Matches a full [`checksum`] recomputation byte-for-byte as long as the
+/// covered data is not all-zero — true for every TPP section, whose first
+/// byte always carries a non-zero version nibble. (Both the stored field
+/// `!S` and the folded sum land in `1..=0xFFFF`, where each residue class
+/// mod 0xFFFF has exactly one representative, so the incremental and the
+/// recomputed value cannot disagree on the ones'-complement ±0 encoding.)
+pub fn update(check: u16, old: u16, new: u16) -> u16 {
+    let mut acc = u32::from(!check) + u32::from(!old) + u32::from(new);
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
 /// IPv4 pseudo-header sum for UDP/TCP checksums.
 pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], protocol: u8, length: u16) -> u16 {
     combine(&[
@@ -91,5 +109,32 @@ mod tests {
     fn empty_is_zero() {
         assert_eq!(sum(&[]), 0);
         assert_eq!(checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        // Exhaustive-ish sweep: mutate one 16-bit word of a non-zero buffer
+        // and compare the RFC 1624 update against a full recomputation.
+        let mut data = vec![0x10, 0x23, 0xab, 0xcd, 0x00, 0x00, 0x55, 0xaa, 0xff, 0xff];
+        for off in [0usize, 2, 6, 8] {
+            for new in [0x0000u16, 0x0001, 0x7fff, 0x8000, 0xfffe, 0xffff] {
+                let old_check = checksum(&data);
+                let old = u16::from_be_bytes([data[off], data[off + 1]]);
+                data[off..off + 2].copy_from_slice(&new.to_be_bytes());
+                let recomputed = checksum(&data);
+                assert_eq!(
+                    update(old_check, old, new),
+                    recomputed,
+                    "off {off} old {old:#06x} new {new:#06x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_noop_is_identity() {
+        let data = [0x12, 0x34, 0x56, 0x78];
+        let c = checksum(&data);
+        assert_eq!(update(c, 0x5678, 0x5678), c);
     }
 }

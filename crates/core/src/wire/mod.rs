@@ -6,11 +6,13 @@ pub mod ethernet;
 pub mod ipv4;
 pub mod tpp;
 pub mod udp;
+pub mod view;
 
 pub use ethernet::{EthernetAddress, Frame as EthernetFrame, Repr as EthernetRepr};
 pub use ipv4::{Ipv4Address, Packet as Ipv4Packet, Repr as Ipv4Repr};
 pub use tpp::{AddrMode, Tpp, TppError};
 pub use udp::{Datagram as UdpDatagram, Repr as UdpRepr, TPP_PORT};
+pub use view::{TppView, TppViewMut};
 
 /// Where (if anywhere) a TPP section lives inside an Ethernet frame
 /// (Figure 7a parse graph).
@@ -90,6 +92,23 @@ pub fn insert_transparent(frame: &[u8], tpp: &Tpp) -> Vec<u8> {
     out
 }
 
+/// Rebuild the inner frame of a transparent-mode packet: the original MAC
+/// pair, the restored (encapsulated) ethertype, and the payload that
+/// follows the TPP section. `section`/`consumed` come from [`locate_tpp`]
+/// and a successful section parse of the same frame.
+pub fn restore_inner_frame(
+    frame: &[u8],
+    section: usize,
+    consumed: usize,
+    encap_proto: u16,
+) -> Vec<u8> {
+    let mut inner = Vec::with_capacity(frame.len() - consumed);
+    inner.extend_from_slice(&frame[..section - 2]); // dst + src MACs
+    inner.extend_from_slice(&encap_proto.to_be_bytes());
+    inner.extend_from_slice(&frame[section + consumed..]);
+    inner
+}
+
 /// Remove a transparent-mode TPP from a frame, restoring the original
 /// ethertype. Returns the TPP and the restored inner frame.
 pub fn strip_transparent(frame: &[u8]) -> Option<(Tpp, Vec<u8>)> {
@@ -97,10 +116,7 @@ pub fn strip_transparent(frame: &[u8]) -> Option<(Tpp, Vec<u8>)> {
         return None;
     };
     let (tpp, consumed) = Tpp::parse(&frame[section..]).ok()?;
-    let mut inner = Vec::with_capacity(frame.len() - consumed);
-    inner.extend_from_slice(&frame[..12]);
-    inner.extend_from_slice(&tpp.encap_proto.to_be_bytes());
-    inner.extend_from_slice(&frame[section + consumed..]);
+    let inner = restore_inner_frame(frame, section, consumed, tpp.encap_proto);
     Some((tpp, inner))
 }
 

@@ -161,17 +161,28 @@ impl Tpp {
 
     /// All words currently in memory (for result extraction at end-hosts).
     pub fn words(&self) -> Vec<u32> {
-        (0..self.memory_words()).map(|i| self.read_word(i).unwrap()).collect()
+        self.iter_words().collect()
+    }
+
+    /// Iterate the packet-memory words without allocating.
+    pub fn iter_words(&self) -> impl Iterator<Item = u32> + '_ {
+        self.memory.chunks_exact(4).map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// The values collected for hop `h` as a word slice view.
     pub fn hop_words(&self, h: u8) -> Vec<u32> {
+        self.iter_hop_words(h).collect()
+    }
+
+    /// Iterate the per-hop window of hop `h` without allocating. Empty when
+    /// hop addressing is off; truncated at the end of memory.
+    pub fn iter_hop_words(&self, h: u8) -> impl Iterator<Item = u32> + '_ {
         let phw = self.per_hop_words();
-        if phw == 0 {
-            return Vec::new();
-        }
-        let start = h as usize * phw;
-        (start..start + phw).filter_map(|i| self.read_word(i)).collect()
+        let start = (h as usize * phw * 4).min(self.memory.len());
+        let end = (start + phw * 4).min(self.memory.len());
+        self.memory[start..end]
+            .chunks_exact(4)
+            .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Serialize to wire bytes, computing the checksum (Figure 7b field 6).
@@ -239,14 +250,10 @@ impl Tpp {
             return Err(TppError::BadChecksum);
         }
         let instrs = isa::decode_program(&bytes[HEADER_LEN..HEADER_LEN + n_instr * INSTR_BYTES])
-            .ok_or_else(|| {
-                // Find the offending opcode for the error message.
-                let bad = bytes[HEADER_LEN..HEADER_LEN + n_instr * INSTR_BYTES]
-                    .chunks_exact(INSTR_BYTES)
-                    .map(|c| c[0])
-                    .find(|&op| isa::Opcode::from_u8(op).is_none())
-                    .unwrap_or(0);
-                TppError::BadInstruction(bad)
+            .map_err(|e| match e {
+                isa::ProgramError::BadOpcode(op) => TppError::BadInstruction(op),
+                // Unreachable: the slice length is n_instr * INSTR_BYTES.
+                isa::ProgramError::TrailingBytes => TppError::Truncated,
             })?;
         let memory = bytes[total - mem_len..total].to_vec();
         Ok((
@@ -368,6 +375,10 @@ mod tests {
         t.write_hop_word(1, 77).unwrap();
         assert_eq!(t.read_word(7), Some(77));
         assert_eq!(t.hop_words(2), vec![0, 77, 0]);
+        // The alloc-free iterators agree with the Vec-returning accessors.
+        assert_eq!(t.iter_words().collect::<Vec<_>>(), t.words());
+        assert_eq!(t.iter_hop_words(2).collect::<Vec<_>>(), t.hop_words(2));
+        assert_eq!(t.iter_hop_words(200).count(), 0); // window past the end
     }
 
     #[test]

@@ -4,9 +4,9 @@ use proptest::prelude::*;
 
 use tpp_core::addr::{resolve_mnemonic, Address};
 use tpp_core::analysis::{find_hazards, serialize_pushes};
-use tpp_core::exec::{execute, ExecOptions, InstrStatus, MapBus};
+use tpp_core::exec::{execute, execute_in_place, ExecOptions, InstrStatus, MapBus};
 use tpp_core::isa::{decode_program, encode_program, Instruction, Opcode};
-use tpp_core::wire::{checksum, AddrMode, Tpp};
+use tpp_core::wire::{checksum, AddrMode, Tpp, TppView, TppViewMut};
 
 fn arb_opcode() -> impl Strategy<Value = Opcode> {
     prop_oneof![
@@ -44,6 +44,7 @@ prop_compose! {
         reflect in any::<bool>(),
         app_id in any::<u16>(),
         mem_seed in any::<u64>(),
+        wrote in any::<bool>(),
     ) -> Tpp {
         let mut memory = vec![0u8; mem_words * 4];
         let mut x = mem_seed;
@@ -54,7 +55,7 @@ prop_compose! {
         Tpp {
             mode,
             reflect,
-            wrote: false,
+            wrote,
             hop,
             sp,
             per_hop_len: per_hop_words * 4,
@@ -95,7 +96,7 @@ proptest! {
     #[test]
     fn instruction_roundtrip(instrs in prop::collection::vec(arb_instruction(), 0..=16)) {
         let bytes = encode_program(&instrs);
-        prop_assert_eq!(decode_program(&bytes), Some(instrs));
+        prop_assert_eq!(decode_program(&bytes), Ok(instrs));
     }
 
     /// The internet checksum verifies after being embedded, for any data.
@@ -233,5 +234,89 @@ proptest! {
         let mut bus = MapBus::default();
         execute(&mut t, &mut bus, &ExecOptions::default());
         prop_assert_eq!(t.hop, tpp.hop.wrapping_add(1));
+    }
+
+    /// The borrowed view decodes exactly what the owned parser decodes, and
+    /// both reject exactly the same corrupted inputs.
+    #[test]
+    fn view_parse_matches_owned_parse(tpp in arb_tpp(), flip in any::<u16>(), bit in 0u8..8) {
+        let mut bytes = tpp.serialize();
+        bytes.extend_from_slice(b"encapsulated payload");
+        {
+            let (view, consumed) = TppView::parse(&bytes).expect("self-serialized TPP parses");
+            prop_assert_eq!(consumed, tpp.section_len());
+            prop_assert_eq!(view.to_tpp(), tpp.clone());
+        }
+        let idx = flip as usize % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let owned = Tpp::parse(&bytes);
+        let viewed = TppView::parse(&bytes);
+        match (owned, viewed) {
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "flip at byte {}", idx),
+            (Ok((t, ca)), Ok((v, cb))) => {
+                prop_assert_eq!(ca, cb);
+                prop_assert_eq!(v.to_tpp(), t);
+            }
+            (a, b) => prop_assert!(false, "parse divergence at byte {}: {:?} vs {:?}", idx, a.map(|x| x.1), b.map(|x| x.1)),
+        }
+    }
+
+    /// §3.3 differential suite: for arbitrary valid sections, bus states and
+    /// execution options, `execute_in_place` over the wire bytes produces a
+    /// frame byte-identical to parse → `execute` → re-serialize — checksum
+    /// and graceful-failure semantics included — with matching statuses and
+    /// switch-memory side effects.
+    #[test]
+    fn in_place_execution_matches_reference(
+        tpp in arb_tpp(),
+        mapped_mask in any::<u8>(),
+        ro_mask in any::<u8>(),
+        value_seed in any::<u64>(),
+        allow_writes in any::<bool>(),
+        increment_hop in any::<bool>(),
+        max_instructions in 0usize..=5,
+    ) {
+        // Bus: per distinct instruction address, mapped/read-only by mask
+        // bit, with a pseudo-random value.
+        let mut bus = MapBus::default();
+        let mut x = value_seed;
+        for (i, ins) in tpp.instrs.iter().enumerate() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if mapped_mask & (1 << i) != 0 {
+                bus.mem.insert(ins.addr.raw(), (x >> 32) as u32);
+            }
+            if ro_mask & (1 << i) != 0 {
+                bus.mark_read_only(ins.addr);
+            }
+        }
+        let opts = ExecOptions { allow_writes, increment_hop, max_instructions };
+
+        // Frame = section + trailing encapsulated payload.
+        let section_len = tpp.section_len();
+        let mut frame = tpp.serialize();
+        frame.extend_from_slice(b"inner packet bytes");
+
+        // Path A: parse -> reference execute -> re-serialize into the frame.
+        let mut frame_a = frame.clone();
+        let mut bus_a = bus.clone();
+        let (mut ref_tpp, consumed) = Tpp::parse(&frame_a).expect("valid section");
+        prop_assert_eq!(consumed, section_len);
+        let out_a = execute(&mut ref_tpp, &mut bus_a, &opts);
+        if !out_a.rejected {
+            ref_tpp.emit(&mut frame_a[..section_len]);
+        }
+
+        // Path B: execute in place over the wire bytes.
+        let mut frame_b = frame.clone();
+        let mut bus_b = bus.clone();
+        let (mut view, consumed) = TppViewMut::parse(&mut frame_b).expect("valid section");
+        prop_assert_eq!(consumed, section_len);
+        let out_b = execute_in_place(&mut view, &mut bus_b, &opts);
+
+        prop_assert_eq!(out_a.rejected, out_b.rejected);
+        prop_assert_eq!(&out_a.status[..], out_b.status.as_slice());
+        prop_assert_eq!(out_a.wrote, out_b.wrote);
+        prop_assert_eq!(frame_a, frame_b, "frames diverged (incl. checksum)");
+        prop_assert_eq!(bus_a.mem, bus_b.mem, "switch-memory side effects diverged");
     }
 }

@@ -18,8 +18,8 @@ use std::collections::BTreeMap;
 
 use crate::filter::{Filter, FilterEntry, FilterTable};
 use tpp_core::wire::{
-    ethernet, insert_transparent, ipv4, locate_tpp, strip_transparent, udp, EthernetAddress,
-    EthernetRepr, Ipv4Address, Ipv4Packet, Tpp, TppLocation, UdpDatagram,
+    ethernet, insert_transparent, ipv4, locate_tpp, udp, EthernetAddress, EthernetRepr,
+    Ipv4Address, Ipv4Packet, Tpp, TppLocation, TppView, UdpDatagram,
 };
 
 /// Completed TPPs are carried back to applications as the payload of UDP
@@ -186,13 +186,22 @@ impl Shim {
         }
     }
 
-    /// Receive-side interposition.
+    /// Receive-side interposition. TPP sections are validated and read
+    /// through borrowed [`TppView`]s over the frame bytes; the owned [`Tpp`]
+    /// is materialized only when a completion is surfaced to a local
+    /// application, and echo frames carry the section bytes verbatim.
     pub fn incoming(&mut self, frame: Vec<u8>) -> Incoming {
         self.counters.rx_frames += 1;
         match locate_tpp(&frame) {
-            TppLocation::Transparent { .. } => match strip_transparent(&frame) {
-                Some((tpp, inner)) => {
+            TppLocation::Transparent { section } => match TppView::parse(&frame[section..]) {
+                Ok((view, consumed)) => {
                     self.counters.rx_stripped += 1;
+                    let inner = tpp_core::wire::restore_inner_frame(
+                        &frame,
+                        section,
+                        consumed,
+                        view.encap_proto(),
+                    );
                     let flow = tpp_switch::FlowKey::from_frame(&inner)
                         .map(|k| FlowRef {
                             src: k.src,
@@ -201,11 +210,11 @@ impl Shim {
                             dst_port: k.dst_port,
                         })
                         .unwrap_or_default();
-                    let mut out = self.route_completed(tpp, flow);
+                    let mut out = self.route_completed(&view, flow);
                     out.deliver = Some(inner);
                     out
                 }
-                None => {
+                Err(_) => {
                     self.counters.parse_failures += 1;
                     Incoming { discarded: true, ..Incoming::default() }
                 }
@@ -219,9 +228,9 @@ impl Shim {
                     }
                 };
                 let src_port = u16::from_be_bytes([frame[udp], frame[udp + 1]]);
-                match Tpp::parse(&frame[section..]) {
-                    Ok((tpp, _)) => self.route_completed(
-                        tpp,
+                match TppView::parse(&frame[section..]) {
+                    Ok((view, _)) => self.route_completed(
+                        &view,
                         FlowRef { src, dst, src_port, dst_port: udp::TPP_PORT },
                     ),
                     Err(_) => {
@@ -244,21 +253,32 @@ impl Shim {
     /// Route a freshly executed TPP: locally if this host is the app's
     /// aggregator, otherwise as an echo frame toward the aggregator (or
     /// the packet source when no aggregator is registered; §4.2).
-    fn route_completed(&mut self, tpp: Tpp, flow: FlowRef) -> Incoming {
-        let to = self.aggregators.get(&tpp.app_id).copied().unwrap_or(flow.src);
+    fn route_completed(&mut self, view: &TppView<'_>, flow: FlowRef) -> Incoming {
+        let to = self.aggregators.get(&view.app_id()).copied().unwrap_or(flow.src);
         if to == self.ip {
             self.counters.completed_delivered += 1;
             return Incoming {
-                completed: Some(CompletedTpp { app_id: tpp.app_id, from: flow.src, tpp, flow }),
+                completed: Some(CompletedTpp {
+                    app_id: view.app_id(),
+                    from: flow.src,
+                    tpp: view.to_tpp(),
+                    flow,
+                }),
                 ..Incoming::default()
             };
         }
         self.counters.echoes_sent += 1;
-        Incoming { echo: Some(self.build_echo_frame(&tpp, to, flow)), ..Incoming::default() }
+        Incoming {
+            echo: Some(self.build_echo_frame(view.as_bytes(), to, flow)),
+            ..Incoming::default()
+        }
     }
 
-    fn build_echo_frame(&self, tpp: &Tpp, to: Ipv4Address, flow: FlowRef) -> Vec<u8> {
-        let mut payload = tpp.serialize();
+    /// Build a completed-TPP frame around the executed section bytes,
+    /// carried verbatim — no re-serialization of the TPP.
+    fn build_echo_frame(&self, section: &[u8], to: Ipv4Address, flow: FlowRef) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(section.len() + FlowRef::TRAILER_LEN);
+        payload.extend_from_slice(section);
         payload.extend_from_slice(&flow.emit());
         let u = udp::Repr {
             src_port: udp::TPP_PORT,
@@ -291,9 +311,9 @@ impl Shim {
         if u.dst_port() != TPP_ECHO_PORT {
             return None;
         }
-        let (tpp, consumed) = Tpp::parse(u.payload()).ok()?;
+        let (view, consumed) = TppView::parse(u.payload()).ok()?;
         let flow = FlowRef::parse(&u.payload()[consumed..]).unwrap_or_default();
-        Some(CompletedTpp { app_id: tpp.app_id, tpp, from, flow })
+        Some(CompletedTpp { app_id: view.app_id(), tpp: view.to_tpp(), from, flow })
     }
 }
 

@@ -18,5 +18,5 @@ pub mod net;
 pub mod topology;
 
 pub use engine::{Time, MILLIS, SECONDS};
-pub use net::{Host, HostApp, HostCtx, LinkSpec, NetStats, Network, NodeId, NullApp};
+pub use net::{FramePool, Host, HostApp, HostCtx, LinkSpec, NetStats, Network, NodeId, NullApp};
 pub use topology::Topology;

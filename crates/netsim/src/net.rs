@@ -26,6 +26,60 @@ use tpp_switch::{ReceiveOutcome, Switch, SwitchConfig};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
+/// A freelist of retired frame buffers, shared by the whole simulation.
+///
+/// Every packet is a real `Vec<u8>`; buffers normally move end to end
+/// without copying, but they *die* at many points — link-fault drops,
+/// switch drops (queue overflow, no route, TTL, malformed), host NIC-limit
+/// drops, and application sinks that consume a delivered frame. The pool
+/// collects those carcasses (bounded) and hands them back out via
+/// [`FramePool::get`] / [`HostCtx::take_buf`] so multi-hop simulations stop
+/// round-tripping the allocator for a fresh `Vec<u8>` on every such event.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    free: Vec<Vec<u8>>,
+    /// Buffers handed back out instead of freshly allocated.
+    pub recycled: u64,
+    /// `get()` calls that had to allocate because the pool was empty.
+    pub misses: u64,
+}
+
+impl FramePool {
+    /// Retained buffers are capped; beyond this they free normally.
+    const MAX_RETAINED: usize = 1024;
+
+    /// A cleared buffer, recycled when possible.
+    pub fn get(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut b) => {
+                b.clear();
+                self.recycled += 1;
+                b
+            }
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a spent buffer to the pool.
+    pub fn put(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > 0 && self.free.len() < Self::MAX_RETAINED {
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently available for reuse.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
 /// The interface hosts implement to participate in the simulation.
 ///
 /// Hosts are woken by frame arrivals and timers; they act through
@@ -57,6 +111,7 @@ pub struct HostCtx<'a> {
     pub ip: Ipv4Address,
     pub mac: EthernetAddress,
     effects: &'a mut Vec<Effect>,
+    pool: &'a mut FramePool,
 }
 
 enum Effect {
@@ -76,6 +131,15 @@ impl HostCtx<'_> {
     /// Request a timer callback at an absolute time.
     pub fn set_timer_at(&mut self, at: Time, token: u64) {
         self.effects.push(Effect::Timer { at: at.max(self.now), token });
+    }
+    /// A cleared, possibly recycled buffer for building a frame to
+    /// [`send`](HostCtx::send).
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        self.pool.get()
+    }
+    /// Hand a fully consumed frame back to the simulation's frame pool.
+    pub fn recycle(&mut self, frame: Vec<u8>) {
+        self.pool.put(frame);
     }
 }
 
@@ -165,6 +229,8 @@ pub struct Network {
     nodes: Vec<NodeKind>,
     ports: Vec<Vec<Port>>,
     pub stats: NetStats,
+    /// Freelist of retired frame buffers (see [`FramePool`]).
+    pub pool: FramePool,
     rng: StdRng,
     util_interval: Time,
     util_tick_scheduled: bool,
@@ -178,6 +244,7 @@ impl Network {
             nodes: Vec::new(),
             ports: Vec::new(),
             stats: NetStats::default(),
+            pool: FramePool::default(),
             rng: StdRng::seed_from_u64(seed),
             util_interval: MILLIS,
             util_tick_scheduled: false,
@@ -327,6 +394,7 @@ impl Network {
                         ip: h.ip,
                         mac: h.mac,
                         effects: &mut effects,
+                        pool: &mut self.pool,
                     };
                     h.app.start(&mut ctx);
                 }
@@ -354,6 +422,7 @@ impl Network {
             };
             if h.nic_queued_bytes + len > h.nic_limit_bytes {
                 h.nic_drops += 1;
+                self.pool.put(frame);
                 return;
             }
             h.nic_queue.push_back(frame);
@@ -395,6 +464,7 @@ impl Network {
         let mut frame = frame;
         if spec.drop_prob > 0.0 && self.rng.random::<f64>() < spec.drop_prob {
             self.stats.frames_dropped_in_flight += 1;
+            self.pool.put(frame);
             return;
         }
         if spec.corrupt_prob > 0.0 && self.rng.random::<f64>() < spec.corrupt_prob {
@@ -422,15 +492,27 @@ impl Network {
                         // eligible for transmission.
                         self.queue.schedule_at(now + proc_latency_ns, Ev::Kick { node, port: out });
                     }
-                    ReceiveOutcome::Dropped(_) => {}
+                    ReceiveOutcome::Dropped(_) => {
+                        // The switch parks dropped frame buffers; reclaim
+                        // them into the shared pool.
+                        while let Some(buf) = sw.take_retired() {
+                            self.pool.put(buf);
+                        }
+                    }
                 }
             }
             NodeKind::Host(h) => {
                 h.rx_frames += 1;
                 let mut effects = Vec::new();
                 {
-                    let mut ctx =
-                        HostCtx { now, node, ip: h.ip, mac: h.mac, effects: &mut effects };
+                    let mut ctx = HostCtx {
+                        now,
+                        node,
+                        ip: h.ip,
+                        mac: h.mac,
+                        effects: &mut effects,
+                        pool: &mut self.pool,
+                    };
                     h.app.on_frame(&mut ctx, frame);
                 }
                 self.apply_effects(node, effects);
@@ -443,7 +525,14 @@ impl Network {
         let mut effects = Vec::new();
         {
             let NodeKind::Host(h) = &mut self.nodes[node.0 as usize] else { return };
-            let mut ctx = HostCtx { now, node, ip: h.ip, mac: h.mac, effects: &mut effects };
+            let mut ctx = HostCtx {
+                now,
+                node,
+                ip: h.ip,
+                mac: h.mac,
+                effects: &mut effects,
+                pool: &mut self.pool,
+            };
             h.app.on_timer(&mut ctx, token);
         }
         self.apply_effects(node, effects);
@@ -726,5 +815,63 @@ mod tests {
         let mut net = Network::new(0);
         let h = net.add_host(Box::new(NullApp));
         let _: &mut NullApp = net.app_mut::<NullApp>(h);
+    }
+
+    #[test]
+    fn dropped_frames_are_pooled_for_reuse() {
+        // Link faults and switch drops feed buffers back into the pool
+        // instead of freeing them.
+        let (mut net, _received) = two_hosts_one_switch(1000, 1000, 50);
+        net.set_link_faults(NodeId(0), 0, 1.0, 0.0);
+        net.run_until(100 * MILLIS);
+        assert!(net.stats.frames_dropped_in_flight > 0);
+        assert!(!net.pool.is_empty(), "dropped frames must land in the pool");
+        let before = net.pool.recycled;
+        let buf = net.pool.get();
+        assert!(buf.is_empty() && buf.capacity() > 0, "recycled buffer keeps its capacity");
+        assert_eq!(net.pool.recycled, before + 1);
+    }
+
+    #[test]
+    fn switch_drops_reclaimed_into_pool() {
+        // No-route drops at the switch are reclaimed via take_retired().
+        let mut net = Network::new(3);
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let sw = net.add_switch(SwitchConfig::new(1, 2));
+        let _sink = net.add_host(Box::new(NullApp));
+        let src = net.add_host(Box::new(Blaster {
+            dst_ip: Ipv4Address::from_host_id(99), // unrouted destination
+            dst_mac: EthernetAddress::from_node_id(99),
+            count: 10,
+            received: received.clone(),
+        }));
+        net.connect(sw, _sink, LinkSpec::new(1000, 0));
+        net.connect(sw, src, LinkSpec::new(1000, 0));
+        net.run_until(10 * MILLIS);
+        assert!(!net.pool.is_empty(), "no-route drops must be reclaimed");
+    }
+
+    #[test]
+    fn host_ctx_take_buf_recycles() {
+        struct Recycler {
+            took_capacity: Rc<RefCell<usize>>,
+        }
+        impl HostApp for Recycler {
+            fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
+                // Consume the frame, hand the buffer back, then take it
+                // again for the next send.
+                ctx.recycle(frame);
+                let buf = ctx.take_buf();
+                *self.took_capacity.borrow_mut() = buf.capacity();
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let (mut net, _received) = two_hosts_one_switch(1000, 1000, 1);
+        let cap = Rc::new(RefCell::new(0usize));
+        net.set_app(NodeId(1), Box::new(Recycler { took_capacity: cap.clone() }));
+        net.run_until(10 * MILLIS);
+        assert!(*cap.borrow() > 0, "take_buf must return the recycled frame's storage");
     }
 }

@@ -23,7 +23,7 @@ pub mod switch;
 pub mod tables;
 
 pub use cost::{CostProfile, ResourceModel, ASIC, NETFPGA};
-pub use memmap::{PacketContext, SwitchBus, SwitchMemory};
+pub use memmap::{MatchedEntries, PacketContext, SwitchBus, SwitchMemory};
 pub use pipeline::{PipelineConfig, TppRun};
 pub use switch::{DropReason, ReceiveOutcome, Switch, SwitchConfig};
 pub use tables::{Action, FlowKey, FlowTable, GroupTable};

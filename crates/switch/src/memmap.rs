@@ -217,6 +217,48 @@ pub struct FlowEntryStats {
     pub match_bytes: u64,
 }
 
+/// The flow entries a packet matched, keyed by pipeline stage.
+///
+/// Stored as a compact fixed-capacity list rather than a per-stage array:
+/// a packet matches at most a couple of table stages (the seed datapath
+/// records only the routing stage), and this struct rides inside every
+/// queued packet, so it must be both allocation-free and small.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MatchedEntries {
+    entries: [(u8, FlowEntryStats); Self::CAP],
+    len: u8,
+}
+
+impl MatchedEntries {
+    /// Distinct stages that can record a match for one packet.
+    pub const CAP: usize = 2;
+
+    /// Record (or replace) the entry matched at `stage`. Silently ignored
+    /// beyond [`Self::CAP`] distinct stages.
+    pub fn set(&mut self, stage: usize, stats: FlowEntryStats) {
+        for e in &mut self.entries[..self.len as usize] {
+            if e.0 == stage as u8 {
+                e.1 = stats;
+                return;
+            }
+        }
+        if (self.len as usize) < Self::CAP {
+            self.entries[self.len as usize] = (stage as u8, stats);
+            self.len += 1;
+        }
+    }
+
+    /// The entry matched at `stage`, if any.
+    pub fn get(&self, stage: usize) -> Option<&FlowEntryStats> {
+        self.entries[..self.len as usize].iter().find(|e| e.0 == stage as u8).map(|e| &e.1)
+    }
+
+    /// The match at the highest stage (by convention, the routing result).
+    pub fn routing_match(&self) -> Option<&FlowEntryStats> {
+        self.entries[..self.len as usize].iter().max_by_key(|e| e.0).map(|e| &e.1)
+    }
+}
+
 impl FlowEntryStats {
     fn read(&self, off: u16) -> Option<Word> {
         Some(match off {
@@ -332,8 +374,9 @@ pub struct PacketContext {
     /// Known only after the routing stage (end of ingress).
     pub out_port: Option<u8>,
     pub out_queue: u8,
-    /// Matched flow entry per stage.
-    pub matched_entry: Vec<Option<FlowEntryStats>>,
+    /// Matched flow entries, keyed by stage. Fixed-capacity so building a
+    /// context per packet performs no heap allocation.
+    pub matched_entry: MatchedEntries,
     pub pkt_len: u32,
     pub hop_count: u32,
     pub path_hash: u32,
@@ -345,11 +388,13 @@ pub struct PacketContext {
 
 impl PacketContext {
     pub fn new(in_port: u8, pkt_len: u32, now_ns: u64, n_stages: usize) -> Self {
+        debug_assert!(n_stages <= layout::MAX_STAGES as usize);
+        let _ = n_stages;
         PacketContext {
             in_port,
             out_port: None,
             out_queue: 0,
-            matched_entry: vec![None; n_stages],
+            matched_entry: MatchedEntries::default(),
             pkt_len,
             hop_count: 0,
             path_hash: 0,
@@ -370,7 +415,7 @@ impl PacketContext {
             }
             x if x == meta_ns::MATCHED_ENTRY_ID => {
                 // Convention: the routing stage's matched entry.
-                self.matched_entry.iter().flatten().last()?.entry_id
+                self.matched_entry.routing_match()?.entry_id
             }
             x if x == meta_ns::PKT_LEN => self.pkt_len,
             x if x == meta_ns::HOP_COUNT => self.hop_count,
@@ -475,10 +520,7 @@ impl MemoryBus for SwitchBus<'_> {
                 let (p, q) = self.resolve_queue(ns)?;
                 self.mem.queues[p][q].read(off)
             }
-            Namespace::FlowEntry(s) => {
-                let e = self.ctx.matched_entry.get(s as usize)?.as_ref()?;
-                e.read(off)
-            }
+            Namespace::FlowEntry(s) => self.ctx.matched_entry.get(s as usize)?.read(off),
             Namespace::Stage(s) => {
                 if (s as usize) < self.mem.n_stages {
                     self.mem.stages[s as usize].read(off)
@@ -639,12 +681,10 @@ mod tests {
     fn flow_entry_stats_via_indirection() {
         let mut m = mem();
         let mut ctx = PacketContext::new(0, 100, 0, 6);
-        ctx.matched_entry[3] = Some(FlowEntryStats {
-            entry_id: 55,
-            insert_clock: 1000,
-            match_pkts: 10,
-            match_bytes: 1500,
-        });
+        ctx.matched_entry.set(
+            3,
+            FlowEntryStats { entry_id: 55, insert_clock: 1000, match_pkts: 10, match_bytes: 1500 },
+        );
         let mut bus = SwitchBus { mem: &mut m, ctx: &mut ctx };
         assert_eq!(bus.read(a("FlowEntry$3:EntryID")), Some(55));
         assert_eq!(bus.read(a("FlowEntry$3:MatchPkts")), Some(10));

@@ -20,9 +20,9 @@
 
 use crate::memmap::SwitchBus;
 use tpp_core::addr::{meta_ns, Address, Namespace};
-use tpp_core::exec::{ExecOptions, InstrStatus, MemoryBus, WriteOutcome};
-use tpp_core::isa::Opcode;
-use tpp_core::wire::Tpp;
+use tpp_core::exec::{ExecOptions, InstrStatus, MemoryBus, StatusVec, WriteOutcome};
+use tpp_core::isa::{Instruction, Opcode, MAX_INSTRUCTIONS};
+use tpp_core::wire::{Tpp, TppView, TppViewMut};
 
 /// Shape of the pipeline: ingress stages (the last one computes routing)
 /// followed by egress stages (entered after the packet buffer).
@@ -130,68 +130,104 @@ enum Slot {
 }
 
 /// The in-flight execution state of one TPP as it traverses the pipeline.
-/// Created at ingress parse, carried through the packet buffer, finished at
-/// egress.
-#[derive(Clone, Debug)]
+///
+/// Planned once at ingress parse from a validated [`TppView`], carried
+/// through the packet buffer, finished at egress. The run holds **no owned
+/// TPP**: instructions and slots live in fixed-size inline arrays (bounded
+/// by the architectural [`MAX_INSTRUCTIONS`] budget) and every packet-memory
+/// access goes straight to the frame bytes through a [`TppViewMut`], which
+/// maintains the section checksum incrementally. The forwarding path
+/// therefore performs no heap allocation per packet.
+#[derive(Clone, Copy, Debug)]
 pub struct TppRun {
-    pub tpp: Tpp,
-    slots: Vec<Slot>,
-    status: Vec<Option<InstrStatus>>,
+    /// Byte offset of the TPP section within the frame.
+    pub section: usize,
+    n_instr: u8,
+    instrs: [Instruction; MAX_INSTRUCTIONS],
+    slots: [Slot; MAX_INSTRUCTIONS],
+    status: [Option<InstrStatus>; MAX_INSTRUCTIONS],
     /// Program index of the first failed conditional, if any.
     fail_idx: Option<usize>,
     final_sp: u8,
     pub wrote: bool,
     /// Opcodes that reached an execution unit, for latency accounting.
-    pub executed_ops: Vec<Opcode>,
+    executed_ops: [Opcode; MAX_INSTRUCTIONS],
+    n_executed: u8,
     pub rejected: bool,
+    /// Header snapshot taken at plan time (the view owns the live bytes).
+    pub reflect: bool,
+    pub hop: u8,
 }
 
 impl TppRun {
-    /// Parse-time planning: serialize PUSH/POP to preassigned offsets and
-    /// check the instruction budget.
-    pub fn plan(tpp: Tpp, opts: &ExecOptions) -> TppRun {
-        let rejected = tpp.instrs.len() > opts.max_instructions;
-        let mut sp = tpp.sp as usize;
-        let words = tpp.memory_words();
-        let mut slots = Vec::with_capacity(tpp.instrs.len());
-        for ins in &tpp.instrs {
-            match ins.opcode {
+    /// Parse-time planning over a validated view at byte offset `section`
+    /// of its frame: serialize PUSH/POP to preassigned offsets and check
+    /// the instruction budget. Like the in-place interpreter, the pipeline
+    /// enforces the architectural [`MAX_INSTRUCTIONS`] budget even when
+    /// `opts.max_instructions` is configured above it.
+    pub fn plan(view: &TppView<'_>, section: usize, opts: &ExecOptions) -> TppRun {
+        let n = view.n_instr();
+        let rejected = n > opts.max_instructions || n > MAX_INSTRUCTIONS;
+        let filler = Instruction::load(Address::new(0), 0);
+        let mut run = TppRun {
+            section,
+            n_instr: 0,
+            instrs: [filler; MAX_INSTRUCTIONS],
+            slots: [Slot::Direct; MAX_INSTRUCTIONS],
+            status: [None; MAX_INSTRUCTIONS],
+            fail_idx: None,
+            final_sp: view.sp(),
+            wrote: false,
+            executed_ops: [Opcode::Load; MAX_INSTRUCTIONS],
+            n_executed: 0,
+            rejected,
+            reflect: view.reflect(),
+            hop: view.hop(),
+        };
+        if rejected {
+            return run;
+        }
+        run.n_instr = n as u8;
+        let mut sp = view.sp() as usize;
+        let words = view.memory_words();
+        for idx in 0..n {
+            let ins = view.instr(idx);
+            run.instrs[idx] = ins;
+            run.slots[idx] = match ins.opcode {
                 Opcode::Push => {
                     if sp < words {
-                        slots.push(Slot::Stack(sp));
                         sp += 1;
+                        Slot::Stack(sp - 1)
                     } else {
-                        slots.push(Slot::Invalid);
+                        Slot::Invalid
                     }
                 }
                 Opcode::Pop => {
                     if sp > 0 {
                         sp -= 1;
-                        slots.push(Slot::Stack(sp));
+                        Slot::Stack(sp)
                     } else {
-                        slots.push(Slot::Invalid);
+                        Slot::Invalid
                     }
                 }
-                _ => slots.push(Slot::Direct),
-            }
+                _ => Slot::Direct,
+            };
         }
-        let n = tpp.instrs.len();
-        TppRun {
-            tpp,
-            slots,
-            status: vec![None; n],
-            fail_idx: None,
-            final_sp: sp.min(u8::MAX as usize) as u8,
-            wrote: false,
-            executed_ops: Vec::new(),
-            rejected,
-        }
+        run.final_sp = sp.min(u8::MAX as usize) as u8;
+        run
+    }
+
+    /// Opcodes that reached an execution unit so far, for cost accounting.
+    pub fn executed_ops(&self) -> &[Opcode] {
+        &self.executed_ops[..self.n_executed as usize]
     }
 
     /// Execute all instructions assigned to stages in `range` (processed in
-    /// stage order, program order within a stage).
+    /// stage order, program order within a stage), mutating the TPP section
+    /// inside `frame` in place.
     pub fn exec_stages(
         &mut self,
+        frame: &mut [u8],
         bus: &mut SwitchBus<'_>,
         range: std::ops::Range<usize>,
         cfg: &PipelineConfig,
@@ -200,12 +236,13 @@ impl TppRun {
         if self.rejected {
             return;
         }
+        let mut view = TppViewMut::from_validated(&mut frame[self.section..]);
         for stage in range {
-            for idx in 0..self.tpp.instrs.len() {
+            for idx in 0..self.n_instr as usize {
                 if self.status[idx].is_some() {
                     continue;
                 }
-                let ins = self.tpp.instrs[idx];
+                let ins = self.instrs[idx];
                 let Some(s) = stage_of(ins.addr, cfg) else { continue };
                 if s != stage {
                     continue;
@@ -214,32 +251,39 @@ impl TppRun {
                     self.status[idx] = Some(InstrStatus::Suppressed);
                     continue;
                 }
-                let st = self.exec_one(bus, idx, opts);
+                let st = self.exec_one(&mut view, bus, idx, opts);
                 if matches!(st, InstrStatus::CondFailed | InstrStatus::PredicateFalse) {
                     self.fail_idx = Some(self.fail_idx.map_or(idx, |f| f.min(idx)));
                 }
                 if !matches!(st, InstrStatus::Skipped | InstrStatus::Suppressed) {
-                    self.executed_ops.push(self.tpp.instrs[idx].opcode);
+                    self.executed_ops[self.n_executed as usize] = ins.opcode;
+                    self.n_executed += 1;
                 }
                 self.status[idx] = Some(st);
             }
         }
     }
 
-    fn exec_one(&mut self, bus: &mut SwitchBus<'_>, idx: usize, opts: &ExecOptions) -> InstrStatus {
-        let ins = self.tpp.instrs[idx];
+    fn exec_one(
+        &mut self,
+        view: &mut TppViewMut<'_>,
+        bus: &mut SwitchBus<'_>,
+        idx: usize,
+        opts: &ExecOptions,
+    ) -> InstrStatus {
+        let ins = self.instrs[idx];
         match ins.opcode {
             Opcode::Push => {
                 let Slot::Stack(word) = self.slots[idx] else { return InstrStatus::Skipped };
                 let Some(v) = bus.read(ins.addr) else { return InstrStatus::Skipped };
-                match self.tpp.write_word(word, v) {
+                match view.write_word(word, v) {
                     Some(()) => InstrStatus::Executed,
                     None => InstrStatus::Skipped,
                 }
             }
             Opcode::Pop => {
                 let Slot::Stack(word) = self.slots[idx] else { return InstrStatus::Skipped };
-                let Some(v) = self.tpp.read_word(word) else { return InstrStatus::Skipped };
+                let Some(v) = view.read_word(word) else { return InstrStatus::Skipped };
                 if !opts.allow_writes {
                     return InstrStatus::Skipped;
                 }
@@ -253,13 +297,13 @@ impl TppRun {
             }
             Opcode::Load => {
                 let Some(v) = bus.read(ins.addr) else { return InstrStatus::Skipped };
-                match self.tpp.write_hop_word(ins.op1, v) {
+                match view.write_hop_word(ins.op1, v) {
                     Some(()) => InstrStatus::Executed,
                     None => InstrStatus::Skipped,
                 }
             }
             Opcode::Store => {
-                let Some(v) = self.tpp.read_hop_word(ins.op1) else {
+                let Some(v) = view.read_hop_word(ins.op1) else {
                     return InstrStatus::Skipped;
                 };
                 if !opts.allow_writes {
@@ -276,7 +320,7 @@ impl TppRun {
             Opcode::Cstore => {
                 let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
                 let (Some(pre), Some(post)) =
-                    (self.tpp.read_hop_word(ins.op1), self.tpp.read_hop_word(ins.op2))
+                    (view.read_hop_word(ins.op1), view.read_hop_word(ins.op2))
                 else {
                     return InstrStatus::Skipped;
                 };
@@ -289,7 +333,7 @@ impl TppRun {
                         observed = post;
                     }
                 }
-                let _ = self.tpp.write_hop_word(ins.op1, observed);
+                let _ = view.write_hop_word(ins.op1, observed);
                 if succeeded {
                     InstrStatus::Executed
                 } else {
@@ -299,7 +343,7 @@ impl TppRun {
             Opcode::Cexec => {
                 let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
                 let (Some(mask), Some(value)) =
-                    (self.tpp.read_hop_word(ins.op1), self.tpp.read_hop_word(ins.op2))
+                    (view.read_hop_word(ins.op1), view.read_hop_word(ins.op2))
                 else {
                     return InstrStatus::Skipped;
                 };
@@ -312,14 +356,33 @@ impl TppRun {
         }
     }
 
-    /// Complete the run after the last stage: resolve remaining statuses,
-    /// advance SP/hop, and return the updated TPP plus final statuses.
-    pub fn finish(mut self, opts: &ExecOptions) -> (Tpp, Vec<InstrStatus>, bool) {
-        let statuses: Vec<InstrStatus> = self
-            .status
-            .iter()
-            .enumerate()
-            .map(|(idx, s)| match s {
+    /// Complete the run after the last stage: write the final SP, wrote
+    /// flag and hop counter into the frame (checksum folded incrementally).
+    /// Rejected TPPs are forwarded byte-for-byte untouched.
+    pub fn finish(&mut self, frame: &mut [u8], opts: &ExecOptions) {
+        if self.rejected {
+            return;
+        }
+        let mut view = TppViewMut::from_validated(&mut frame[self.section..]);
+        view.set_sp(self.final_sp);
+        if self.wrote {
+            view.set_wrote(true);
+        }
+        if opts.increment_hop {
+            view.set_hop(self.hop.wrapping_add(1));
+        }
+    }
+
+    /// Per-instruction statuses with unexecuted slots resolved (Suppressed
+    /// past a failed conditional, Skipped otherwise). Empty for rejected
+    /// TPPs, mirroring the reference interpreter.
+    pub fn final_statuses(&self) -> StatusVec {
+        let mut out = StatusVec::default();
+        if self.rejected {
+            return out;
+        }
+        for (idx, s) in self.status[..self.n_instr as usize].iter().enumerate() {
+            out.push(match s {
                 Some(st) => *st,
                 None => {
                     if self.fail_idx.is_some_and(|f| idx > f) {
@@ -328,18 +391,9 @@ impl TppRun {
                         InstrStatus::Skipped
                     }
                 }
-            })
-            .collect();
-        if !self.rejected {
-            self.tpp.sp = self.final_sp;
-            if self.wrote {
-                self.tpp.wrote = true;
-            }
-            if opts.increment_hop {
-                self.tpp.hop = self.tpp.hop.wrapping_add(1);
-            }
+            });
         }
-        (self.tpp, statuses, self.wrote)
+        out
     }
 }
 
@@ -365,17 +419,25 @@ mod tests {
         ctx: &mut PacketContext,
     ) -> (Tpp, Vec<InstrStatus>) {
         let opts = ExecOptions::default();
-        let mut run = TppRun::plan(tpp, &opts);
+        // The pipeline executes in place over wire bytes: serialize, run,
+        // parse the mutated section back for the assertions.
+        let mut frame = tpp.serialize();
+        let mut run = {
+            let (view, _) = TppView::parse(&frame).expect("test TPP serializes validly");
+            TppRun::plan(&view, 0, &opts)
+        };
         let c = cfg();
         {
             let mut bus = SwitchBus { mem, ctx };
-            run.exec_stages(&mut bus, 0..c.n_ingress, &c, &opts);
+            run.exec_stages(&mut frame, &mut bus, 0..c.n_ingress, &c, &opts);
         }
         {
             let mut bus = SwitchBus { mem, ctx };
-            run.exec_stages(&mut bus, c.n_ingress..c.total_stages(), &c, &opts);
+            run.exec_stages(&mut frame, &mut bus, c.n_ingress..c.total_stages(), &c, &opts);
         }
-        let (tpp, st, _) = run.finish(&opts);
+        run.finish(&mut frame, &opts);
+        let st = run.final_statuses().as_slice().to_vec();
+        let (tpp, _) = Tpp::parse(&frame).expect("executed section remains valid wire format");
         (tpp, st)
     }
 
@@ -441,12 +503,15 @@ mod tests {
             mem.stages[1].version = 6;
             let mut ctx = PacketContext::new(1, 100, 0, 6);
             ctx.out_port = Some(2);
-            ctx.matched_entry[3] = Some(crate::memmap::FlowEntryStats {
-                entry_id: 5,
-                insert_clock: 0,
-                match_pkts: 42,
-                match_bytes: 0,
-            });
+            ctx.matched_entry.set(
+                3,
+                crate::memmap::FlowEntryStats {
+                    entry_id: 5,
+                    insert_clock: 0,
+                    match_pkts: 42,
+                    match_bytes: 0,
+                },
+            );
             let (pipe_out, _) = run_full(tpp.clone(), &mut mem, &mut ctx.clone());
 
             // Reference execution against a MapBus snapshot of the same state.

@@ -18,7 +18,7 @@ use crate::tables::{Action, FlowKey, FlowTable, GroupTable};
 use tpp_core::addr::layout;
 use tpp_core::exec::ExecOptions;
 use tpp_core::wire::{
-    ethernet, locate_tpp, replace_tpp, EthernetFrame, Ipv4Address, Ipv4Packet, Tpp, TppLocation,
+    ethernet, locate_tpp, EthernetFrame, Ipv4Address, Ipv4Packet, TppLocation, TppView,
 };
 
 /// Static configuration of one switch.
@@ -107,7 +107,15 @@ pub struct Switch {
     queues: Vec<Vec<VecDeque<QueuedPacket>>>,
     rr_next: Vec<usize>,
     last_util_ns: u64,
+    /// Frame buffers of dropped packets, retained (bounded) for reuse so
+    /// the owner — e.g. the network simulator's frame pool — can recycle
+    /// them instead of round-tripping the allocator on every drop.
+    retired: Vec<Vec<u8>>,
 }
+
+/// Retained dropped-frame buffers are capped; beyond this they free
+/// normally.
+const MAX_RETIRED: usize = 64;
 
 impl Switch {
     pub fn new(cfg: SwitchConfig) -> Self {
@@ -122,6 +130,7 @@ impl Switch {
             queues,
             rr_next: vec![0; cfg.n_ports],
             last_util_ns: 0,
+            retired: Vec::new(),
             cfg,
         };
         for q in 0..layout::QUEUES_PER_PORT as usize {
@@ -130,6 +139,18 @@ impl Switch {
             }
         }
         sw
+    }
+
+    /// Park a dropped frame's buffer for reuse by the owner.
+    fn retire(&mut self, frame: Vec<u8>) {
+        if self.retired.len() < MAX_RETIRED {
+            self.retired.push(frame);
+        }
+    }
+
+    /// Take back one retired (dropped) frame buffer, if any.
+    pub fn take_retired(&mut self) -> Option<Vec<u8>> {
+        self.retired.pop()
     }
 
     fn exec_options(&self) -> ExecOptions {
@@ -199,47 +220,54 @@ impl Switch {
         }
 
         let Some(eth) = EthernetFrame::new_checked(&frame[..]) else {
-            return self.drop_malformed(in_port, len);
+            return self.drop_malformed(in_port, frame);
         };
         let ethertype = eth.ethertype();
         if ethertype != ethernet::ethertype::IPV4 && ethertype != ethernet::ethertype::TPP {
-            return self.drop_malformed(in_port, len);
+            return self.drop_malformed(in_port, frame);
         }
 
-        // Locate and parse the TPP, if any (Figure 7a parse graph).
+        // Locate and validate the TPP, if any (Figure 7a parse graph). The
+        // section is validated once as a borrowed view — no owned parse —
+        // and immediately planned into a fixed-size TppRun; the program
+        // then executes in place against the frame bytes.
+        let opts = self.exec_options();
         let loc = locate_tpp(&frame);
-        let (tpp, ip_offset): (Option<Tpp>, usize) = match loc {
-            TppLocation::Transparent { section } => match Tpp::parse(&frame[section..]) {
-                Ok((t, consumed)) => {
-                    if t.encap_proto != ethernet::ethertype::IPV4 {
-                        // Can't route a non-IP payload.
+        let mut tpp_damaged = false;
+        let (mut run, ip_offset): (Option<TppRun>, usize) = match loc {
+            TppLocation::Transparent { section } => match TppView::parse(&frame[section..]) {
+                Ok((view, consumed)) if view.encap_proto() == ethernet::ethertype::IPV4 => {
+                    (Some(TppRun::plan(&view, section, &opts)), section + consumed)
+                }
+                // Damaged TPP (the inner packet's location is unknowable)
+                // or unroutable non-IP payload: count and drop below, once
+                // the frame is no longer borrowed.
+                Ok(_) | Err(_) => {
+                    tpp_damaged = true;
+                    (None, 0)
+                }
+            },
+            TppLocation::Standalone { section, ip, .. } => {
+                match TppView::parse(&frame[section..]) {
+                    Ok((view, _)) => (Some(TppRun::plan(&view, section, &opts)), ip),
+                    Err(_) => {
+                        // Forward as a normal UDP packet, uninstrumented.
                         self.mem.tpp_rejected += 1;
-                        return self.drop_malformed(in_port, len);
+                        (None, ip)
                     }
-                    (Some(t), section + consumed)
                 }
-                Err(_) => {
-                    // Damaged TPP in transparent mode: the inner packet's
-                    // location is unknowable; count and drop.
-                    self.mem.tpp_rejected += 1;
-                    return self.drop_malformed(in_port, len);
-                }
-            },
-            TppLocation::Standalone { section, ip, .. } => match Tpp::parse(&frame[section..]) {
-                Ok((t, _)) => (Some(t), ip),
-                Err(_) => {
-                    // Forward as a normal UDP packet, uninstrumented.
-                    self.mem.tpp_rejected += 1;
-                    (None, ip)
-                }
-            },
+            }
             TppLocation::None => (None, ethernet::HEADER_LEN),
         };
+        if tpp_damaged {
+            self.mem.tpp_rejected += 1;
+            return self.drop_malformed(in_port, frame);
+        }
 
         // Routing header checks (TTL) on the routed IP header.
         let (dst_ip, ttl) = {
             let Some(ip) = Ipv4Packet::new_checked(&frame[ip_offset..]) else {
-                return self.drop_malformed(in_port, len);
+                return self.drop_malformed(in_port, frame);
             };
             (ip.dst(), ip.ttl())
         };
@@ -247,6 +275,7 @@ impl Switch {
             let l = &mut self.mem.links[in_port as usize];
             l.drop_bytes += len;
             l.drop_pkts += 1;
+            self.retire(frame);
             return ReceiveOutcome::Dropped(DropReason::TtlExpired);
         }
         {
@@ -255,25 +284,23 @@ impl Switch {
         }
 
         let mut ctx = PacketContext::new(in_port, frame.len() as u32, now_ns, self.mem.n_stages);
-        if let Some(t) = &tpp {
-            ctx.hop_count = t.hop as u32;
+        if let Some(r) = &run {
+            ctx.hop_count = r.hop as u32;
         }
 
-        // Plan the TPP run and execute the pre-routing ingress stages.
-        let opts = self.exec_options();
+        // Execute the pre-routing ingress stages in place.
         let cfg = self.cfg.pipeline;
-        let mut run = tpp.map(|t| TppRun::plan(t, &opts));
         if let Some(r) = &mut run {
             if r.rejected {
                 self.mem.tpp_rejected += 1;
             }
             let mut bus = SwitchBus { mem: &mut self.mem, ctx: &mut ctx };
-            r.exec_stages(&mut bus, 0..cfg.routing_stage(), &cfg, &opts);
+            r.exec_stages(&mut frame, &mut bus, 0..cfg.routing_stage(), &cfg, &opts);
         }
 
         // Targeted TPP addressed to this switch (§4.4): execute and reflect.
         let reflect_here = dst_ip == self.cfg.ip
-            || run.as_ref().is_some_and(|r| r.tpp.reflect)
+            || run.as_ref().is_some_and(|r| r.reflect)
                 && matches!(loc, TppLocation::Standalone { .. });
 
         // Routing lookup at the routing stage.
@@ -281,7 +308,12 @@ impl Switch {
         let out_port: Option<u8> = if reflect_here {
             Some(in_port)
         } else {
-            let key = FlowKey::from_frame(&frame).unwrap_or_default();
+            // The routed IP header was located above — hash it directly
+            // instead of re-walking the parse graph (which would re-validate
+            // a transparent TPP section).
+            let key = Ipv4Packet::new_checked(&frame[ip_offset..])
+                .map(|ip| FlowKey::from_ipv4(&ip))
+                .unwrap_or_default();
             ctx.path_hash = key.hash_with(self.cfg.ecmp_hash_dst_port);
             self.mem.stages[rs].lookup_pkts += 1;
             self.mem.stages[rs].lookup_bytes += len;
@@ -289,12 +321,15 @@ impl Switch {
                 Some(entry) => {
                     self.mem.stages[rs].match_pkts += 1;
                     self.mem.stages[rs].match_bytes += len;
-                    ctx.matched_entry[rs] = Some(FlowEntryStats {
-                        entry_id: entry.entry_id,
-                        insert_clock: entry.insert_clock,
-                        match_pkts: entry.match_pkts,
-                        match_bytes: entry.match_bytes,
-                    });
+                    ctx.matched_entry.set(
+                        rs,
+                        FlowEntryStats {
+                            entry_id: entry.entry_id,
+                            insert_clock: entry.insert_clock,
+                            match_pkts: entry.match_pkts,
+                            match_bytes: entry.match_bytes,
+                        },
+                    );
                     match entry.action {
                         Action::Output(p) => Some(p),
                         Action::Group(g) => self.groups.select(g, ctx.path_hash),
@@ -308,6 +343,7 @@ impl Switch {
             let l = &mut self.mem.links[in_port as usize];
             l.drop_bytes += len;
             l.drop_pkts += 1;
+            self.retire(frame);
             return ReceiveOutcome::Dropped(DropReason::NoRoute);
         };
         ctx.out_port = Some(out_port % self.cfg.n_ports as u8);
@@ -316,7 +352,7 @@ impl Switch {
         // write to [PacketMetadata:OutputPort] supersedes the lookup, §3.2).
         if let Some(r) = &mut run {
             let mut bus = SwitchBus { mem: &mut self.mem, ctx: &mut ctx };
-            r.exec_stages(&mut bus, rs..cfg.n_ingress, &cfg, &opts);
+            r.exec_stages(&mut frame, &mut bus, rs..cfg.n_ingress, &cfg, &opts);
         }
         let out_port = ctx.out_port.unwrap() % self.cfg.n_ports as u8;
         ctx.out_port = Some(out_port);
@@ -331,6 +367,7 @@ impl Switch {
             let l = &mut self.mem.links[out_port as usize];
             l.drop_bytes += len;
             l.drop_pkts += 1;
+            self.retire(frame);
             return ReceiveOutcome::Dropped(DropReason::QueueFull);
         }
 
@@ -351,7 +388,7 @@ impl Switch {
         let proc_latency_ns = self.cfg.cost.base_latency_ns
             + run
                 .as_ref()
-                .map(|r| self.cfg.cost.tpp_latency_ns(r.executed_ops.iter().copied()))
+                .map(|r| self.cfg.cost.tpp_latency_ns(r.executed_ops().iter().copied()))
                 .unwrap_or(0);
 
         self.queues[out_port as usize][queue as usize].push_back(QueuedPacket {
@@ -365,7 +402,9 @@ impl Switch {
         ReceiveOutcome::Enqueued { port: out_port, queue, proc_latency_ns }
     }
 
-    fn drop_malformed(&mut self, in_port: u8, len: u64) -> ReceiveOutcome {
+    fn drop_malformed(&mut self, in_port: u8, frame: Vec<u8>) -> ReceiveOutcome {
+        let len = frame.len() as u64;
+        self.retire(frame);
         let l = &mut self.mem.links[in_port as usize];
         l.err_pkts += 1;
         l.drop_bytes += len;
@@ -401,18 +440,24 @@ impl Switch {
 
         pkt.ctx.queue_wait_ns = Some((now_ns - pkt.enq_ns).min(u32::MAX as u64) as u32);
 
-        if let Some(mut run) = pkt.run.take() {
+        if let Some(run) = pkt.run.as_mut() {
             let opts = self.exec_options();
             let cfg = self.cfg.pipeline;
             {
                 let mut bus = SwitchBus { mem: &mut self.mem, ctx: &mut pkt.ctx };
-                run.exec_stages(&mut bus, cfg.egress_stage()..cfg.total_stages(), &cfg, &opts);
+                run.exec_stages(
+                    &mut pkt.frame,
+                    &mut bus,
+                    cfg.egress_stage()..cfg.total_stages(),
+                    &cfg,
+                    &opts,
+                );
             }
-            let rejected = run.rejected;
-            let (tpp, _statuses, _) = run.finish(&opts);
-            if !rejected {
+            // In-place completion: SP/wrote/hop land in the frame with the
+            // checksum folded incrementally — no re-serialization.
+            run.finish(&mut pkt.frame, &opts);
+            if !run.rejected {
                 self.mem.tpp_executed += 1;
-                replace_tpp(&mut pkt.frame, pkt.loc, &tpp);
             }
         }
 
@@ -445,7 +490,9 @@ mod tests {
     use super::*;
     use tpp_core::addr::resolve_mnemonic;
     use tpp_core::asm::TppBuilder;
-    use tpp_core::wire::{self, build_standalone, insert_transparent, ipv4, udp, EthernetAddress};
+    use tpp_core::wire::{
+        self, build_standalone, insert_transparent, ipv4, udp, EthernetAddress, Tpp,
+    };
 
     fn host_frame(src: u32, dst: u32, payload_len: usize, sport: u16, dport: u16) -> Vec<u8> {
         let src_ip = Ipv4Address::from_host_id(src);

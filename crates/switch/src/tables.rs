@@ -186,8 +186,8 @@ impl FlowKey {
         let l3 = match eth.ethertype() {
             tpp_core::wire::ethernet::ethertype::IPV4 => eth.payload(),
             tpp_core::wire::ethernet::ethertype::TPP => {
-                let (tpp, consumed) = tpp_core::wire::Tpp::parse(eth.payload()).ok()?;
-                if tpp.encap_proto != tpp_core::wire::ethernet::ethertype::IPV4 {
+                let (view, consumed) = tpp_core::wire::TppView::parse(eth.payload()).ok()?;
+                if view.encap_proto() != tpp_core::wire::ethernet::ethertype::IPV4 {
                     return None;
                 }
                 &eth.payload()[consumed..]

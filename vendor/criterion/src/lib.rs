@@ -178,6 +178,24 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// CI smoke runs bound total bench time via the same `TPP_BENCH_ITERS`
+/// environment variable that bounds the figure/table binaries: a *small*
+/// value caps the warm-up and measurement windows so a full bench suite
+/// finishes in seconds while still exercising every benchmark body. Values
+/// of 10,000,000 and above (or the variable unset) run the configured
+/// full-fidelity windows, so a deliberately large budget is honored rather
+/// than silently producing smoke-quality numbers.
+fn env_bounded(warm_up: Duration, measurement: Duration) -> (Duration, Duration) {
+    let smoke = std::env::var("TPP_BENCH_ITERS")
+        .ok()
+        .map(|v| v.trim().parse::<u64>().map_or(true, |n| n < 10_000_000));
+    if smoke == Some(true) {
+        (warm_up.min(Duration::from_millis(50)), measurement.min(Duration::from_millis(150)))
+    } else {
+        (warm_up, measurement)
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     c: &Criterion,
     group: Option<&str>,
@@ -185,12 +203,9 @@ fn run_one<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
-    let mut b = Bencher {
-        warm_up: c.warm_up,
-        measurement: c.measurement,
-        sample_size: c.sample_size,
-        samples_ns: Vec::new(),
-    };
+    let (warm_up, measurement) = env_bounded(c.warm_up, c.measurement);
+    let mut b =
+        Bencher { warm_up, measurement, sample_size: c.sample_size, samples_ns: Vec::new() };
     f(&mut b);
     let full = match group {
         Some(g) => format!("{g}/{id}"),
