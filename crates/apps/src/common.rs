@@ -1,8 +1,7 @@
 //! Shared plumbing for TPP applications: frame construction, rate meters,
 //! and the standard shim-wiring pattern every app uses.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use tpp_core::wire::{ethernet, ipv4, udp, EthernetRepr, Ipv4Address, Ipv4Packet, UdpDatagram};
 use tpp_endhost::shim::mac_of_ip;
@@ -116,10 +115,46 @@ impl RateMeter {
 }
 
 /// Shared handle used by apps to expose results to experiment drivers.
-pub type Shared<T> = Rc<RefCell<T>>;
+///
+/// Backed by `Arc<RwLock<_>>` (it used to be `Rc<RefCell<_>>`) so that
+/// every application is `Send` and runs unchanged on a `tpp-fabric` shard
+/// thread; the `borrow`/`borrow_mut` names are kept so call sites read the
+/// same as before. Lock discipline matches `RefCell`: many concurrent
+/// reads, exclusive writes, no re-entrant write-while-read.
+pub struct Shared<T>(Arc<RwLock<T>>);
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(self.0.clone())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.read().unwrap().fmt(f)
+    }
+}
+
+impl<T: Default> Default for Shared<T> {
+    fn default() -> Self {
+        shared(T::default())
+    }
+}
+
+impl<T> Shared<T> {
+    /// Shared read access (panics if the lock is poisoned).
+    pub fn borrow(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap()
+    }
+
+    /// Exclusive write access (panics if the lock is poisoned).
+    pub fn borrow_mut(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap()
+    }
+}
 
 pub fn shared<T>(value: T) -> Shared<T> {
-    Rc::new(RefCell::new(value))
+    Shared(Arc::new(RwLock::new(value)))
 }
 
 /// A minimal host that runs only the dataplane shim: it echoes completed

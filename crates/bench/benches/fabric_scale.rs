@@ -1,0 +1,67 @@
+//! Fabric-scale benchmark: one simulated millisecond of heavy all-hosts
+//! traffic on a k=8 fat-tree (80 switches, 128 hosts), driven by the
+//! single-threaded `Network` loop vs the sharded `tpp-fabric` runtime at
+//! 2 and 4 shards. The sharded runs are digest-checked against the
+//! single-threaded reference once up front — the timings compare *the same
+//! simulation*, not approximations of it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use tpp_fabric::{install_traffic, ExecMode, Fabric, PartitionStrategy, TrafficConfig};
+use tpp_netsim::{topology, Time, MILLIS};
+
+const K: usize = 8;
+const HORIZON: Time = 2 * MILLIS / 5;
+
+fn traffic() -> TrafficConfig {
+    // Same heavy-load shape as the fig_scale sweep.
+    TrafficConfig {
+        frames_per_tick: 16,
+        tick_ns: 5_000,
+        payload: 256,
+        tpp_every: 4,
+        stop_at: HORIZON,
+        seed: 8,
+    }
+}
+
+fn run(n_shards: usize) -> u64 {
+    let mut t = topology::fat_tree(K, 10_000, 1000, 8);
+    let hosts = t.hosts.clone();
+    let _delivered = install_traffic(&mut t.net, &hosts, &traffic());
+    if n_shards == 1 {
+        t.net.run_until(HORIZON);
+        t.net.stats.digest()
+    } else {
+        let mut fabric = Fabric::new(t.net, n_shards, PartitionStrategy::Locality);
+        fabric.set_mode(ExecMode::Auto);
+        fabric.run_until(HORIZON);
+        fabric.stats().digest()
+    }
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    // Prove once that every configuration is the same simulation.
+    let reference = run(1);
+    assert_eq!(run(2), reference, "2-shard digest must match single-threaded");
+    assert_eq!(run(4), reference, "4-shard digest must match single-threaded");
+
+    let mut g = c.benchmark_group("fabric_scale");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("k8_single_thread", |b| b.iter(|| black_box(run(1))));
+    g.bench_function("k8_shards2", |b| b.iter(|| black_box(run(2))));
+    g.bench_function("k8_shards4", |b| b.iter(|| black_box(run(4))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_fabric
+}
+criterion_main!(benches);

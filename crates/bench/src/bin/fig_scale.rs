@@ -1,0 +1,112 @@
+//! fig_scale: wall-clock scaling of the sharded fabric runtime.
+//!
+//! Sweeps k ∈ {4, 8} fat-trees × {1, 2, 4} shards over an identical
+//! timer-driven all-hosts traffic workload (a quarter of the frames carry
+//! the §2.1 visibility TPP) and reports wall-clock time per configuration,
+//! asserting along the way that every sharded run's `NetStats` digest is
+//! bit-identical to the single-threaded reference — the scaling numbers
+//! are only meaningful because the runs are provably the same simulation.
+//!
+//! `TPP_BENCH_ITERS` below 10_000_000 switches to smoke mode (k = 4 only,
+//! short horizon) for CI; the digest-equality assertions always run.
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use tpp_fabric::{install_traffic, ExecMode, Fabric, PartitionStrategy, TrafficConfig};
+use tpp_netsim::{topology, NetStats, Time, MILLIS};
+
+struct Case {
+    wall_ms: f64,
+    stats: NetStats,
+    delivered: u64,
+}
+
+fn traffic(horizon: Time) -> TrafficConfig {
+    // Heavy load: deep queues grow the event heap, which is where sharding
+    // pays even before thread parallelism (smaller per-shard heaps and
+    // working sets).
+    TrafficConfig {
+        frames_per_tick: 16,
+        tick_ns: 5_000,
+        payload: 256,
+        tpp_every: 4,
+        stop_at: horizon,
+        seed: 8,
+    }
+}
+
+fn run_case(k: usize, n_shards: usize, horizon: Time, mode: ExecMode) -> Case {
+    let mut t = topology::fat_tree(k, 10_000, 1000, 8);
+    let hosts = t.hosts.clone();
+    let delivered = install_traffic(&mut t.net, &hosts, &traffic(horizon));
+    let start = Instant::now();
+    let stats = if n_shards == 1 {
+        // The single-threaded reference: the plain Network event loop.
+        t.net.run_until(horizon);
+        t.net.stats
+    } else {
+        let mut fabric = Fabric::new(t.net, n_shards, PartitionStrategy::Locality);
+        fabric.set_mode(mode);
+        fabric.run_until(horizon);
+        fabric.stats()
+    };
+    Case {
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        stats,
+        delivered: delivered.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("TPP_BENCH_ITERS")
+        .ok()
+        .map(|v| v.trim().parse::<u64>().map_or(true, |n| n < 10_000_000))
+        .unwrap_or(false);
+    let (ks, horizon): (&[usize], Time) =
+        if smoke { (&[4], MILLIS / 2) } else { (&[4, 8], MILLIS) };
+    let mode = match std::env::var("TPP_FABRIC_MODE").as_deref() {
+        Ok("threads") => ExecMode::Threaded,
+        Ok("seq") => ExecMode::Sequential,
+        _ => ExecMode::Auto,
+    };
+
+    println!("# fig_scale — sharded fabric runtime vs single-threaded Network");
+    println!("# horizon {} us, mode {:?}, cores {}", horizon / 1000, mode, cores());
+    println!(
+        "{:>4} {:>7} {:>10} {:>12} {:>10} {:>8}  digest",
+        "k", "shards", "delivered", "events", "wall ms", "speedup"
+    );
+    for &k in ks {
+        let mut baseline_ms = 0.0;
+        let mut baseline_digest = 0u64;
+        for shards in [1usize, 2, 4] {
+            let c = run_case(k, shards, horizon, mode);
+            if shards == 1 {
+                baseline_ms = c.wall_ms;
+                baseline_digest = c.stats.digest();
+            } else {
+                assert_eq!(
+                    c.stats.digest(),
+                    baseline_digest,
+                    "k={k} shards={shards}: sharded digest diverged from single-threaded"
+                );
+            }
+            println!(
+                "{:>4} {:>7} {:>10} {:>12} {:>10.1} {:>7.2}x  {:016x}",
+                k,
+                shards,
+                c.delivered,
+                c.stats.events_processed,
+                c.wall_ms,
+                baseline_ms / c.wall_ms,
+                c.stats.digest()
+            );
+        }
+    }
+    println!("# digest equality asserted for every sharded configuration");
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}

@@ -1,0 +1,196 @@
+//! Topology partitioning: assign every node of a built [`Network`] to one
+//! of `n_shards` shards.
+//!
+//! Constraints and goals, in order:
+//!
+//! 1. **Zero-delay links never cross shards.** The conservative runtime's
+//!    lookahead is the minimum cross-shard propagation delay; a zero-delay
+//!    link would collapse the epoch window to nothing. A union-find pass
+//!    glues such endpoints into one component unconditionally.
+//! 2. **Locality (optional).** Hosts generate and sink most frames at
+//!    their edge switch; co-locating a host with its switch keeps that
+//!    traffic off the cross-shard channels.
+//! 3. **Balance.** Components are bin-packed onto shards greedily by
+//!    weight (switches cost more to simulate than hosts).
+
+use tpp_netsim::{Network, NodeId, Time};
+
+/// How nodes are grouped before bin-packing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Hosts are glued to their first switch neighbor, so host↔edge
+    /// traffic stays shard-local. The right default for fabrics with many
+    /// switches (leaf-spine, fat-tree).
+    Locality,
+    /// Only the mandatory zero-delay gluing; remaining components spread
+    /// round-robin. Forces cross-shard traffic even on degenerate
+    /// topologies (a star's hub and leaves land on different shards) —
+    /// useful for stress-testing the runtime.
+    RoundRobin,
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Compute a shard assignment (`assignment[node] in 0..n_shards`) for a
+/// built, not-yet-running network.
+pub fn partition(net: &Network, n_shards: usize, strategy: PartitionStrategy) -> Vec<usize> {
+    let n = net.node_count();
+    assert!(n_shards >= 1, "need at least one shard");
+    let mut uf = UnionFind::new(n);
+
+    // 1. Mandatory: zero-delay links are always co-sharded.
+    for (a, _pa, b, _pb, spec) in net.links() {
+        if spec.delay_ns == 0 {
+            uf.union(a.0 as usize, b.0 as usize);
+        }
+    }
+
+    // 2. Locality: hosts follow their first switch neighbor.
+    if strategy == PartitionStrategy::Locality {
+        for h in net.host_ids() {
+            if let Some((_, peer)) = net.neighbors(h).first() {
+                uf.union(h.0 as usize, peer.0 as usize);
+            }
+        }
+    }
+
+    // Gather components in deterministic (min node id) order.
+    let mut comp_of = vec![usize::MAX; n];
+    let mut comps: Vec<(Vec<usize>, u64)> = Vec::new(); // (members, weight)
+    for i in 0..n {
+        let root = uf.find(i);
+        if comp_of[root] == usize::MAX {
+            comp_of[root] = comps.len();
+            comps.push((Vec::new(), 0));
+        }
+        let c = comp_of[root];
+        comps[c].0.push(i);
+        // Switches carry queues, tables, and TPP execution; weigh them
+        // heavier than hosts when balancing.
+        comps[c].1 += if net.is_switch(NodeId(i as u32)) { 4 } else { 1 };
+    }
+
+    let mut assignment = vec![0usize; n];
+    match strategy {
+        PartitionStrategy::RoundRobin => {
+            for (i, (members, _)) in comps.iter().enumerate() {
+                for &m in members {
+                    assignment[m] = i % n_shards;
+                }
+            }
+        }
+        PartitionStrategy::Locality => {
+            // Greedy bin-packing: heaviest component to the lightest shard.
+            let mut order: Vec<usize> = (0..comps.len()).collect();
+            order.sort_by_key(|&c| (std::cmp::Reverse(comps[c].1), comps[c].0[0]));
+            let mut load = vec![0u64; n_shards];
+            for c in order {
+                let shard = (0..n_shards).min_by_key(|&s| (load[s], s)).unwrap();
+                load[shard] += comps[c].1;
+                for &m in &comps[c].0 {
+                    assignment[m] = shard;
+                }
+            }
+        }
+    }
+    assignment
+}
+
+/// The conservative lookahead implied by an assignment: the minimum
+/// propagation delay over links whose endpoints live on different shards.
+/// `None` when nothing crosses (a single shard, or disconnected shards) —
+/// the runtime then needs no synchronization at all.
+pub fn lookahead(net: &Network, assignment: &[usize]) -> Option<Time> {
+    net.links()
+        .into_iter()
+        .filter(|(a, _, b, _, _)| assignment[a.0 as usize] != assignment[b.0 as usize])
+        .map(|(_, _, _, _, spec)| spec.delay_ns)
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_netsim::topology;
+
+    #[test]
+    fn zero_delay_links_are_co_sharded() {
+        // A dumbbell with a zero-delay trunk: both switches (and, with
+        // RoundRobin, only what the trunk forces) must share a shard.
+        let t = topology::dumbbell(2, 100, 100, 0, 1);
+        let a = partition(&t.net, 4, PartitionStrategy::RoundRobin);
+        assert_eq!(a[t.switches[0].0 as usize], a[t.switches[1].0 as usize]);
+        // With every link at zero delay there is exactly one component.
+        assert!(lookahead(&t.net, &a).is_none() || lookahead(&t.net, &a) > Some(0));
+    }
+
+    #[test]
+    fn locality_keeps_hosts_with_their_edge_switch() {
+        let t = topology::fat_tree(4, 1000, 1000, 1);
+        let a = partition(&t.net, 4, PartitionStrategy::Locality);
+        for &h in &t.hosts {
+            let (_, edge) = t.net.neighbors(h)[0];
+            assert_eq!(a[h.0 as usize], a[edge.0 as usize], "host follows its edge switch");
+        }
+        // All four shards get work.
+        let mut used: Vec<usize> = a.clone();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), 4);
+        // Cross-shard links exist and carry the uniform 1000ns delay.
+        assert_eq!(lookahead(&t.net, &a), Some(1000));
+    }
+
+    #[test]
+    fn round_robin_splits_a_star() {
+        let t = topology::star(6, 100, 500, 1);
+        let a = partition(&t.net, 2, PartitionStrategy::RoundRobin);
+        let mut used: Vec<usize> = a.clone();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), 2, "star must actually split");
+        assert_eq!(lookahead(&t.net, &a), Some(500));
+    }
+
+    #[test]
+    fn balance_is_reasonable_on_fat_tree() {
+        let t = topology::fat_tree(4, 1000, 1000, 1);
+        let a = partition(&t.net, 4, PartitionStrategy::Locality);
+        let mut weights = vec![0u64; 4];
+        for (i, &s) in a.iter().enumerate() {
+            weights[s] += if t.net.is_switch(tpp_netsim::NodeId(i as u32)) { 4 } else { 1 };
+        }
+        let (min, max) = (*weights.iter().min().unwrap(), *weights.iter().max().unwrap());
+        assert!(max <= 2 * min, "shard weights unbalanced: {weights:?}");
+    }
+}

@@ -1,0 +1,158 @@
+//! A deterministic, `Send` traffic workload for scale runs and
+//! differential tests: every host streams UDP frames (a fraction carrying
+//! transparent TPPs) to pseudo-randomly chosen peers on a fixed timer
+//! cadence. All randomness comes from a per-host stream seeded by the
+//! host's node id, so behavior is identical no matter which shard — or
+//! how many shards — the host lands on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tpp_core::asm::TppBuilder;
+use tpp_core::wire::{
+    ethernet, insert_transparent, ipv4, udp, EthernetAddress, EthernetRepr, Ipv4Address, Tpp,
+};
+use tpp_netsim::{HostApp, HostCtx, Time};
+
+/// Workload knobs.
+#[derive(Clone, Debug)]
+pub struct TrafficConfig {
+    /// Frames sent per timer tick.
+    pub frames_per_tick: usize,
+    /// Timer cadence.
+    pub tick_ns: Time,
+    /// UDP payload bytes (pre-TPP).
+    pub payload: usize,
+    /// Every `tpp_every`-th frame carries a transparent TPP (0 = never).
+    pub tpp_every: usize,
+    /// Stop generating at this simulation time (sinks keep counting).
+    pub stop_at: Time,
+    /// Base RNG seed (combined with the host's node id).
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            frames_per_tick: 4,
+            tick_ns: 10_000,
+            payload: 256,
+            tpp_every: 4,
+            stop_at: Time::MAX,
+            seed: 1,
+        }
+    }
+}
+
+/// The per-host generator/sink. Install one on every host, sharing the
+/// `delivered` counter to observe aggregate progress.
+pub struct TrafficGen {
+    cfg: TrafficConfig,
+    /// Node ids of all hosts in the topology (potential destinations).
+    peers: Arc<Vec<u32>>,
+    rng: Option<StdRng>,
+    tpp: Tpp,
+    sent: u64,
+    /// Frames delivered to *this and every sibling* generator.
+    pub delivered: Arc<AtomicU64>,
+}
+
+impl TrafficGen {
+    pub fn new(cfg: TrafficConfig, peers: Arc<Vec<u32>>, delivered: Arc<AtomicU64>) -> Self {
+        // The §2.1 visibility program: per-hop switch id, port, and queue
+        // occupancy — its result words depend on queue state at every hop,
+        // which makes the trace digest sensitive to any ordering slip.
+        let tpp = TppBuilder::stack_mode()
+            .push_m("Switch:SwitchID")
+            .unwrap()
+            .push_m("PacketMetadata:OutputPort")
+            .unwrap()
+            .push_m("Queue:QueueOccupancy")
+            .unwrap()
+            .hops(6)
+            .build()
+            .unwrap();
+        TrafficGen { cfg, peers, rng: None, tpp, sent: 0, delivered }
+    }
+
+    fn build_frame(&mut self, src_ip: Ipv4Address, src_mac: EthernetAddress, dst: u32) -> Vec<u8> {
+        let dst_ip = Ipv4Address::from_host_id(dst);
+        let u = udp::Repr { src_port: 5001, dst_port: 5001, payload_len: self.cfg.payload };
+        let udp_b = u.encapsulate(src_ip, dst_ip, &vec![0u8; self.cfg.payload]);
+        let ip = ipv4::Repr {
+            src: src_ip,
+            dst: dst_ip,
+            protocol: ipv4::protocol::UDP,
+            ttl: 64,
+            payload_len: udp_b.len(),
+        };
+        let plain = EthernetRepr {
+            dst: EthernetAddress::from_node_id(dst),
+            src: src_mac,
+            ethertype: ethernet::ethertype::IPV4,
+        }
+        .encapsulate(&ip.encapsulate(&udp_b));
+        self.sent += 1;
+        if self.cfg.tpp_every > 0 && self.sent.is_multiple_of(self.cfg.tpp_every as u64) {
+            insert_transparent(&plain, &self.tpp)
+        } else {
+            plain
+        }
+    }
+}
+
+impl HostApp for TrafficGen {
+    fn start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.rng = Some(StdRng::seed_from_u64(self.cfg.seed ^ ((ctx.node.0 as u64) << 20)));
+        // Stagger first ticks across hosts to avoid a thundering herd.
+        let jitter = self.rng.as_mut().unwrap().random_range(0..self.cfg.tick_ns);
+        ctx.set_timer(jitter, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, _token: u64) {
+        if ctx.now >= self.cfg.stop_at {
+            return;
+        }
+        for _ in 0..self.cfg.frames_per_tick {
+            let dst = {
+                let rng = self.rng.as_mut().unwrap();
+                let i = rng.random_range(0..self.peers.len());
+                if self.peers[i] == ctx.node.0 {
+                    self.peers[(i + 1) % self.peers.len()]
+                } else {
+                    self.peers[i]
+                }
+            };
+            let frame = self.build_frame(ctx.ip, ctx.mac, dst);
+            ctx.send(frame);
+        }
+        ctx.set_timer(self.cfg.tick_ns, 0);
+    }
+
+    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        ctx.recycle(frame);
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Install [`TrafficGen`]s on every host of a built topology; returns the
+/// shared delivered-frames counter.
+pub fn install_traffic(
+    net: &mut tpp_netsim::Network,
+    hosts: &[tpp_netsim::NodeId],
+    cfg: &TrafficConfig,
+) -> Arc<AtomicU64> {
+    let peers = Arc::new(hosts.iter().map(|h| h.0).collect::<Vec<_>>());
+    let delivered = Arc::new(AtomicU64::new(0));
+    for &h in hosts {
+        net.set_app(h, Box::new(TrafficGen::new(cfg.clone(), peers.clone(), delivered.clone())));
+    }
+    delivered
+}

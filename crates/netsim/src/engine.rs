@@ -1,8 +1,16 @@
 //! Deterministic discrete-event core: a time-ordered event queue.
 //!
-//! Events at equal timestamps are delivered in insertion order (a strictly
-//! increasing sequence number breaks ties), which makes every simulation in
-//! this workspace reproducible bit-for-bit for a given seed.
+//! Events at equal timestamps are delivered by ascending *order key*, then
+//! by insertion order (a strictly increasing sequence number breaks the
+//! remaining ties). Plain [`EventQueue::schedule_at`] uses key 0 for every
+//! event, which degenerates to pure insertion-order ties — the classic
+//! single-queue behavior. [`EventQueue::schedule_keyed`] lets a simulation
+//! attach a *content-derived* key (e.g. packed from node id and port) so
+//! that same-timestamp delivery order is a function of the events
+//! themselves rather than of when they were inserted. That property is what
+//! allows a sharded runtime (`tpp-fabric`) to replay the exact same
+//! tie-break decisions as the single-threaded simulator: per-shard queues
+//! cannot reproduce global insertion order, but they *can* reproduce keys.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -15,13 +23,14 @@ pub const SECONDS: Time = 1_000_000_000;
 
 struct Entry<E> {
     time: Time,
+    key: u64,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -33,7 +42,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        (other.time, other.key, other.seq).cmp(&(self.time, self.key, self.seq))
     }
 }
 
@@ -71,11 +80,21 @@ impl<E> EventQueue<E> {
     /// Schedule `event` at absolute time `at`. Scheduling in the past is a
     /// logic error and panics in debug builds; in release it clamps to now.
     pub fn schedule_at(&mut self, at: Time, event: E) {
+        self.schedule_keyed(at, 0, event);
+    }
+
+    /// Schedule `event` at `at` with an explicit same-timestamp order key:
+    /// ties are broken by `(key, insertion order)`. Keys must be derived
+    /// from event *content* if the schedule is to be reproducible across
+    /// differently-partitioned runs (see module docs). The time-travel
+    /// guard applies: `at < now` panics in debug builds and clamps to `now`
+    /// in release builds, so a queue can never silently reorder the past.
+    pub fn schedule_keyed(&mut self, at: Time, key: u64, event: E) {
         debug_assert!(at >= self.now, "scheduling into the past: {} < {}", at, self.now);
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry { time: at, key, seq, event });
     }
 
     /// Schedule `event` after a delay relative to now.
@@ -136,6 +155,52 @@ mod tests {
             last = t;
         }
         assert_eq!(q.now(), 25);
+    }
+
+    #[test]
+    fn keys_order_same_timestamp_events() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed(10, 3, "c");
+        q.schedule_keyed(10, 1, "a");
+        q.schedule_keyed(10, 2, "b");
+        q.schedule_keyed(5, 9, "first"); // earlier time wins over any key
+        assert_eq!(q.pop(), Some((5, "first")));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((10, "b")));
+        assert_eq!(q.pop(), Some((10, "c")));
+    }
+
+    #[test]
+    fn equal_keys_fall_back_to_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.schedule_keyed(7, 42, i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    /// The time-travel guard: a shard-local queue must never silently
+    /// reorder the past. Debug builds panic; release builds clamp to `now`.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduling into the past")]
+    fn schedule_into_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "later");
+        q.pop(); // now == 100
+        q.schedule_at(99, "earlier");
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn schedule_into_the_past_clamps_in_release() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "later");
+        q.pop(); // now == 100
+        q.schedule_at(99, "earlier");
+        assert_eq!(q.pop(), Some((100, "earlier")));
     }
 
     #[test]

@@ -18,5 +18,7 @@ pub mod net;
 pub mod topology;
 
 pub use engine::{Time, MILLIS, SECONDS};
-pub use net::{FramePool, Host, HostApp, HostCtx, LinkSpec, NetStats, Network, NodeId, NullApp};
+pub use net::{
+    FramePool, Host, HostApp, HostCtx, LinkSpec, NetStats, Network, NodeId, NullApp, RemoteFrame,
+};
 pub use topology::Topology;

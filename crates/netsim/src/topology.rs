@@ -5,10 +5,44 @@
 //! equal-cost next hops exist, an ECMP group is installed, exactly like the
 //! multipath group tables of §2.4.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::net::{LinkSpec, Network, NodeId, NullApp};
 use tpp_switch::{Action, SwitchConfig};
+
+/// A dense map keyed by `NodeId.0` (node ids are compact, assigned from 0
+/// upward by the builders), replacing the tree/hash maps that used to sit
+/// on the route-installation path: on a k=8 fat-tree, route setup performs
+/// hundreds of thousands of distance lookups, and an indexed `Vec` beats a
+/// `BTreeMap` walk on every one of them.
+#[derive(Clone, Debug)]
+pub struct NodeMap<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T> NodeMap<T> {
+    /// An empty map sized for `n_nodes` node ids.
+    pub fn new(n_nodes: usize) -> Self {
+        NodeMap { slots: (0..n_nodes).map(|_| None).collect() }
+    }
+
+    pub fn insert(&mut self, node: NodeId, value: T) {
+        self.slots[node.0 as usize] = Some(value);
+    }
+
+    pub fn get(&self, node: NodeId) -> Option<&T> {
+        self.slots.get(node.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.get(node).is_some()
+    }
+
+    /// `(node, value)` pairs in ascending node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (NodeId(i as u32), v)))
+    }
+}
 
 /// A built topology: the network plus the roles of its nodes.
 pub struct Topology {
@@ -25,17 +59,18 @@ impl Topology {
     }
 }
 
-/// BFS distances from `start` over the whole node graph.
-fn bfs_dist(net: &Network, start: NodeId) -> HashMap<NodeId, u32> {
-    let mut dist = HashMap::new();
+/// BFS distances from `start` over the whole node graph, as a dense
+/// node-indexed map (`None` = unreachable).
+fn bfs_dist(net: &Network, start: NodeId) -> NodeMap<u32> {
+    let mut dist = NodeMap::new(net.node_count());
     dist.insert(start, 0);
     let mut q = VecDeque::new();
     q.push_back(start);
     while let Some(n) = q.pop_front() {
-        let d = dist[&n];
+        let d = *dist.get(n).unwrap();
         for (_, peer) in net.neighbors(n) {
-            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(peer) {
-                e.insert(d + 1);
+            if !dist.contains(peer) {
+                dist.insert(peer, d + 1);
                 // Hosts are leaves: record their distance, never route
                 // *through* them.
                 if net.is_switch(peer) {
@@ -53,12 +88,12 @@ pub fn install_shortest_path_routes(net: &mut Network, hosts: &[NodeId], switche
         let dist = bfs_dist(net, h);
         let ip = net.host(h).ip;
         for &s in switches {
-            let Some(&ds) = dist.get(&s) else { continue };
+            let Some(&ds) = dist.get(s) else { continue };
             // Next hops: neighbors strictly closer to the host.
             let mut ports: Vec<u8> = net
                 .neighbors(s)
                 .iter()
-                .filter(|(_, peer)| dist.get(peer).is_some_and(|&dp| dp + 1 == ds))
+                .filter(|(_, peer)| dist.get(*peer).is_some_and(|&dp| dp + 1 == ds))
                 .map(|(p, _)| *p)
                 .collect();
             ports.sort_unstable();
@@ -260,9 +295,14 @@ pub fn fat_tree(k: usize, link_mbps: u64, delay_ns: u64, seed: u64) -> Topology 
     t
 }
 
-/// Map from host node id to its index in `hosts` (handy for experiments).
-pub fn host_index(t: &Topology) -> BTreeMap<NodeId, usize> {
-    t.hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect()
+/// Map from host node id to its index in `hosts` (handy for experiments):
+/// a dense [`NodeMap`] keyed by `NodeId.0`, not a tree.
+pub fn host_index(t: &Topology) -> NodeMap<usize> {
+    let mut idx = NodeMap::new(t.net.node_count());
+    for (i, &h) in t.hosts.iter().enumerate() {
+        idx.insert(h, i);
+    }
+    idx
 }
 
 #[cfg(test)]
@@ -270,15 +310,15 @@ mod tests {
     use super::*;
     use crate::engine::MILLIS;
     use crate::net::{HostApp, HostCtx};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
     use tpp_core::wire::{ethernet, ipv4, udp, EthernetAddress, EthernetRepr, Ipv4Address};
 
     struct Pinger {
         dst: NodeId,
         sport: u16,
         n: usize,
-        got: Rc<RefCell<usize>>,
+        got: Arc<AtomicUsize>,
     }
     impl HostApp for Pinger {
         fn start(&mut self, ctx: &mut HostCtx<'_>) {
@@ -303,7 +343,7 @@ mod tests {
             }
         }
         fn on_frame(&mut self, _ctx: &mut HostCtx<'_>, _frame: Vec<u8>) {
-            *self.got.borrow_mut() += 1;
+            self.got.fetch_add(1, Ordering::Relaxed);
         }
         fn as_any(&mut self) -> &mut dyn std::any::Any {
             self
@@ -312,8 +352,8 @@ mod tests {
 
     fn assert_all_pairs_connectivity(mut t: Topology, label: &str) {
         let hosts = t.hosts.clone();
-        let counters: Vec<Rc<RefCell<usize>>> =
-            hosts.iter().map(|_| Rc::new(RefCell::new(0))).collect();
+        let counters: Vec<Arc<AtomicUsize>> =
+            hosts.iter().map(|_| Arc::new(AtomicUsize::new(0))).collect();
         for (i, &h) in hosts.iter().enumerate() {
             // Each host pings its "next" host.
             let dst = hosts[(i + 1) % hosts.len()];
@@ -330,7 +370,7 @@ mod tests {
         }
         t.net.run_until(500 * MILLIS);
         for (i, c) in counters.iter().enumerate() {
-            assert_eq!(*c.borrow(), 1, "{label}: host {i} did not receive its ping");
+            assert_eq!(c.load(Ordering::Relaxed), 1, "{label}: host {i} did not receive its ping");
         }
     }
 
@@ -364,6 +404,19 @@ mod tests {
     #[test]
     fn fat_tree_connectivity() {
         assert_all_pairs_connectivity(fat_tree(4, 1000, 1000, 1), "fat-tree");
+    }
+
+    #[test]
+    fn host_index_is_dense_and_complete() {
+        let t = fat_tree(4, 1000, 1000, 1);
+        let idx = host_index(&t);
+        for (i, &h) in t.hosts.iter().enumerate() {
+            assert_eq!(idx.get(h), Some(&i));
+        }
+        for &s in &t.switches {
+            assert_eq!(idx.get(s), None, "switches are not hosts");
+        }
+        assert_eq!(idx.iter().count(), t.hosts.len());
     }
 
     #[test]

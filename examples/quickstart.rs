@@ -15,7 +15,7 @@ struct Prober {
     dst: minions::core::wire::Ipv4Address,
     shim: Option<Shim>,
     exec: Option<Executor>,
-    result: std::rc::Rc<std::cell::RefCell<Option<minions::core::wire::Tpp>>>,
+    result: std::sync::Arc<std::sync::Mutex<Option<minions::core::wire::Tpp>>>,
 }
 
 impl HostApp for Prober {
@@ -46,7 +46,7 @@ impl HostApp for Prober {
             if let Some(ProbeOutcome::Completed { tpp, .. }) =
                 self.exec.as_mut().unwrap().on_completed(&done.tpp)
             {
-                *self.result.borrow_mut() = Some(tpp);
+                *self.result.lock().unwrap() = Some(tpp);
             }
         }
     }
@@ -61,7 +61,7 @@ fn main() {
     let mut topo = topology::line(3, 1, 1000, 10_000, 42);
     let hosts = topo.hosts.clone();
     let dst_ip = topo.net.host(hosts[2]).ip;
-    let result = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let result = std::sync::Arc::new(std::sync::Mutex::new(None));
     topo.net.set_app(hosts[2], Box::new(Responder::new()));
     topo.net.set_app(
         hosts[0],
@@ -69,7 +69,7 @@ fn main() {
     );
     topo.net.run_until(10 * MILLIS);
 
-    let tpp = result.borrow().clone().expect("probe completed");
+    let tpp = result.lock().unwrap().clone().expect("probe completed");
     println!("probe executed at {} hops; collected state:", tpp.hop);
     println!("{:>8} {:>10} {:>12}", "switch", "out port", "queue bytes");
     let words = tpp.words();

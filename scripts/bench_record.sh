@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Record the criterion micro-bench numbers that track the TPP fast path:
+# Record the criterion micro-bench numbers that track the TPP fast path —
 # switch_forward/{plain,tpp}_packet plus the tcpu_exec groups (reference
-# interpreter, in-place executor, staged pipeline).
+# interpreter, in-place executor, staged pipeline) — and the fabric_scale
+# sweep (single-threaded Network vs sharded tpp-fabric on a k=8 fat-tree).
 #
 # Usage:
 #   scripts/bench_record.sh [OUTPUT.json]        # default: bench_run.json
@@ -29,6 +30,9 @@ trap 'rm -f "$RAW"' EXIT
 # so CI failures are diagnosable; only the result lines land in $RAW.
 cargo bench -p tpp-bench --bench pipeline | tee -a "$RAW"
 cargo bench -p tpp-bench --bench tcpu_exec | tee -a "$RAW"
+# Fabric scaling: single-threaded Network vs tpp-fabric at 2/4 shards on a
+# k=8 fat-tree (digest equality is asserted inside the bench).
+cargo bench -p tpp-bench --bench fabric_scale | tee -a "$RAW"
 
 # Lines look like:
 #   switch_forward/tpp_packet   time: [246.4 ns 268.2 ns 321.6 ns] thrpt: ...

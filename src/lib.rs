@@ -17,5 +17,6 @@
 pub use tpp_apps as apps;
 pub use tpp_core as core;
 pub use tpp_endhost as endhost;
+pub use tpp_fabric as fabric;
 pub use tpp_netsim as netsim;
 pub use tpp_switch as switch;

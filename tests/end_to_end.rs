@@ -7,8 +7,7 @@ use minions::core::asm::TppBuilder;
 use minions::core::wire::Ipv4Address;
 use minions::endhost::{Executor, ExecutorConfig, ProbeOutcome, Shim};
 use minions::netsim::{topology, HostApp, HostCtx, NodeId, MILLIS};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A host that launches one reliable probe and records the outcome.
 struct OneProbe {
@@ -16,15 +15,15 @@ struct OneProbe {
     tpp: minions::core::wire::Tpp,
     shim: Option<Shim>,
     exec: Option<Executor>,
-    outcome: Rc<RefCell<Option<ProbeOutcome>>>,
+    outcome: Arc<Mutex<Option<ProbeOutcome>>>,
 }
 
 impl OneProbe {
     fn new(
         dst: Ipv4Address,
         tpp: minions::core::wire::Tpp,
-    ) -> (Self, Rc<RefCell<Option<ProbeOutcome>>>) {
-        let outcome = Rc::new(RefCell::new(None));
+    ) -> (Self, Arc<Mutex<Option<ProbeOutcome>>>) {
+        let outcome = Arc::new(Mutex::new(None));
         (OneProbe { dst, tpp, shim: None, exec: None, outcome: outcome.clone() }, outcome)
     }
 }
@@ -50,7 +49,7 @@ impl HostApp for OneProbe {
             ctx.send(f);
         }
         for o in failed {
-            *self.outcome.borrow_mut() = Some(o);
+            *self.outcome.lock().unwrap() = Some(o);
         }
         if self.exec.as_ref().unwrap().pending_count() > 0 {
             ctx.set_timer(5 * MILLIS, RETRY);
@@ -64,7 +63,7 @@ impl HostApp for OneProbe {
         }
         if let Some(done) = out.completed {
             if let Some(o) = self.exec.as_mut().unwrap().on_completed_full(&done) {
-                *self.outcome.borrow_mut() = Some(o);
+                *self.outcome.lock().unwrap() = Some(o);
             }
         }
     }
@@ -90,7 +89,7 @@ fn probe_traverses_fat_tree_and_reports_true_path() {
     topo.net.set_app(src, Box::new(app));
     topo.net.run_until(100 * MILLIS);
 
-    let o = outcome.borrow().clone().expect("probe resolved");
+    let o = outcome.lock().unwrap().clone().expect("probe resolved");
     let ProbeOutcome::Completed { tpp, .. } = o else { panic!("probe failed: {o:?}") };
     // Cross-pod in a k=4 fat-tree: edge -> agg -> core -> agg -> edge.
     assert_eq!(tpp.hop, 5, "five switch hops");
@@ -106,7 +105,10 @@ fn probe_traverses_fat_tree_and_reports_true_path() {
 
 #[test]
 fn reliable_executor_survives_lossy_links() {
-    let mut topo = topology::line(2, 1, 1000, 10_000, 5);
+    // Seed chosen so the per-link fault streams actually drop probe frames
+    // (some seeds let the very first probe through unscathed, which would
+    // leave the retry machinery unexercised).
+    let mut topo = topology::line(2, 1, 1000, 10_000, 3);
     let hosts = topo.hosts.clone();
     let dst_ip = topo.net.host(hosts[1]).ip;
     topo.net.set_app(hosts[1], Box::new(Responder::new()));
@@ -116,7 +118,7 @@ fn reliable_executor_survives_lossy_links() {
     let switches = topo.switches.clone();
     topo.net.set_link_faults(switches[0], 0, 0.4, 0.0);
     topo.net.run_until(500 * MILLIS);
-    let o = outcome.borrow().clone().expect("resolved");
+    let o = outcome.lock().unwrap().clone().expect("resolved");
     assert!(
         matches!(o, ProbeOutcome::Completed { .. }),
         "retries should eventually succeed: {o:?}"
@@ -126,7 +128,9 @@ fn reliable_executor_survives_lossy_links() {
 
 #[test]
 fn corrupted_tpps_rejected_but_network_keeps_forwarding() {
-    let mut topo = topology::line(2, 1, 1000, 10_000, 6);
+    // Seed chosen so single-bit corruptions land inside the TPP section
+    // (a flip in, say, a MAC byte is invisible to the TPP checksum).
+    let mut topo = topology::line(2, 1, 1000, 10_000, 7);
     let hosts = topo.hosts.clone();
     let switches = topo.switches.clone();
     let dst_ip = topo.net.host(hosts[1]).ip;
@@ -163,7 +167,7 @@ fn admin_write_disable_is_honored_network_wide() {
     let (app, outcome) = OneProbe::new(dst_ip, tpp);
     topo.net.set_app(hosts[0], Box::new(app));
     topo.net.run_until(100 * MILLIS);
-    let o = outcome.borrow().clone().expect("resolved");
+    let o = outcome.lock().unwrap().clone().expect("resolved");
     let ProbeOutcome::Completed { tpp, .. } = o else { panic!("{o:?}") };
     assert!(!tpp.wrote, "no write may succeed under the kill switch");
     for &s in &switches {
@@ -294,7 +298,7 @@ fn split_tpps_cover_a_long_path_end_to_end() {
         let (app, outcome) = OneProbe::new(dst_ip, tpp.clone());
         topo.net.set_app(src, Box::new(app));
         topo.net.run_for(100 * MILLIS);
-        let resolved = outcome.borrow().clone();
+        let resolved = outcome.lock().unwrap().clone();
         match resolved {
             Some(ProbeOutcome::Completed { tpp, .. }) => executed.push(tpp),
             other => panic!("split probe failed: {other:?}"),
