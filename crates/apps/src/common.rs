@@ -10,6 +10,16 @@ use tpp_netsim::Time;
 /// Default UDP port for application data traffic in experiments.
 pub const DATA_PORT: u16 = 5001;
 
+/// Expand to a `&'static Probe` built once from the given constructor —
+/// decode paths run per received packet, and a probe schema is immutable.
+macro_rules! static_schema {
+    ($ctor:path) => {{
+        static SCHEMA: std::sync::OnceLock<tpp_core::probe::Probe> = std::sync::OnceLock::new();
+        SCHEMA.get_or_init($ctor)
+    }};
+}
+pub(crate) use static_schema;
+
 /// Build a UDP data frame between two simulated hosts (zero payload bytes;
 /// only lengths matter).
 pub fn udp_frame(
@@ -161,41 +171,21 @@ pub fn shared<T>(value: T) -> Shared<T> {
 /// standalone TPPs back to their source (§4.2) and counts received data.
 /// Probe destinations in experiments run this when they have no other role.
 pub struct Responder {
-    shim: Option<tpp_endhost::Shim>,
     pub data_bytes: u64,
 }
 
 impl Responder {
-    pub fn new() -> Self {
-        Responder { shim: None, data_bytes: 0 }
-    }
-}
-
-impl Default for Responder {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl tpp_netsim::HostApp for Responder {
-    fn start(&mut self, ctx: &mut tpp_netsim::HostCtx<'_>) {
-        self.shim = Some(tpp_endhost::Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64));
-    }
-
-    fn on_frame(&mut self, ctx: &mut tpp_netsim::HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-        if let Some(inner) = out.deliver {
-            if let Some(info) = parse_udp(&inner) {
-                self.data_bytes += info.payload_len as u64;
-            }
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
+    /// A wired responder (echoing is the harness's default behaviour; the
+    /// only app logic is the byte counter).
+    pub fn new() -> tpp_endhost::Endhost<Responder> {
+        tpp_endhost::Harness::new(Responder { data_bytes: 0 })
+            .on_deliver(|s: &mut Responder, _io, inner| {
+                if let Some(info) = parse_udp(&inner) {
+                    s.data_bytes += info.payload_len as u64;
+                }
+            })
+            .build()
+            .expect("static wiring")
     }
 }
 

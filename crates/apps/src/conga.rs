@@ -26,10 +26,11 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::common::{parse_udp, shared, udp_frame, RateMeter, Shared};
-use tpp_core::asm::assemble;
+use tpp_core::probe::{Probe, TppData};
 use tpp_core::wire::{Ipv4Address, Tpp};
-use tpp_endhost::{Executor, ExecutorConfig, PacedSender, ProbeOutcome, Shim};
-use tpp_netsim::{HostApp, HostCtx, Time};
+use tpp_endhost::harness::{Endhost, Harness, Io};
+use tpp_endhost::{ExecutorConfig, PacedSender};
+use tpp_netsim::Time;
 
 /// Base destination port for CONGA data flows (flow i uses `BASE + i`).
 pub const FLOW_PORT_BASE: u16 = 6000;
@@ -54,20 +55,17 @@ pub enum Metric {
     Sum,
 }
 
+/// The per-path probe schema.
+pub fn conga_probe() -> Probe {
+    Probe::hop("conga-path")
+        .field("link", "Link:ID")
+        .field("util", "Link:TX-Utilization")
+        .field("tx_bytes", "Link:TX-Bytes")
+}
+
 /// The per-path probe program.
 pub fn conga_tpp(hops: usize) -> Tpp {
-    let mut t = assemble(
-        "
-        .mode hop
-        .perhop 12
-        PUSH [Link:ID]
-        PUSH [Link:TX-Utilization]
-        PUSH [Link:TX-Bytes]
-        ",
-    )
-    .expect("static program");
-    t.memory = vec![0; 12 * hops];
-    t
+    conga_probe().hops(hops).compile().expect("static probe")
 }
 
 /// One hop from a completed probe.
@@ -78,15 +76,24 @@ pub struct PathHop {
     pub tx_bytes: u32,
 }
 
-/// Decode a probe (stack layout: 3 words per hop).
-pub fn parse_probe(tpp: &Tpp) -> Vec<PathHop> {
-    let hops = (tpp.sp as usize / 3).min(tpp.memory_words() / 3);
-    let mut words = tpp.iter_words();
-    (0..hops)
-        .map(|_| PathHop {
-            link_id: words.next().unwrap_or(0),
-            util_bps: words.next().unwrap_or(0),
-            tx_bytes: words.next().unwrap_or(0),
+/// The schema instance shared by all decode paths (built once; decoding
+/// runs per completed probe, every millisecond per path).
+fn conga_schema() -> &'static Probe {
+    crate::common::static_schema!(conga_probe)
+}
+
+/// Decode a probe through the typed schema (3 words per hop).
+pub fn parse_probe<T: TppData>(tpp: &T) -> Vec<PathHop> {
+    let p = conga_schema();
+    // Resolve names once per TPP, not once per hop (one probe per path
+    // per millisecond).
+    let (link, util, tx) =
+        (p.index_of("link").unwrap(), p.index_of("util").unwrap(), p.index_of("tx_bytes").unwrap());
+    p.records(tpp)
+        .map(|r| PathHop {
+            link_id: r.at(link).unwrap_or(0),
+            util_bps: r.at(util).unwrap_or(0),
+            tx_bytes: r.at(tx).unwrap_or(0),
         })
         .collect()
 }
@@ -165,15 +172,14 @@ impl Default for CongaConfig {
 const TIMER_PROBE: u64 = 1;
 const TIMER_DECIDE: u64 = 2;
 const TIMER_PACE: u64 = 3;
-const TIMER_RETRY: u64 = 4;
 const TIMER_START_FLOWS: u64 = 5;
 
-/// A host running CONGA* toward a single destination.
+/// A host running CONGA* toward a single destination. Construct with
+/// [`CongaSender::new`]; probe traffic is accounted by the harness's
+/// `probe_bytes_sent`.
 pub struct CongaSender {
     pub cfg: CongaConfig,
     dst: Ipv4Address,
-    shim: Option<Shim>,
-    exec: Option<Executor>,
     rng: StdRng,
     /// Discovered paths (probing state visible to experiments).
     pub paths: Vec<PathState>,
@@ -185,16 +191,16 @@ pub struct CongaSender {
     flows_started: bool,
     pub path_switches: u64,
     pub data_bytes: u64,
-    pub control_bytes: u64,
 }
 
+/// The wired CONGA* sender application.
+pub type CongaSenderApp = Endhost<CongaSender>;
+
 impl CongaSender {
-    pub fn new(cfg: CongaConfig, dst: Ipv4Address) -> Self {
-        CongaSender {
+    pub fn new(cfg: CongaConfig, dst: Ipv4Address) -> CongaSenderApp {
+        let state = CongaSender {
             cfg,
             dst,
-            shim: None,
-            exec: None,
             rng: StdRng::seed_from_u64(cfg.seed),
             paths: Vec::new(),
             sig_index: BTreeMap::new(),
@@ -205,8 +211,49 @@ impl CongaSender {
             flows_started: false,
             path_switches: 0,
             data_bytes: 0,
-            control_bytes: 0,
-        }
+        };
+        Harness::new(state)
+            .shim_seed(cfg.seed ^ 0xC0C0)
+            .executor(ExecutorConfig { max_retries: 2, timeout_ns: 20_000_000 })
+            .launch(conga_probe().app_id(cfg.app_id).hops(cfg.probe_hops), |s, io, c| {
+                if let Some(token) = c.token {
+                    s.on_probe_done(io.ctx.now, token, &c.tpp);
+                }
+            })
+            // Probes that exhaust retries (e.g. toward a failed path) must
+            // release their token->sport entry or the map grows unbounded.
+            .on_failed(|s, _io, token| {
+                s.probe_sport.remove(&token);
+            })
+            .on_start(|s, io| {
+                // Discovery: probe the whole source-port range once.
+                for i in 0..s.cfg.discovery_ports {
+                    s.send_probe(io, PROBE_SPORT_BASE + i);
+                }
+                io.ctx.set_timer(s.cfg.probe_period_ns, TIMER_PROBE);
+                // Let discovery finish before data starts.
+                io.ctx.set_timer(20_000_000, TIMER_START_FLOWS);
+            })
+            .on_timer(|s, io, token| match token {
+                TIMER_PROBE => {
+                    // Refresh each known path's congestion metric.
+                    let reps: Vec<u16> =
+                        s.paths.iter().filter_map(|p| p.ports.first().copied()).collect();
+                    for sport in reps {
+                        s.send_probe(io, sport);
+                    }
+                    io.ctx.set_timer(s.cfg.probe_period_ns, TIMER_PROBE);
+                }
+                TIMER_DECIDE => {
+                    s.decide(io.ctx.now);
+                    io.ctx.set_timer(s.cfg.decide_period_ns, TIMER_DECIDE);
+                }
+                TIMER_PACE => s.pace(io),
+                TIMER_START_FLOWS => s.start_flows(io),
+                _ => {}
+            })
+            .build()
+            .expect("static wiring")
     }
 
     /// Number of distinct paths discovered so far.
@@ -214,21 +261,14 @@ impl CongaSender {
         self.paths.len()
     }
 
-    fn send_probe(&mut self, ctx: &mut HostCtx<'_>, sport: u16) {
-        let mut probe = conga_tpp(self.cfg.probe_hops);
-        probe.app_id = self.cfg.app_id;
-        let exec = self.exec.as_mut().unwrap();
-        let (token, mut frame) = exec.send(ctx.now, self.dst, probe);
+    fn send_probe(&mut self, io: &mut Io<'_, '_>, sport: u16) {
         // The executor builds the frame with a fixed source port; rewrite it
         // to steer the probe onto the candidate path. The UDP checksum over
         // zero payload bytes must be refreshed.
-        rewrite_udp_sport(&mut frame, sport);
+        let token = io
+            .launch_mapped(self.cfg.app_id, self.dst, |frame| rewrite_udp_sport(frame, sport))
+            .expect("probe registered");
         self.probe_sport.insert(token, sport);
-        self.control_bytes += frame.len() as u64;
-        ctx.send(frame);
-        if let Some(d) = exec.next_deadline() {
-            ctx.set_timer_at(d, TIMER_RETRY);
-        }
     }
 
     fn on_probe_done(&mut self, now: Time, token: u32, tpp: &Tpp) {
@@ -262,7 +302,7 @@ impl CongaSender {
         self.port_path.insert(sport, idx);
     }
 
-    fn start_flows(&mut self, ctx: &mut HostCtx<'_>) {
+    fn start_flows(&mut self, io: &mut Io<'_, '_>) {
         if self.flows_started {
             return;
         }
@@ -284,9 +324,9 @@ impl CongaSender {
                 pacer: PacedSender::new(self.cfg.flow_rate_mbps * 1e6, self.cfg.payload),
             });
         }
-        ctx.set_timer(0, TIMER_PACE);
+        io.ctx.set_timer(0, TIMER_PACE);
         if self.cfg.mode == Balancer::Conga {
-            ctx.set_timer(self.cfg.decide_period_ns, TIMER_DECIDE);
+            io.ctx.set_timer(self.cfg.decide_period_ns, TIMER_DECIDE);
         }
     }
 
@@ -310,23 +350,23 @@ impl CongaSender {
         }
     }
 
-    fn pace(&mut self, ctx: &mut HostCtx<'_>) {
+    fn pace(&mut self, io: &mut Io<'_, '_>) {
         let mut next = u64::MAX;
         let mut to_send = Vec::new();
         for f in &mut self.flows {
-            let n = f.pacer.due(ctx.now);
+            let n = f.pacer.due(io.ctx.now);
             for _ in 0..n {
                 to_send.push((f.sport, f.dst_port));
             }
             next = next.min(f.pacer.next_deadline());
         }
         for (sport, dport) in to_send {
-            let frame = udp_frame(ctx.ip, self.dst, sport, dport, self.cfg.payload);
+            let frame = udp_frame(io.ctx.ip, self.dst, sport, dport, self.cfg.payload);
             self.data_bytes += frame.len() as u64;
-            ctx.send(frame);
+            io.ctx.send(frame);
         }
         if next != u64::MAX {
-            ctx.set_timer_at(next, TIMER_PACE);
+            io.ctx.set_timer_at(next, TIMER_PACE);
         }
     }
 }
@@ -344,112 +384,33 @@ fn rewrite_udp_sport(frame: &mut [u8], sport: u16) {
     udp.fill_checksum(src, dst);
 }
 
-impl HostApp for CongaSender {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        self.shim = Some(Shim::new(ctx.ip, ctx.mac, self.cfg.seed ^ 0xC0C0));
-        self.exec = Some(Executor::new(
-            ctx.ip,
-            ctx.mac,
-            ExecutorConfig { max_retries: 2, timeout_ns: 20_000_000 },
-        ));
-        // Discovery: probe the whole source-port range once.
-        for i in 0..self.cfg.discovery_ports {
-            self.send_probe(ctx, PROBE_SPORT_BASE + i);
-        }
-        ctx.set_timer(self.cfg.probe_period_ns, TIMER_PROBE);
-        // Let discovery finish before data starts.
-        ctx.set_timer(20_000_000, TIMER_START_FLOWS);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
-        match token {
-            TIMER_PROBE => {
-                // Refresh each known path's congestion metric.
-                let reps: Vec<u16> =
-                    self.paths.iter().filter_map(|p| p.ports.first().copied()).collect();
-                for sport in reps {
-                    self.send_probe(ctx, sport);
-                }
-                ctx.set_timer(self.cfg.probe_period_ns, TIMER_PROBE);
-            }
-            TIMER_DECIDE => {
-                self.decide(ctx.now);
-                ctx.set_timer(self.cfg.decide_period_ns, TIMER_DECIDE);
-            }
-            TIMER_PACE => self.pace(ctx),
-            TIMER_START_FLOWS => self.start_flows(ctx),
-            TIMER_RETRY => {
-                let (resend, _) = self.exec.as_mut().unwrap().poll(ctx.now);
-                for f in resend {
-                    self.control_bytes += f.len() as u64;
-                    ctx.send(f);
-                }
-                if let Some(d) = self.exec.as_ref().unwrap().next_deadline() {
-                    ctx.set_timer_at(d, TIMER_RETRY);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-        if let Some(done) = out.completed {
-            if let Some(ProbeOutcome::Completed { token, tpp }) =
-                self.exec.as_mut().unwrap().on_completed(&done.tpp)
-            {
-                self.on_probe_done(ctx.now, token, &tpp);
-            }
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-}
-
 /// Sink that meters goodput per `(source, destination port)` — the flow
-/// identity under CONGA's moving source ports.
+/// identity under CONGA's moving source ports. Construct with
+/// [`CongaSink::new`].
 pub struct CongaSink {
-    shim: Option<Shim>,
     pub meters: Shared<BTreeMap<(Ipv4Address, u16), RateMeter>>,
     pub bucket_ns: Time,
 }
 
+/// The wired CONGA* sink application.
+pub type CongaSinkApp = Endhost<CongaSink>;
+
 impl CongaSink {
-    pub fn new(bucket_ns: Time) -> Self {
-        CongaSink { shim: None, meters: shared(BTreeMap::new()), bucket_ns }
-    }
-}
-
-impl HostApp for CongaSink {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        self.shim = Some(Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64));
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-        if let Some(inner) = out.deliver {
-            if let Some(info) = parse_udp(&inner) {
-                if (FLOW_PORT_BASE..FLOW_PORT_BASE + 1000).contains(&info.dst_port) {
-                    self.meters
-                        .borrow_mut()
-                        .entry((info.src, info.dst_port))
-                        .or_insert_with(|| RateMeter::new(self.bucket_ns))
-                        .record(ctx.now, info.payload_len as u64);
+    pub fn new(bucket_ns: Time) -> CongaSinkApp {
+        Harness::new(CongaSink { meters: shared(BTreeMap::new()), bucket_ns })
+            .on_deliver(|s, io, inner| {
+                if let Some(info) = parse_udp(&inner) {
+                    if (FLOW_PORT_BASE..FLOW_PORT_BASE + 1000).contains(&info.dst_port) {
+                        s.meters
+                            .borrow_mut()
+                            .entry((info.src, info.dst_port))
+                            .or_insert_with(|| RateMeter::new(s.bucket_ns))
+                            .record(io.ctx.now, info.payload_len as u64);
+                    }
                 }
-            }
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
+            })
+            .build()
+            .expect("static wiring")
     }
 }
 
@@ -522,7 +483,7 @@ pub fn run_conga_fig4(mode: Balancer, metric: Metric, duration: Time, seed: u64)
     let half_s = half as f64 / 1e9;
     let end_s = duration as f64 / 1e9;
     let (l0_mbps, l1_mbps) = {
-        let sink = topo.net.app_mut::<CongaSink>(hosts[2]);
+        let sink = topo.net.app_mut::<CongaSinkApp>(hosts[2]);
         let meters = sink.meters.borrow();
         let mut l0 = 0.0;
         let mut l1 = 0.0;
@@ -536,7 +497,7 @@ pub fn run_conga_fig4(mode: Balancer, metric: Metric, duration: Time, seed: u64)
         }
         (l0, l1)
     };
-    let path_switches = topo.net.app_mut::<CongaSender>(hosts[1]).path_switches;
+    let path_switches = topo.net.app_mut::<CongaSenderApp>(hosts[1]).path_switches;
     Fig4Result { mode, l0_mbps, l1_mbps, max_util_percent: max_util * 100.0, path_switches }
 }
 
@@ -598,7 +559,7 @@ mod tests {
         topo.net.set_app(hosts[1], Box::new(CongaSender::new(cfg, dst_ip)));
         topo.net.set_app(hosts[2], Box::new(CongaSink::new(100_000_000)));
         topo.net.run_until(SECONDS / 10);
-        let sender = topo.net.app_mut::<CongaSender>(hosts[1]);
+        let sender = topo.net.app_mut::<CongaSenderApp>(hosts[1]);
         assert_eq!(sender.paths_discovered(), 2, "two spines = two distinct paths");
         // Each path has a non-empty port set and a distinct signature.
         assert!(sender.paths[0].signature != sender.paths[1].signature);

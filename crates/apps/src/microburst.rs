@@ -22,10 +22,11 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::common::{shared, udp_frame, Shared, DATA_PORT};
-use tpp_core::asm::assemble;
+use tpp_core::probe::Probe;
 use tpp_core::wire::Ipv4Address;
-use tpp_endhost::{Filter, Shim};
-use tpp_netsim::{HostApp, HostCtx, Time};
+use tpp_endhost::harness::{Aggregator, Completion, Endhost, Harness, Io};
+use tpp_endhost::Filter;
+use tpp_netsim::Time;
 
 /// One queue-occupancy observation extracted from a completed TPP.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,18 +44,17 @@ pub fn queue_key(s: &QueueSample) -> (u32, u32) {
     (s.switch_id, s.port)
 }
 
-/// The §2.1 probe program.
+/// The §2.1 probe schema: three statistics per hop.
+pub fn microburst_probe() -> Probe {
+    Probe::stack("microburst")
+        .field("switch", "Switch:SwitchID")
+        .field("port", "PacketMetadata:OutputPort")
+        .field("q", "Queue:QueueOccupancyPkts")
+}
+
+/// The §2.1 probe program, sized (within wire capacity) for `max_hops`.
 pub fn microburst_tpp(max_hops: usize) -> tpp_core::wire::Tpp {
-    let mut t = assemble(
-        "
-        PUSH [Switch:SwitchID]
-        PUSH [PacketMetadata:OutputPort]
-        PUSH [Queue:QueueOccupancyPkts]
-        ",
-    )
-    .expect("static program");
-    t.memory = vec![0; (3 * max_hops * 4).min(252)];
-    t
+    microburst_probe().hops_capped(max_hops).compile().expect("static probe")
 }
 
 /// Per-host configuration of the burst workload.
@@ -93,27 +93,65 @@ impl Default for BurstConfig {
 const TIMER_BURST: u64 = 1;
 
 /// A host in the micro-burst experiment: random-peer burst sender plus
-/// observer of the TPPs on packets it receives.
+/// observer of the TPPs on packets it receives. Construct with
+/// [`BurstHost::new`], which returns the fully wired [`Endhost`].
 pub struct BurstHost {
     cfg: BurstConfig,
-    shim: Option<Shim>,
     rng: StdRng,
     pub samples: Shared<Vec<QueueSample>>,
     pub messages_sent: u64,
     pub bytes_received: Shared<u64>,
 }
 
+/// The wired micro-burst application.
+pub type BurstApp = Endhost<BurstHost>;
+
 impl BurstHost {
-    pub fn new(cfg: BurstConfig) -> Self {
+    pub fn new(cfg: BurstConfig) -> BurstApp {
         let seed = cfg.seed;
-        BurstHost {
+        let instrument = cfg.instrument;
+        let probe = microburst_probe().app_id(cfg.app_id).hops(8);
+        let state = BurstHost {
             cfg,
-            shim: None,
             rng: StdRng::seed_from_u64(seed),
             samples: shared(Vec::new()),
             messages_sent: 0,
             bytes_received: shared(0),
-        }
+        };
+        let app_id = state.cfg.app_id;
+        let h = Harness::new(state).shim_seed(seed ^ 0xB00B);
+        // Observe completed TPPs locally at the receiver — the paper
+        // collects "fully executed TPPs carrying network state at one host"
+        // from the packets arriving there.
+        let h = if instrument {
+            h.stamp_with(probe, Filter::udp(), 1, Aggregator::Local, |s, io, c| {
+                s.record(io.ctx.now, &c)
+            })
+        } else {
+            h.listen(probe, |s, io, c| s.record(io.ctx.now, &c)).aggregate_local(app_id)
+        };
+        h.on_start(|s, io| {
+            let gap = s.exp_gap();
+            io.ctx.set_timer(gap, TIMER_BURST);
+        })
+        .on_timer(|s, io, token| {
+            if token == TIMER_BURST {
+                s.send_burst(io);
+                let gap = s.exp_gap();
+                io.ctx.set_timer(gap, TIMER_BURST);
+            }
+        })
+        .on_deliver(|s, io, inner| {
+            if let Some(info) = crate::common::parse_udp(&inner) {
+                if info.dst_port == DATA_PORT {
+                    *s.bytes_received.borrow_mut() += info.payload_len as u64;
+                }
+            }
+            // Fully consumed: hand the buffer back to the frame pool.
+            io.ctx.recycle(inner);
+        })
+        .build()
+        .expect("static wiring")
     }
 
     fn mean_gap_ns(&self) -> f64 {
@@ -127,7 +165,23 @@ impl BurstHost {
         (-u.ln() * self.mean_gap_ns()) as Time
     }
 
-    fn send_burst(&mut self, ctx: &mut HostCtx<'_>) {
+    fn record(&mut self, now: Time, c: &Completion) {
+        // Resolve names once per TPP, not once per hop (one TPP arrives
+        // per data packet).
+        let idx = |n| c.probe.index_of(n).unwrap();
+        let (switch, port, q) = (idx("switch"), idx("port"), idx("q"));
+        let mut samples = self.samples.borrow_mut();
+        for r in c.hops() {
+            samples.push(QueueSample {
+                t_ns: now,
+                switch_id: r.at(switch).unwrap_or(0),
+                port: r.at(port).unwrap_or(0),
+                q_pkts: r.at(q).unwrap_or(0),
+            });
+        }
+    }
+
+    fn send_burst(&mut self, io: &mut Io<'_, '_>) {
         if self.cfg.peers.is_empty() {
             return;
         }
@@ -136,70 +190,11 @@ impl BurstHost {
         let sport = 20_000 + (self.messages_sent % 1000) as u16;
         while remaining > 0 {
             let len = remaining.min(self.cfg.payload);
-            let frame = udp_frame(ctx.ip, dst, sport, DATA_PORT, len);
-            let frame = self.shim.as_mut().unwrap().outgoing(frame);
-            ctx.send(frame);
+            let frame = udp_frame(io.ctx.ip, dst, sport, DATA_PORT, len);
+            io.send_data(frame);
             remaining -= len;
         }
         self.messages_sent += 1;
-    }
-}
-
-impl HostApp for BurstHost {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        let mut shim = Shim::new(ctx.ip, ctx.mac, self.cfg.seed ^ 0xB00B);
-        if self.cfg.instrument {
-            shim.add_tpp(self.cfg.app_id, Filter::udp(), microburst_tpp(8), 1, 0);
-        }
-        // Observe completed TPPs locally at the receiver — the paper
-        // collects "fully executed TPPs carrying network state at one host"
-        // from the packets arriving there.
-        shim.set_aggregator(self.cfg.app_id, ctx.ip);
-        self.shim = Some(shim);
-        let gap = self.exp_gap();
-        ctx.set_timer(gap, TIMER_BURST);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
-        if token == TIMER_BURST {
-            self.send_burst(ctx);
-            let gap = self.exp_gap();
-            ctx.set_timer(gap, TIMER_BURST);
-        }
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-        if let Some(done) = out.completed {
-            // Stack layout: [switch, port, qsize] per hop.
-            let hops = (done.tpp.sp as usize / 3).min(done.tpp.memory_words() / 3);
-            let mut samples = self.samples.borrow_mut();
-            let mut words = done.tpp.iter_words();
-            for _ in 0..hops {
-                samples.push(QueueSample {
-                    t_ns: ctx.now,
-                    switch_id: words.next().unwrap_or(0),
-                    port: words.next().unwrap_or(0),
-                    q_pkts: words.next().unwrap_or(0),
-                });
-            }
-        }
-        if let Some(inner) = out.deliver {
-            if let Some(info) = crate::common::parse_udp(&inner) {
-                if info.dst_port == DATA_PORT {
-                    *self.bytes_received.borrow_mut() += info.payload_len as u64;
-                }
-            }
-            // Fully consumed: hand the buffer back to the frame pool.
-            ctx.recycle(inner);
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
     }
 }
 
@@ -229,7 +224,7 @@ pub fn run_microburst(per_side: usize, duration_ns: Time, seed: u64) -> Microbur
     let mut observer = Vec::new();
     let mut total_messages = 0;
     for (i, &h) in hosts.iter().enumerate() {
-        let app = topo.net.app_mut::<BurstHost>(h);
+        let app = topo.net.app_mut::<BurstApp>(h);
         total_messages += app.messages_sent;
         let samples = app.samples.borrow().clone();
         if i == 0 {
@@ -254,6 +249,10 @@ mod tests {
         // §2.1 overhead arithmetic: 12B header + 12B instructions + per-hop
         // data. (Our words are 32-bit, the paper's example uses 16-bit.)
         assert_eq!(t.section_len(), 12 + 12 + 60);
+        // Oversized requests clamp to the wire capacity instead of
+        // overflowing the one-byte length field.
+        let big = microburst_tpp(1000);
+        assert_eq!(big.memory.len(), tpp_core::wire::MAX_MEMORY_BYTES);
     }
 
     #[test]

@@ -25,11 +25,12 @@
 //!   flow that never arrived (§2.6 fault localization).
 
 use crate::common::{shared, udp_frame, Shared, DATA_PORT};
-use tpp_core::asm::assemble;
-use tpp_core::wire::{Ipv4Address, Tpp};
+use tpp_core::probe::{Probe, TppData};
+use tpp_core::wire::Ipv4Address;
+use tpp_endhost::harness::{Aggregator, Endhost, Harness};
 use tpp_endhost::shim::FlowRef;
-use tpp_endhost::{Filter, Shim};
-use tpp_netsim::{HostApp, HostCtx, NodeId, Time};
+use tpp_endhost::Filter;
+use tpp_netsim::{NodeId, Time};
 
 /// One hop of a packet history.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,135 +65,126 @@ impl PacketHistory {
     }
 }
 
-/// The §2.3 packet-history TPP.
-pub fn history_tpp(max_hops: usize) -> Tpp {
-    let mut t = assemble(
-        "
-        PUSH [Switch:ID]
-        PUSH [PacketMetadata:MatchedEntryID]
-        PUSH [PacketMetadata:InputPort]
-        ",
-    )
-    .expect("static program");
-    t.memory = vec![0; (3 * 4 * max_hops).min(252)];
-    t
+/// The TPP application ID the NetSight deployment runs under: the traced
+/// hosts stamp it and the collector listens for it — both sides must agree
+/// for completions to route.
+pub const NETSIGHT_APP_ID: u16 = 3;
+
+/// The §2.3 packet-history probe schema.
+pub fn history_probe() -> Probe {
+    Probe::stack("netsight-history")
+        .field("switch", "Switch:ID")
+        .field("entry", "PacketMetadata:MatchedEntryID")
+        .field("in_port", "PacketMetadata:InputPort")
 }
 
-/// Decode a completed history TPP.
-pub fn parse_history(t_ns: Time, tpp: &Tpp, flow: FlowRef) -> PacketHistory {
-    let hops = (tpp.sp as usize / 3).min(tpp.memory_words() / 3);
-    let mut words = tpp.iter_words();
-    let mut out = Vec::with_capacity(hops);
-    for _ in 0..hops {
-        out.push(HopRecord {
-            switch_id: words.next().unwrap_or(0),
-            matched_entry: words.next().unwrap_or(0),
-            in_port: words.next().unwrap_or(0),
-        });
-    }
-    PacketHistory { t_ns, flow, hops: out }
+/// The §2.3 packet-history TPP.
+pub fn history_tpp(max_hops: usize) -> tpp_core::wire::Tpp {
+    history_probe().hops_capped(max_hops).compile().expect("static probe")
+}
+
+/// The schema instance shared by all decode paths (built once; decoding is
+/// on the per-packet collector path).
+fn history_schema() -> &'static Probe {
+    crate::common::static_schema!(history_probe)
+}
+
+/// Decode a completed history TPP through the typed schema.
+pub fn parse_history<T: TppData>(t_ns: Time, tpp: &T, flow: FlowRef) -> PacketHistory {
+    let p = history_schema();
+    // Resolve names once per TPP, not once per hop (this runs per packet
+    // at the collector).
+    let (switch, entry, in_port) = (
+        p.index_of("switch").unwrap(),
+        p.index_of("entry").unwrap(),
+        p.index_of("in_port").unwrap(),
+    );
+    let hops = p
+        .records(tpp)
+        .map(|r| HopRecord {
+            switch_id: r.at(switch).unwrap_or(0),
+            matched_entry: r.at(entry).unwrap_or(0),
+            in_port: r.at(in_port).unwrap_or(0),
+        })
+        .collect();
+    PacketHistory { t_ns, flow, hops }
 }
 
 /// The collector service (Figure 3): receives completed TPPs on the echo
-/// channel and stores reconstructed histories.
+/// channel and stores reconstructed histories. Construct with
+/// [`Collector::new`].
 pub struct Collector {
-    shim: Option<Shim>,
     pub histories: Shared<Vec<PacketHistory>>,
 }
 
+/// The wired collector application.
+pub type CollectorApp = Endhost<Collector>;
+
 impl Collector {
-    pub fn new() -> Self {
-        Collector { shim: None, histories: shared(Vec::new()) }
-    }
-}
-
-impl Default for Collector {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl HostApp for Collector {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        self.shim = Some(Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64));
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(done) = out.completed {
-            self.histories.borrow_mut().push(parse_history(ctx.now, &done.tpp, done.flow));
-        }
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
+    pub fn new() -> CollectorApp {
+        Harness::new(Collector { histories: shared(Vec::new()) })
+            .listen(history_probe().app_id(NETSIGHT_APP_ID), |s, io, c| {
+                s.histories.borrow_mut().push(parse_history(io.ctx.now, &c.tpp, c.flow));
+            })
+            .build()
+            .expect("static wiring")
     }
 }
 
 const TIMER_SEND: u64 = 1;
 
 /// A traced host: sends paced UDP packets to a destination with the history
-/// TPP attached, and forwards completed TPPs from its received traffic to
-/// the collector.
+/// TPP attached (aggregated at the collector), via [`TracedHost::new`].
 pub struct TracedHost {
     pub dst: Ipv4Address,
     pub collector: Ipv4Address,
-    pub app_id: u16,
-    pub sample_frequency: u32,
     pub period_ns: Time,
     pub payload: usize,
     pub packets_sent: u64,
     sport: u16,
-    shim: Option<Shim>,
 }
 
+/// The wired traced-host application.
+pub type TracedApp = Endhost<TracedHost>;
+
 impl TracedHost {
-    pub fn new(dst: Ipv4Address, collector: Ipv4Address, sport: u16) -> Self {
-        TracedHost {
+    pub fn new(dst: Ipv4Address, collector: Ipv4Address, sport: u16) -> TracedApp {
+        TracedHost::with_sampling(dst, collector, sport, 1)
+    }
+
+    /// Like [`TracedHost::new`] with a 1-in-`sample_frequency` stamp rate.
+    pub fn with_sampling(
+        dst: Ipv4Address,
+        collector: Ipv4Address,
+        sport: u16,
+        sample_frequency: u32,
+    ) -> TracedApp {
+        let state = TracedHost {
             dst,
             collector,
-            app_id: 3,
-            sample_frequency: 1,
             period_ns: 1_000_000,
             payload: 200,
             packets_sent: 0,
             sport,
-            shim: None,
-        }
-    }
-}
-
-impl HostApp for TracedHost {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        let mut shim = Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64);
-        shim.add_tpp(self.app_id, Filter::udp(), history_tpp(8), self.sample_frequency, 0);
-        shim.set_aggregator(self.app_id, self.collector);
-        self.shim = Some(shim);
-        ctx.set_timer(self.period_ns, TIMER_SEND);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
-        if token == TIMER_SEND {
-            let frame = udp_frame(ctx.ip, self.dst, self.sport, DATA_PORT, self.payload);
-            let frame = self.shim.as_mut().unwrap().outgoing(frame);
-            ctx.send(frame);
-            self.packets_sent += 1;
-            ctx.set_timer(self.period_ns, TIMER_SEND);
-        }
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
+        };
+        Harness::new(state)
+            .stamp(
+                history_probe().app_id(NETSIGHT_APP_ID).hops(8),
+                Filter::udp(),
+                sample_frequency,
+                Aggregator::Remote(collector),
+            )
+            .on_start(|s, io| io.ctx.set_timer(s.period_ns, TIMER_SEND))
+            .on_timer(|s, io, token| {
+                if token == TIMER_SEND {
+                    let frame = udp_frame(io.ctx.ip, s.dst, s.sport, DATA_PORT, s.payload);
+                    io.send_data(frame);
+                    s.packets_sent += 1;
+                    io.ctx.set_timer(s.period_ns, TIMER_SEND);
+                }
+            })
+            .build()
+            .expect("static wiring")
     }
 }
 
@@ -342,16 +334,15 @@ pub fn run_netsight(duration: Time, sample_frequency: u32, seed: u64) -> Netsigh
     let senders = hosts.len() - 1;
     for i in 0..senders {
         let dst = ips[(i + 1) % senders];
-        let mut app = TracedHost::new(dst, collector_ip, 6000 + i as u16);
-        app.sample_frequency = sample_frequency;
+        let app = TracedHost::with_sampling(dst, collector_ip, 6000 + i as u16, sample_frequency);
         topo.net.set_app(hosts[i], Box::new(app));
     }
     topo.net.run_until(duration);
     let mut packets_sent = 0;
     for &h in &hosts[..senders] {
-        packets_sent += topo.net.app_mut::<TracedHost>(h).packets_sent;
+        packets_sent += topo.net.app_mut::<TracedApp>(h).packets_sent;
     }
-    let histories = topo.net.app_mut::<Collector>(collector_host).histories.borrow().clone();
+    let histories = topo.net.app_mut::<CollectorApp>(collector_host).histories.borrow().clone();
     NetsightRun { histories, hosts, host_ips: ips, packets_sent }
 }
 

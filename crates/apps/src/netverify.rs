@@ -8,10 +8,11 @@
 //! complementing `netsight::last_seen_switch`).
 
 use crate::common::{shared, Shared};
-use tpp_core::asm::assemble;
+use tpp_core::probe::Probe;
 use tpp_core::wire::{Ipv4Address, Tpp};
-use tpp_endhost::{Executor, ExecutorConfig, ProbeOutcome, Shim};
-use tpp_netsim::{HostApp, HostCtx, Time};
+use tpp_endhost::harness::{Endhost, Harness};
+use tpp_endhost::ExecutorConfig;
+use tpp_netsim::Time;
 
 /// A path observation: which switches a probe traversed, when.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,98 +23,64 @@ pub struct PathObservation {
     pub completed: bool,
 }
 
+/// Path-trace probe schema: switch id per hop.
+pub fn trace_probe() -> Probe {
+    Probe::stack("netverify-trace").field("switch", "Switch:SwitchID")
+}
+
 /// Path-trace probe: switch id per hop.
 pub fn trace_tpp(max_hops: usize) -> Tpp {
-    let mut t = assemble("PUSH [Switch:SwitchID]").expect("static program");
-    t.memory = vec![0; (4 * max_hops).min(248)];
-    t
+    trace_probe().hops_capped(max_hops).compile().expect("static probe")
 }
 
 const TIMER_PROBE: u64 = 1;
-const TIMER_RETRY: u64 = 2;
 
 /// Periodically traces the path to `dst` and records observations.
+/// Construct with [`PathVerifier::new`].
 pub struct PathVerifier {
     pub dst: Ipv4Address,
     pub period_ns: Time,
     pub observations: Shared<Vec<PathObservation>>,
-    shim: Option<Shim>,
-    exec: Option<Executor>,
 }
+
+/// The wired path-verification application.
+pub type PathVerifierApp = Endhost<PathVerifier>;
 
 impl PathVerifier {
-    pub fn new(dst: Ipv4Address, period_ns: Time) -> Self {
-        PathVerifier { dst, period_ns, observations: shared(Vec::new()), shim: None, exec: None }
-    }
-}
-
-impl HostApp for PathVerifier {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        self.shim = Some(Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64));
-        self.exec = Some(Executor::new(
-            ctx.ip,
-            ctx.mac,
-            ExecutorConfig { max_retries: 1, timeout_ns: self.period_ns },
-        ));
-        ctx.set_timer(0, TIMER_PROBE);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
-        match token {
-            TIMER_PROBE => {
-                let (_, frame) = self.exec.as_mut().unwrap().send(ctx.now, self.dst, trace_tpp(8));
-                ctx.send(frame);
-                if let Some(d) = self.exec.as_ref().unwrap().next_deadline() {
-                    ctx.set_timer_at(d, TIMER_RETRY);
-                }
-                ctx.set_timer(self.period_ns, TIMER_PROBE);
-            }
-            TIMER_RETRY => {
-                let (resend, failed) = self.exec.as_mut().unwrap().poll(ctx.now);
-                for f in resend {
-                    ctx.send(f);
-                }
-                for outcome in failed {
-                    if let ProbeOutcome::Failed { .. } = outcome {
-                        self.observations.borrow_mut().push(PathObservation {
-                            t_ns: ctx.now,
-                            path: Vec::new(),
-                            completed: false,
-                        });
-                    }
-                }
-                if let Some(d) = self.exec.as_ref().unwrap().next_deadline() {
-                    ctx.set_timer_at(d, TIMER_RETRY);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-        if let Some(done) = out.completed {
-            if let Some(ProbeOutcome::Completed { tpp, .. }) =
-                self.exec.as_mut().unwrap().on_completed(&done.tpp)
-            {
-                // Stack of one word per hop; drop trailing zero slots and
-                // the nonce word.
-                let hops = (tpp.sp as usize).min(tpp.memory_words().saturating_sub(1));
-                let path: Vec<u32> = tpp.iter_words().take(hops).take_while(|&w| w != 0).collect();
-                self.observations.borrow_mut().push(PathObservation {
-                    t_ns: ctx.now,
+    pub fn new(dst: Ipv4Address, period_ns: Time) -> PathVerifierApp {
+        let state = PathVerifier { dst, period_ns, observations: shared(Vec::new()) };
+        Harness::new(state)
+            .executor(ExecutorConfig { max_retries: 1, timeout_ns: period_ns })
+            .launch(trace_probe().hops(8), |s, io, c| {
+                // Stack of one word per hop; drop trailing zero slots (the
+                // executor's nonce word lies beyond the pushed prefix).
+                let path: Vec<u32> = c
+                    .hops()
+                    .map(|r| r.get("switch").unwrap_or(0))
+                    .take_while(|&w| w != 0)
+                    .collect();
+                s.observations.borrow_mut().push(PathObservation {
+                    t_ns: io.ctx.now,
                     path,
                     completed: true,
                 });
-            }
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
+            })
+            .on_failed(|s, io, _token| {
+                s.observations.borrow_mut().push(PathObservation {
+                    t_ns: io.ctx.now,
+                    path: Vec::new(),
+                    completed: false,
+                });
+            })
+            .on_start(|_s, io| io.ctx.set_timer(0, TIMER_PROBE))
+            .on_timer(|s, io, token| {
+                if token == TIMER_PROBE {
+                    io.launch(0, s.dst);
+                    io.ctx.set_timer(s.period_ns, TIMER_PROBE);
+                }
+            })
+            .build()
+            .expect("static wiring")
     }
 }
 
@@ -171,7 +138,7 @@ mod tests {
         topo.net.run_until(20 * MILLIS);
         // Steady state: path 1 -> 2 -> 3.
         {
-            let v = topo.net.app_mut::<PathVerifier>(hosts[0]);
+            let v = topo.net.app_mut::<PathVerifierApp>(hosts[0]);
             let obs = v.observations.borrow();
             assert!(obs.len() >= 10);
             assert!(obs.iter().all(|o| o.completed));
@@ -215,7 +182,7 @@ mod tests {
         let change = net.now();
         net.switch_mut(sa).add_host_route(dst_ip, Action::Output(1));
         net.run_until(change + 30 * MILLIS);
-        let v = net.app_mut::<PathVerifier>(h_src);
+        let v = net.app_mut::<PathVerifierApp>(h_src);
         let obs = v.observations.borrow();
         assert_eq!(obs.last().unwrap().path, vec![10, 12, 13]);
         let conv = convergence_time(&obs, change, &[10, 12, 13]).expect("converged");
@@ -245,7 +212,7 @@ mod tests {
             .unwrap();
         topo.net.set_link_up(s_mid, port, false);
         topo.net.run_until(60 * MILLIS);
-        let v = topo.net.app_mut::<PathVerifier>(hosts[0]);
+        let v = topo.net.app_mut::<PathVerifierApp>(hosts[0]);
         let obs = v.observations.borrow();
         assert!(obs.iter().any(|o| !o.completed), "losses observed");
         // The failure is just past switch id 3? No: past the last switch

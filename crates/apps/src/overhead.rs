@@ -15,191 +15,146 @@
 use std::collections::BTreeMap;
 
 use crate::common::{shared, Shared};
-use tpp_core::asm::assemble;
+use tpp_core::probe::Probe;
 use tpp_core::wire::{Ipv4Address, Tpp};
+use tpp_endhost::harness::{Endhost, Harness, Io};
 use tpp_endhost::transport::{parse_seg_frame, SegOut, TcpConn};
-use tpp_endhost::{Filter, Shim};
-use tpp_netsim::{HostApp, HostCtx, LinkSpec, Network, Time};
+use tpp_endhost::Filter;
+use tpp_netsim::{LinkSpec, Network, Time};
 use tpp_switch::{Action, SwitchConfig};
+
+/// The §6.2 five-statistic probe schema, padded on compile to the target
+/// wire size.
+pub fn overhead_probe() -> Probe {
+    Probe::stack("overhead")
+        .field("switch", "Switch:SwitchID")
+        .field("out_port", "PacketMetadata:OutputPort")
+        .field("q", "Queue:QueueOccupancy")
+        .field("util", "Link:TX-Utilization")
+        .field("tx_bytes", "Link:TX-Bytes")
+}
 
 /// Build a TPP whose wire section is exactly `bytes` long (paper: 260).
 pub fn padded_tpp(bytes: usize) -> Tpp {
-    let mut t = assemble(
-        "
-        PUSH [Switch:SwitchID]
-        PUSH [PacketMetadata:OutputPort]
-        PUSH [Queue:QueueOccupancy]
-        PUSH [Link:TX-Utilization]
-        PUSH [Link:TX-Bytes]
-        ",
-    )
-    .expect("static program");
-    let header_and_instrs = 12 + t.instrs.len() * 4;
-    assert!(bytes >= header_and_instrs + 4, "target too small");
-    let mem = (bytes - header_and_instrs) & !3;
-    t.memory = vec![0; mem.min(252)];
-    t
+    overhead_probe().pad_section_to(bytes).compile().expect("static probe")
 }
 
 const TIMER_RTO: u64 = 1;
 const TIMER_PUMP: u64 = 2;
 
 /// A bulk TCP sender with `n_flows` parallel connections through the shim.
+/// Construct with [`TcpSenderApp::new`].
 pub struct TcpSenderApp {
     dst: Ipv4Address,
-    n_flows: usize,
-    mss: usize,
-    /// TPP sampling frequency; 0 = no instrumentation (the ∞ baseline).
-    sample_frequency: u32,
-    tpp_bytes: usize,
     conns: Vec<TcpConn>,
-    shim: Option<Shim>,
     pub wire_bytes_sent: u64,
 }
 
+/// The wired bulk-TCP sender application.
+pub type TcpSender = Endhost<TcpSenderApp>;
+
 impl TcpSenderApp {
+    /// `sample_frequency` 0 = no instrumentation (the ∞ baseline).
     pub fn new(
         dst: Ipv4Address,
         n_flows: usize,
         mss: usize,
         sample_frequency: u32,
         tpp_bytes: usize,
-    ) -> Self {
-        TcpSenderApp {
-            dst,
-            n_flows,
-            mss,
-            sample_frequency,
-            tpp_bytes,
-            conns: Vec::new(),
-            shim: None,
-            wire_bytes_sent: 0,
+    ) -> TcpSender {
+        let conns = (0..n_flows).map(|i| TcpConn::new(10_000 + i as u16, 443, mss)).collect();
+        let state = TcpSenderApp { dst, conns, wire_bytes_sent: 0 };
+        let mut h = Harness::new(state);
+        if sample_frequency > 0 {
+            h = h.stamp(
+                overhead_probe().app_id(9).pad_section_to(tpp_bytes),
+                Filter::tcp(),
+                sample_frequency,
+                tpp_endhost::Aggregator::Source,
+            );
         }
-    }
-
-    fn flush(&mut self, ctx: &mut HostCtx<'_>, idx: usize, segs: Vec<SegOut>) {
-        for seg in segs {
-            let frame = self.conns[idx].frame_for(ctx.ip, self.dst, &seg);
-            let frame = self.shim.as_mut().unwrap().outgoing(frame);
-            self.wire_bytes_sent += frame.len() as u64;
-            ctx.send(frame);
-        }
-        if let Some(d) = self.conns[idx].rto_deadline() {
-            ctx.set_timer_at(d, TIMER_RTO);
-        }
-    }
-}
-
-impl HostApp for TcpSenderApp {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        let mut shim = Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64);
-        if self.sample_frequency > 0 {
-            shim.add_tpp(9, Filter::tcp(), padded_tpp(self.tpp_bytes), self.sample_frequency, 0);
-        }
-        self.shim = Some(shim);
-        for i in 0..self.n_flows {
-            self.conns.push(TcpConn::new(10_000 + i as u16, 443, self.mss));
-        }
-        ctx.set_timer(0, TIMER_PUMP);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
-        match token {
-            TIMER_PUMP => {
-                for i in 0..self.conns.len() {
-                    let segs = self.conns[i].pump(ctx.now);
-                    self.flush(ctx, i, segs);
-                }
-            }
-            TIMER_RTO => {
-                for i in 0..self.conns.len() {
-                    if self.conns[i].rto_deadline().is_some_and(|d| d <= ctx.now) {
-                        let segs = self.conns[i].on_rto(ctx.now);
-                        self.flush(ctx, i, segs);
+        h.on_start(|_s, io| io.ctx.set_timer(0, TIMER_PUMP))
+            .on_timer(|s, io, token| match token {
+                TIMER_PUMP => {
+                    for i in 0..s.conns.len() {
+                        let segs = s.conns[i].pump(io.ctx.now);
+                        s.flush(io, i, segs);
                     }
                 }
-            }
-            _ => {}
-        }
+                TIMER_RTO => {
+                    for i in 0..s.conns.len() {
+                        if s.conns[i].rto_deadline().is_some_and(|d| d <= io.ctx.now) {
+                            let segs = s.conns[i].on_rto(io.ctx.now);
+                            s.flush(io, i, segs);
+                        }
+                    }
+                }
+                _ => {}
+            })
+            .on_deliver(|s, io, inner| {
+                let Some((_, _, hdr)) = parse_seg_frame(&inner) else { return };
+                let idx = (hdr.dst_port as usize).wrapping_sub(10_000);
+                if idx >= s.conns.len() {
+                    return;
+                }
+                let mut segs = s.conns[idx].on_segment(io.ctx.now, &hdr);
+                segs.extend(s.conns[idx].pump(io.ctx.now));
+                s.flush(io, idx, segs);
+            })
+            .build()
+            .expect("static wiring")
     }
 
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
+    fn flush(&mut self, io: &mut Io<'_, '_>, idx: usize, segs: Vec<SegOut>) {
+        for seg in segs {
+            let frame = self.conns[idx].frame_for(io.ctx.ip, self.dst, &seg);
+            self.wire_bytes_sent += io.send_data(frame) as u64;
         }
-        let Some(inner) = out.deliver else { return };
-        let Some((_, _, hdr)) = parse_seg_frame(&inner) else { return };
-        let idx = (hdr.dst_port as usize).wrapping_sub(10_000);
-        if idx >= self.conns.len() {
-            return;
+        if let Some(d) = self.conns[idx].rto_deadline() {
+            io.ctx.set_timer_at(d, TIMER_RTO);
         }
-        let mut segs = self.conns[idx].on_segment(ctx.now, &hdr);
-        segs.extend(self.conns[idx].pump(ctx.now));
-        self.flush(ctx, idx, segs);
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
     }
 }
 
 /// The receiving side: per-flow reassembly, ACK generation, goodput meters.
+/// Construct with [`TcpSinkApp::new`].
 pub struct TcpSinkApp {
     conns: BTreeMap<u16, TcpConn>,
-    shim: Option<Shim>,
     /// Total in-order payload bytes delivered, per source port.
     pub delivered: Shared<BTreeMap<u16, u64>>,
     pub wire_bytes_received: u64,
 }
 
+/// The wired bulk-TCP sink application.
+pub type TcpSink = Endhost<TcpSinkApp>;
+
 impl TcpSinkApp {
-    pub fn new() -> Self {
-        TcpSinkApp {
+    pub fn new() -> TcpSink {
+        let state = TcpSinkApp {
             conns: BTreeMap::new(),
-            shim: None,
             delivered: shared(BTreeMap::new()),
             wire_bytes_received: 0,
-        }
-    }
-}
-
-impl Default for TcpSinkApp {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl HostApp for TcpSinkApp {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        let mut shim = Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64);
-        // Keep completed TPPs local: the sink is the aggregator, so echoes
-        // don't perturb the reverse (ACK) path.
-        shim.set_aggregator(9, ctx.ip);
-        self.shim = Some(shim);
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        self.wire_bytes_received += frame.len() as u64;
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-        let Some(inner) = out.deliver else { return };
-        let Some((src, _dst, hdr)) = parse_seg_frame(&inner) else { return };
-        let conn = self
-            .conns
-            .entry(hdr.src_port)
-            .or_insert_with(|| TcpConn::new(hdr.dst_port, hdr.src_port, 1240));
-        let replies = conn.on_segment(ctx.now, &hdr);
-        self.delivered.borrow_mut().insert(hdr.src_port, conn.delivered);
-        for seg in replies {
-            ctx.send(conn.frame_for(ctx.ip, src, &seg));
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
+        };
+        Harness::new(state)
+            // Keep completed TPPs local: the sink is the aggregator, so
+            // echoes don't perturb the reverse (ACK) path.
+            .aggregate_local(9)
+            .on_raw_frame(|s, frame| s.wire_bytes_received += frame.len() as u64)
+            .on_deliver(|s, io, inner| {
+                let Some((src, _dst, hdr)) = parse_seg_frame(&inner) else { return };
+                let conn = s
+                    .conns
+                    .entry(hdr.src_port)
+                    .or_insert_with(|| TcpConn::new(hdr.dst_port, hdr.src_port, 1240));
+                let replies = conn.on_segment(io.ctx.now, &hdr);
+                s.delivered.borrow_mut().insert(hdr.src_port, conn.delivered);
+                for seg in replies {
+                    let frame = conn.frame_for(io.ctx.ip, src, &seg);
+                    io.ctx.send(frame);
+                }
+            })
+            .build()
+            .expect("static wiring")
     }
 }
 
@@ -246,7 +201,7 @@ pub fn run_fig10_point(
     net.run_until(duration);
     let secs = duration as f64 / 1e9;
     let (goodput, wire) = {
-        let sink = net.app_mut::<TcpSinkApp>(rcv);
+        let sink = net.app_mut::<TcpSink>(rcv);
         let total: u64 = sink.delivered.borrow().values().sum();
         (total as f64 * 8.0 / secs / 1e9, sink.wire_bytes_received as f64 * 8.0 / secs / 1e9)
     };

@@ -22,54 +22,46 @@
 use std::collections::VecDeque;
 
 use crate::common::{parse_udp, shared, udp_frame, RateMeter, Shared, DATA_PORT};
-use tpp_core::asm::assemble;
-use tpp_core::wire::{AddrMode, Ipv4Address, Tpp};
-use tpp_endhost::{Executor, ExecutorConfig, PacedSender, ProbeOutcome, Shim};
-use tpp_netsim::{HostApp, HostCtx, Time};
+use tpp_core::probe::{Probe, TppData};
+use tpp_core::wire::{Ipv4Address, Tpp};
+use tpp_endhost::harness::{Endhost, Harness, Io};
+use tpp_endhost::{ExecutorConfig, PacedSender};
+use tpp_netsim::Time;
 
-/// Words per hop in the collect probe.
-const COLLECT_WORDS: usize = 5;
-
-/// The phase-1 collect TPP (§2.2), sized for `hops` hops.
+/// The phase-1 collect schema (§2.2).
 ///
 /// The paper's listing reads `[Link:RX-Utilization]`; in our memory map the
 /// utilization of the link a packet is about to traverse is the *TX*
 /// utilization of its output port (the next switch's RX), so we query that.
-pub fn collect_tpp(hops: usize) -> Tpp {
-    let mut t = assemble(
-        "
-        .mode hop
-        .perhop 20
-        PUSH [Switch:SwitchID]
-        PUSH [Link:QueueSize]
-        PUSH [Link:TX-Utilization]
-        PUSH [Link:AppSpecific_0] # version number
-        PUSH [Link:AppSpecific_1] # Rfair (kb/s)
-        ",
-    )
-    .expect("static program");
-    t.memory = vec![0; COLLECT_WORDS * 4 * hops];
-    t
+pub fn collect_probe() -> Probe {
+    Probe::hop("rcp-collect")
+        .field("switch", "Switch:SwitchID")
+        .field("qsize", "Link:QueueSize")
+        .field("util", "Link:TX-Utilization")
+        .field("version", "Link:AppSpecific_0")
+        .field("rate", "Link:AppSpecific_1")
 }
 
-/// The phase-3 update TPP: per-hop `(V, V+1, R_new)` triples consumed by
+/// The phase-1 collect TPP (§2.2), sized for `hops` hops.
+pub fn collect_tpp(hops: usize) -> Tpp {
+    collect_probe().hops(hops).compile().expect("static probe")
+}
+
+/// The phase-3 update schema: per-hop `(V, V+1, R_new)` triples consumed by
 /// `CSTORE`/`STORE` (§2.2).
+pub fn update_probe() -> Probe {
+    Probe::hop("rcp-update")
+        .cstore("version", "Link:AppSpecific_0")
+        .store("rate", "Link:AppSpecific_1")
+}
+
+/// The phase-3 update TPP, one hop per `(version, rate_kbps)` entry.
 pub fn update_tpp(updates: &[(u32, u32)]) -> Tpp {
-    let mut t = assemble(
-        r"
-        .mode hop
-        .perhop 12
-        CSTORE [Link:AppSpecific_0], \
-               [Packet:Hop[0]], [Packet:Hop[1]]
-        STORE [Link:AppSpecific_1], [Packet:Hop[2]]
-        ",
-    )
-    .expect("static program");
-    t.memory = vec![0; 12 * updates.len()];
+    let probe = update_probe();
+    let mut t = probe.compile_hops(updates.len()).expect("static probe");
     for (h, &(version, rate_kbps)) in updates.iter().enumerate() {
-        t.write_word(3 * h, version).unwrap();
-        t.write_word(3 * h + 1, version.wrapping_add(1)).unwrap();
-        t.write_word(3 * h + 2, rate_kbps).unwrap();
+        probe.set_args(&mut t, h, "version", &[version, version.wrapping_add(1)]).unwrap();
+        probe.set_args(&mut t, h, "rate", &[rate_kbps]).unwrap();
     }
     t
 }
@@ -85,26 +77,31 @@ pub struct HopSample {
     pub rate_kbps: u32,
 }
 
-/// Decode a completed collect probe into hop samples.
-pub fn parse_collect(tpp: &Tpp) -> Vec<HopSample> {
-    debug_assert_eq!(tpp.mode, AddrMode::Hop);
-    let hops = tpp.hop as usize;
-    let mut out = Vec::new();
-    for h in 0..hops {
-        let base = h * COLLECT_WORDS;
-        let Some(switch_id) = tpp.read_word(base) else { break };
-        if switch_id == 0 {
-            break; // probe memory beyond the actual path
-        }
-        out.push(HopSample {
-            switch_id,
-            queue_bytes: tpp.read_word(base + 1).unwrap_or(0),
-            util_bps: tpp.read_word(base + 2).unwrap_or(0),
-            version: tpp.read_word(base + 3).unwrap_or(0),
-            rate_kbps: tpp.read_word(base + 4).unwrap_or(0),
-        });
-    }
-    out
+/// The schema instance shared by all decode paths (built once; decoding
+/// runs per completed probe, every control period per flow).
+fn collect_schema() -> &'static Probe {
+    crate::common::static_schema!(collect_probe)
+}
+
+/// Decode a completed collect probe into hop samples (stopping at the end
+/// of the actual path).
+pub fn parse_collect<T: TppData>(tpp: &T) -> Vec<HopSample> {
+    let p = collect_schema();
+    // Resolve names once per TPP, not once per hop (one probe per flow
+    // per control period).
+    let idx = |n| p.index_of(n).unwrap();
+    let (switch, qsize, util, version, rate) =
+        (idx("switch"), idx("qsize"), idx("util"), idx("version"), idx("rate"));
+    p.records(tpp)
+        .map(|r| HopSample {
+            switch_id: r.at(switch).unwrap_or(0),
+            queue_bytes: r.at(qsize).unwrap_or(0),
+            util_bps: r.at(util).unwrap_or(0),
+            version: r.at(version).unwrap_or(0),
+            rate_kbps: r.at(rate).unwrap_or(0),
+        })
+        .take_while(|s| s.switch_id != 0) // probe memory beyond the path
+        .collect()
 }
 
 /// RCP* parameters.
@@ -185,17 +182,16 @@ pub fn rcp_equation(cfg: &RcpConfig, r_old: f64, y: f64, q_avg_bytes: f64, c: f6
 
 const TIMER_CONTROL: u64 = 1;
 const TIMER_PACE: u64 = 2;
-const TIMER_RETRY: u64 = 3;
 
-/// A sending flow with an RCP* rate controller.
+/// A sending flow with an RCP* rate controller. Construct with
+/// [`RcpSender::new`]; control traffic (probes, updates, retries) is
+/// accounted by the harness's `probe_bytes_sent`.
 pub struct RcpSender {
     pub cfg: RcpConfig,
     dst: Ipv4Address,
     sport: u16,
     /// When to start sending (flows can be staggered).
     start_at: Time,
-    shim: Option<Shim>,
-    exec: Option<Executor>,
     pacer: PacedSender,
     /// Recent queue-size samples per hop index (for phase-2 averaging).
     qhist: Vec<VecDeque<u32>>,
@@ -203,41 +199,58 @@ pub struct RcpSender {
     /// Current flow rate (b/s), exposed for experiments.
     pub rate_bps: Shared<f64>,
     pub data_bytes_sent: u64,
-    pub control_bytes_sent: u64,
     pub probes_completed: u64,
 }
 
+/// The wired RCP* sender application.
+pub type RcpSenderApp = Endhost<RcpSender>;
+
 impl RcpSender {
-    pub fn new(cfg: RcpConfig, dst: Ipv4Address, sport: u16, start_at: Time) -> Self {
+    pub fn new(cfg: RcpConfig, dst: Ipv4Address, sport: u16, start_at: Time) -> RcpSenderApp {
         let pacer = PacedSender::new(cfg.start_rate_bps, cfg.payload);
-        RcpSender {
+        let state = RcpSender {
             cfg,
             dst,
             sport,
             start_at,
-            shim: None,
-            exec: None,
             pacer,
             qhist: Vec::new(),
             latest: Vec::new(),
             rate_bps: shared(cfg.start_rate_bps),
             data_bytes_sent: 0,
-            control_bytes_sent: 0,
             probes_completed: 0,
-        }
+        };
+        Harness::new(state)
+            .executor(ExecutorConfig { max_retries: 3, timeout_ns: 4 * cfg.period_ns })
+            .launch(collect_probe().app_id(cfg.app_id).hops(cfg.probe_hops), |s, _io, c| {
+                let samples = parse_collect(&c.tpp);
+                for (h, sample) in samples.iter().enumerate() {
+                    if h < s.qhist.len() {
+                        let hist = &mut s.qhist[h];
+                        if hist.len() >= 8 {
+                            hist.pop_front();
+                        }
+                        hist.push_back(sample.queue_bytes);
+                    }
+                }
+                s.latest = samples;
+                s.probes_completed += 1;
+            })
+            .on_start(|s, io| {
+                s.qhist = vec![VecDeque::with_capacity(8); s.cfg.probe_hops];
+                io.ctx.set_timer_at(s.start_at, TIMER_CONTROL);
+                io.ctx.set_timer_at(s.start_at, TIMER_PACE);
+            })
+            .on_timer(|s, io, token| match token {
+                TIMER_CONTROL => s.control_step(io),
+                TIMER_PACE => s.pace(io),
+                _ => {}
+            })
+            .build()
+            .expect("static wiring")
     }
 
-    fn send_probe(&mut self, ctx: &mut HostCtx<'_>) {
-        let mut probe = collect_tpp(self.cfg.probe_hops);
-        probe.app_id = self.cfg.app_id;
-        let (_, frame) = self.exec.as_mut().unwrap().send(ctx.now, self.dst, probe);
-        self.control_bytes_sent += frame.len() as u64;
-        ctx.send(frame);
-        let deadline = self.exec.as_ref().unwrap().next_deadline().unwrap();
-        ctx.set_timer_at(deadline, TIMER_RETRY);
-    }
-
-    fn control_step(&mut self, ctx: &mut HostCtx<'_>) {
+    fn control_step(&mut self, io: &mut Io<'_, '_>) {
         if !self.latest.is_empty() {
             let c = self.cfg.capacity_mbps * 1e6;
             let mut new_rates = Vec::new();
@@ -266,16 +279,7 @@ impl RcpSender {
             // Phase 3: versioned write-back.
             let mut upd = update_tpp(&updates);
             upd.app_id = self.cfg.app_id;
-            let frame = tpp_core::wire::build_standalone(
-                ctx.mac,
-                tpp_endhost::shim::mac_of_ip(self.dst),
-                ctx.ip,
-                self.dst,
-                40_001,
-                &upd,
-            );
-            self.control_bytes_sent += frame.len() as u64;
-            ctx.send(frame);
+            io.send_standalone(&upd, self.dst, 40_001);
             // Flow rate: α-fair aggregate of the per-link rates (Eq. 2),
             // capped at line rate (R may legitimately exceed C on
             // uncongested links; the NIC cannot).
@@ -284,121 +288,49 @@ impl RcpSender {
             self.pacer.set_rate(r);
         }
         // Phase 1 for the next period.
-        self.send_probe(ctx);
-        ctx.set_timer(self.cfg.period_ns, TIMER_CONTROL);
+        io.launch(self.cfg.app_id, self.dst);
+        io.ctx.set_timer(self.cfg.period_ns, TIMER_CONTROL);
     }
 
-    fn pace(&mut self, ctx: &mut HostCtx<'_>) {
-        let n = self.pacer.due(ctx.now);
+    fn pace(&mut self, io: &mut Io<'_, '_>) {
+        let n = self.pacer.due(io.ctx.now);
         for _ in 0..n {
-            let frame = udp_frame(ctx.ip, self.dst, self.sport, DATA_PORT, self.cfg.payload);
+            let frame = udp_frame(io.ctx.ip, self.dst, self.sport, DATA_PORT, self.cfg.payload);
             self.data_bytes_sent += frame.len() as u64;
-            ctx.send(frame);
+            io.ctx.send(frame);
         }
-        ctx.set_timer_at(self.pacer.next_deadline(), TIMER_PACE);
+        io.ctx.set_timer_at(self.pacer.next_deadline(), TIMER_PACE);
     }
 }
 
-impl HostApp for RcpSender {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        self.shim = Some(Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64));
-        self.exec = Some(Executor::new(
-            ctx.ip,
-            ctx.mac,
-            ExecutorConfig { max_retries: 3, timeout_ns: 4 * self.cfg.period_ns },
-        ));
-        self.qhist = vec![VecDeque::with_capacity(8); self.cfg.probe_hops];
-        ctx.set_timer_at(self.start_at, TIMER_CONTROL);
-        ctx.set_timer_at(self.start_at, TIMER_PACE);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
-        match token {
-            TIMER_CONTROL => self.control_step(ctx),
-            TIMER_PACE => self.pace(ctx),
-            TIMER_RETRY => {
-                let (resend, _failed) = self.exec.as_mut().unwrap().poll(ctx.now);
-                for f in resend {
-                    self.control_bytes_sent += f.len() as u64;
-                    ctx.send(f);
-                }
-                if let Some(d) = self.exec.as_ref().unwrap().next_deadline() {
-                    ctx.set_timer_at(d, TIMER_RETRY);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-        if let Some(done) = out.completed {
-            if let Some(ProbeOutcome::Completed { tpp, .. }) =
-                self.exec.as_mut().unwrap().on_completed(&done.tpp)
-            {
-                let samples = parse_collect(&tpp);
-                for (h, s) in samples.iter().enumerate() {
-                    if h < self.qhist.len() {
-                        let hist = &mut self.qhist[h];
-                        if hist.len() >= 8 {
-                            hist.pop_front();
-                        }
-                        hist.push_back(s.queue_bytes);
-                    }
-                }
-                self.latest = samples;
-                self.probes_completed += 1;
-            }
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-}
-
-/// A sink that meters per-flow goodput and echoes probes.
+/// A sink that meters per-flow goodput and echoes probes. Construct with
+/// [`RcpSink::new`].
 pub struct RcpSink {
-    shim: Option<Shim>,
     /// (source ip, source port) -> rate meter.
     pub meters: Shared<std::collections::BTreeMap<(Ipv4Address, u16), RateMeter>>,
     pub bucket_ns: Time,
 }
 
+/// The wired RCP* sink application.
+pub type RcpSinkApp = Endhost<RcpSink>;
+
 impl RcpSink {
-    pub fn new(bucket_ns: Time) -> Self {
-        RcpSink { shim: None, meters: shared(std::collections::BTreeMap::new()), bucket_ns }
-    }
-}
-
-impl HostApp for RcpSink {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        self.shim = Some(Shim::new(ctx.ip, ctx.mac, ctx.node.0 as u64));
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-        if let Some(inner) = out.deliver {
-            if let Some(info) = parse_udp(&inner) {
-                if info.dst_port == DATA_PORT {
-                    let mut meters = self.meters.borrow_mut();
-                    let m = meters
-                        .entry((info.src, info.src_port))
-                        .or_insert_with(|| RateMeter::new(self.bucket_ns));
-                    m.record(ctx.now, info.payload_len as u64);
+    pub fn new(bucket_ns: Time) -> RcpSinkApp {
+        let state = RcpSink { meters: shared(std::collections::BTreeMap::new()), bucket_ns };
+        Harness::new(state)
+            .on_deliver(|s, io, inner| {
+                if let Some(info) = parse_udp(&inner) {
+                    if info.dst_port == DATA_PORT {
+                        let mut meters = s.meters.borrow_mut();
+                        let m = meters
+                            .entry((info.src, info.src_port))
+                            .or_insert_with(|| RateMeter::new(s.bucket_ns));
+                        m.record(io.ctx.now, info.payload_len as u64);
+                    }
                 }
-            }
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
+            })
+            .build()
+            .expect("static wiring")
     }
 }
 
@@ -445,14 +377,14 @@ pub fn run_rcp_fig2(alpha: f64, duration: Time, seed: u64) -> RcpResult {
     for &(src, dst, sport, name) in &flows {
         let src_ip = ip(src);
         {
-            let sink = topo.net.app_mut::<RcpSink>(h[dst]);
+            let sink = topo.net.app_mut::<RcpSinkApp>(h[dst]);
             let meters = sink.meters.borrow();
             let m = meters.get(&(src_ip, sport));
             series.push((name.to_string(), m.map(|m| m.series_mbps()).unwrap_or_default()));
             steady.push((name.to_string(), m.map(|m| m.avg_mbps(half, end)).unwrap_or(0.0)));
         }
-        let sender = topo.net.app_mut::<RcpSender>(h[src]);
-        control_bytes += sender.control_bytes_sent;
+        let sender = topo.net.app_mut::<RcpSenderApp>(h[src]);
+        control_bytes += sender.probe_bytes_sent();
         data_bytes += sender.data_bytes_sent;
     }
     RcpResult {
@@ -466,6 +398,9 @@ pub fn run_rcp_fig2(alpha: f64, duration: Time, seed: u64) -> RcpResult {
 mod tests {
     use super::*;
     use tpp_netsim::SECONDS;
+
+    /// Words per hop in the collect probe.
+    const COLLECT_WORDS: usize = 5;
 
     #[test]
     fn collect_and_update_programs_validate() {
@@ -520,6 +455,7 @@ mod tests {
             t.write_word(base + 4, 40_000).unwrap();
         }
         t.hop = 2;
+        t.sp = 10;
         let s = parse_collect(&t);
         assert_eq!(s.len(), 2);
         assert_eq!(s[1].switch_id, 2);
@@ -556,12 +492,12 @@ mod tests {
         let src0 = ips[0];
         let src1 = ips[1];
         let g0 = {
-            let sink = topo.net.app_mut::<RcpSink>(h[2]);
+            let sink = topo.net.app_mut::<RcpSinkApp>(h[2]);
             let m = sink.meters.borrow();
             m.get(&(src0, 7001)).map(|m| m.avg_mbps(2.0, 4.0)).unwrap_or(0.0)
         };
         let g1 = {
-            let sink = topo.net.app_mut::<RcpSink>(h[3]);
+            let sink = topo.net.app_mut::<RcpSinkApp>(h[3]);
             let m = sink.meters.borrow();
             m.get(&(src1, 7002)).map(|m| m.avg_mbps(2.0, 4.0)).unwrap_or(0.0)
         };
@@ -570,7 +506,7 @@ mod tests {
         let ratio = g0.max(g1) / g0.min(g1).max(1.0);
         assert!(ratio < 1.8, "shares should be roughly equal: {g0} vs {g1}");
         // Probes actually completed round trips.
-        let s0 = topo.net.app_mut::<RcpSender>(h[0]);
+        let s0 = topo.net.app_mut::<RcpSenderApp>(h[0]);
         assert!(s0.probes_completed > 100, "probes: {}", s0.probes_completed);
     }
 }

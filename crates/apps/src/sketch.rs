@@ -23,22 +23,22 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::common::{shared, udp_frame, Shared, DATA_PORT};
-use tpp_core::asm::assemble;
+use tpp_core::probe::Probe;
 use tpp_core::wire::{Ipv4Address, Tpp};
-use tpp_endhost::{Filter, Shim};
-use tpp_netsim::{HostApp, HostCtx, Time};
+use tpp_endhost::harness::{Aggregator, Endhost, Harness};
+use tpp_endhost::Filter;
+use tpp_netsim::Time;
+
+/// The §2.5 routing-context probe schema.
+pub fn sketch_probe() -> Probe {
+    Probe::stack("sketch")
+        .field("switch", "Switch:ID")
+        .field("out_port", "PacketMetadata:OutputPort")
+}
 
 /// The §2.5 routing-context TPP.
 pub fn sketch_tpp(max_hops: usize) -> Tpp {
-    let mut t = assemble(
-        "
-        PUSH [Switch:ID]
-        PUSH [PacketMetadata:OutputPort]
-        ",
-    )
-    .expect("static program");
-    t.memory = vec![0; (2 * 4 * max_hops).min(252)];
-    t
+    sketch_probe().hops_capped(max_hops).compile().expect("static probe")
 }
 
 /// A direct bitmap sketch for set-cardinality estimation [Estan et al.].
@@ -108,16 +108,12 @@ const TIMER_SEND: u64 = 1;
 /// A host participating in the measurement task: sends packets to random
 /// peers (each stamped with the sketch TPP at the configured sampling
 /// frequency) and maintains per-link bitmaps for its *incoming* traffic.
+/// Construct with [`SketchHost::new`].
 pub struct SketchHost {
     pub peers: Vec<Ipv4Address>,
     pub bitmap_bits: usize,
-    pub sample_frequency: u32,
     pub period_ns: Time,
-    pub app_id: u16,
-    pub seed: u64,
-    shim: Option<Shim>,
     rng: StdRng,
-    my_ip: Ipv4Address,
     /// Local sketch state: one bitmap per (switch, link).
     pub bitmaps: Shared<BTreeMap<LinkKey, BitmapSketch>>,
     /// Ground truth kept alongside for accuracy evaluation: the actual set
@@ -126,77 +122,65 @@ pub struct SketchHost {
     pub packets_sent: u64,
 }
 
+/// The wired measurement application.
+pub type SketchApp = Endhost<SketchHost>;
+
 impl SketchHost {
     pub fn new(
         peers: Vec<Ipv4Address>,
         bitmap_bits: usize,
         sample_frequency: u32,
         seed: u64,
-    ) -> Self {
-        SketchHost {
+    ) -> SketchApp {
+        let state = SketchHost {
             peers,
             bitmap_bits,
-            sample_frequency,
             period_ns: 200_000,
-            app_id: 5,
-            seed,
-            shim: None,
             rng: StdRng::seed_from_u64(seed),
-            my_ip: Ipv4Address::UNSPECIFIED,
             bitmaps: shared(BTreeMap::new()),
             truth: shared(BTreeMap::new()),
             packets_sent: 0,
-        }
-    }
-}
-
-impl HostApp for SketchHost {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        self.my_ip = ctx.ip;
-        let mut shim = Shim::new(ctx.ip, ctx.mac, self.seed ^ 0x5EEC);
-        shim.add_tpp(self.app_id, Filter::udp(), sketch_tpp(8), self.sample_frequency, 0);
-        shim.set_aggregator(self.app_id, ctx.ip); // consume locally
-        self.shim = Some(shim);
-        ctx.set_timer(self.period_ns, TIMER_SEND);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
-        if token != TIMER_SEND || self.peers.is_empty() {
-            return;
-        }
-        let dst = self.peers[self.rng.random_range(0..self.peers.len())];
-        let frame = udp_frame(ctx.ip, dst, 9000, DATA_PORT, 400);
-        let frame = self.shim.as_mut().unwrap().outgoing(frame);
-        ctx.send(frame);
-        self.packets_sent += 1;
-        ctx.set_timer(self.period_ns, TIMER_SEND);
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-        if let Some(done) = out.completed {
-            // "index = hash(packet.ip.dest); foreach (switch, link) in tpp:
-            //  bitmask[switch][index] = 1" (§2.5). This host *is* the
-            // destination of the carrying packet.
-            let dst = done.flow.dst.to_u32();
-            let hops = (done.tpp.sp as usize / 2).min(done.tpp.memory_words() / 2);
-            let bits = self.bitmap_bits;
-            let mut maps = self.bitmaps.borrow_mut();
-            let mut truth = self.truth.borrow_mut();
-            let mut words = done.tpp.iter_words();
-            for _ in 0..hops {
-                let key = (words.next().unwrap_or(0), words.next().unwrap_or(0));
-                maps.entry(key).or_insert_with(|| BitmapSketch::new(bits)).insert(dst);
-                truth.entry(key).or_default().insert(dst);
-            }
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
+        };
+        Harness::new(state)
+            .shim_seed(seed ^ 0x5EEC)
+            // Consume completions locally: this host *is* the destination of
+            // the carrying packet, and "index = hash(packet.ip.dest);
+            // foreach (switch, link) in tpp: bitmask[switch][index] = 1"
+            // (§2.5).
+            .stamp_with(
+                sketch_probe().app_id(5).hops(8),
+                Filter::udp(),
+                sample_frequency,
+                Aggregator::Local,
+                |s, _io, c| {
+                    let dst = c.flow.dst.to_u32();
+                    let bits = s.bitmap_bits;
+                    // Resolve names once per TPP (one arrives per sampled
+                    // data packet).
+                    let switch = c.probe.index_of("switch").unwrap();
+                    let out_port = c.probe.index_of("out_port").unwrap();
+                    let mut maps = s.bitmaps.borrow_mut();
+                    let mut truth = s.truth.borrow_mut();
+                    for r in c.hops() {
+                        let key = (r.at(switch).unwrap_or(0), r.at(out_port).unwrap_or(0));
+                        maps.entry(key).or_insert_with(|| BitmapSketch::new(bits)).insert(dst);
+                        truth.entry(key).or_default().insert(dst);
+                    }
+                },
+            )
+            .on_start(|s, io| io.ctx.set_timer(s.period_ns, TIMER_SEND))
+            .on_timer(|s, io, token| {
+                if token != TIMER_SEND || s.peers.is_empty() {
+                    return;
+                }
+                let dst = s.peers[s.rng.random_range(0..s.peers.len())];
+                let frame = udp_frame(io.ctx.ip, dst, 9000, DATA_PORT, 400);
+                io.send_data(frame);
+                s.packets_sent += 1;
+                io.ctx.set_timer(s.period_ns, TIMER_SEND);
+            })
+            .build()
+            .expect("static wiring")
     }
 }
 
@@ -244,7 +228,7 @@ pub fn run_sketch(
     let mut packets_sent = 0;
     let mut mem_per_host = 0usize;
     for &h in &hosts {
-        let app = topo.net.app_mut::<SketchHost>(h);
+        let app = topo.net.app_mut::<SketchApp>(h);
         packets_sent += app.packets_sent;
         let maps = app.bitmaps.borrow();
         mem_per_host = mem_per_host.max(maps.values().map(|m| m.size_bytes()).sum());

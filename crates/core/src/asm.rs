@@ -46,10 +46,7 @@ impl fmt::Display for AsmError {
 
 impl std::error::Error for AsmError {}
 
-/// Maximum packet-memory size: the largest word-aligned value representable
-/// in the one-byte header field (Figure 7b allows 40–200 bytes; we cap at
-/// the encoding limit).
-pub const MAX_MEMORY_BYTES: usize = 252;
+pub use crate::wire::tpp::MAX_MEMORY_BYTES;
 
 fn parse_address(tok: &str, line: usize) -> Result<Address, AsmError> {
     let inner = tok
@@ -336,11 +333,13 @@ pub struct TppBuilder {
 
 impl TppBuilder {
     /// Stack-mode builder (PUSH/POP programs).
+    #[must_use]
     pub fn stack_mode() -> Self {
         TppBuilder::default()
     }
 
     /// Hop-mode builder with a `per_hop_words`-word window per hop.
+    #[must_use]
     pub fn hop_mode(per_hop_words: u8) -> Self {
         let mut b = TppBuilder::default();
         b.tpp.mode = AddrMode::Hop;
@@ -348,11 +347,13 @@ impl TppBuilder {
         b
     }
 
+    #[must_use]
     pub fn app_id(mut self, id: u16) -> Self {
         self.tpp.app_id = id;
         self
     }
 
+    #[must_use]
     pub fn reflect(mut self) -> Self {
         self.tpp.reflect = true;
         self
@@ -360,36 +361,45 @@ impl TppBuilder {
 
     /// Preallocate memory for `n` hops (hop mode) or `n` pushed words
     /// (stack mode).
+    #[must_use]
     pub fn hops(mut self, n: usize) -> Self {
         self.hops = Some(n);
         self
     }
 
+    #[must_use]
     pub fn memory_words(mut self, n: usize) -> Self {
         self.explicit_memory = Some(n * 4);
         self
     }
 
+    #[must_use]
     pub fn instr(mut self, ins: Instruction) -> Self {
         self.tpp.instrs.push(ins);
         self
     }
 
+    #[must_use]
     pub fn push(self, addr: Address) -> Self {
         self.instr(Instruction::push(addr))
     }
+    #[must_use]
     pub fn pop(self, addr: Address) -> Self {
         self.instr(Instruction::pop(addr))
     }
+    #[must_use]
     pub fn load(self, addr: Address, off: u8) -> Self {
         self.instr(Instruction::load(addr, off))
     }
+    #[must_use]
     pub fn store(self, addr: Address, off: u8) -> Self {
         self.instr(Instruction::store(addr, off))
     }
+    #[must_use]
     pub fn cstore(self, addr: Address, pre: u8, post: u8) -> Self {
         self.instr(Instruction::cstore(addr, pre, post))
     }
+    #[must_use]
     pub fn cexec(self, addr: Address, mask: u8, value: u8) -> Self {
         self.instr(Instruction::cexec(addr, mask, value))
     }
@@ -417,6 +427,7 @@ impl TppBuilder {
     }
 
     /// Initialize packet-memory word `idx` (applied at build).
+    #[must_use]
     pub fn init_word(mut self, idx: usize, value: u32) -> Self {
         // Deferred: memory is sized at build time; stash as instructions in
         // error-free form by growing a pending list.

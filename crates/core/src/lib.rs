@@ -19,6 +19,9 @@
 //!   0x6666) and standalone (UDP port 0x6666) modes.
 //! * [`asm`] — assembler/disassembler for the paper's pseudo-assembly and a
 //!   fluent [`asm::TppBuilder`].
+//! * [`probe`] — the typed application layer: [`probe::Probe`] schemas that
+//!   compile to validated programs + memory layouts and decode completed
+//!   TPPs into per-hop records by field name.
 //! * [`exec`] — reference execution semantics (§3.2–3.3): graceful failure,
 //!   `CSTORE` compare-and-swap with observed-value write-back, `CEXEC`
 //!   gating, administrative write-disable.
@@ -58,6 +61,7 @@ pub mod analysis;
 pub mod asm;
 pub mod exec;
 pub mod isa;
+pub mod probe;
 pub mod wire;
 
 pub use addr::{Address, Namespace, Word};
@@ -67,4 +71,5 @@ pub use exec::{
     WriteOutcome,
 };
 pub use isa::{Instruction, Opcode};
-pub use wire::{Tpp, TppError, TppView, TppViewMut};
+pub use probe::{HopRecord, Probe, ProbeError, Records, TppData};
+pub use wire::{max_hops, Tpp, TppError, TppView, TppViewMut, MAX_MEMORY_BYTES};

@@ -10,7 +10,7 @@ pub mod view;
 
 pub use ethernet::{EthernetAddress, Frame as EthernetFrame, Repr as EthernetRepr};
 pub use ipv4::{Ipv4Address, Packet as Ipv4Packet, Repr as Ipv4Repr};
-pub use tpp::{AddrMode, Tpp, TppError};
+pub use tpp::{max_hops, AddrMode, Tpp, TppError, MAX_MEMORY_BYTES};
 pub use udp::{Datagram as UdpDatagram, Repr as UdpRepr, TPP_PORT};
 pub use view::{TppView, TppViewMut};
 

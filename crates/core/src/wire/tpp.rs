@@ -33,6 +33,21 @@ pub const VERSION: u8 = 1;
 /// TPP header length in bytes.
 pub const HEADER_LEN: usize = 12;
 
+/// Maximum packet-memory size: the largest word-aligned value representable
+/// in the one-byte header field (Figure 7b allows 40–200 bytes; we cap at
+/// the encoding limit).
+pub const MAX_MEMORY_BYTES: usize = 252;
+
+/// How many hops of `per_hop_bytes` each fit in the wire memory budget
+/// ([`MAX_MEMORY_BYTES`]) — the typed replacement for ad-hoc `.min(252)`
+/// sizing arithmetic. Zero-byte layouts report the word capacity.
+pub const fn max_hops(per_hop_bytes: usize) -> usize {
+    match MAX_MEMORY_BYTES.checked_div(per_hop_bytes) {
+        Some(n) => n,
+        None => MAX_MEMORY_BYTES / 4,
+    }
+}
+
 /// Memory addressing modes (Figure 7b field 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum AddrMode {

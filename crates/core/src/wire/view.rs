@@ -5,7 +5,7 @@
 //!
 //! The crate keeps **two** representations of a TPP:
 //!
-//! * [`Tpp`](super::Tpp) — the *owned* form: header fields, a
+//! * [`Tpp`] — the *owned* form: header fields, a
 //!   `Vec<Instruction>` and a `Vec<u8>` of packet memory. This is the
 //!   end-host and control-plane representation: builders, the assembler,
 //!   static analysis and application-level result extraction all operate on
@@ -28,7 +28,7 @@
 //! after every single write.
 //!
 //! One deliberate asymmetry: a parse→execute→re-serialize round trip through
-//! the owned [`Tpp`](super::Tpp) zeroes the reserved bit of byte 0, while the
+//! the owned [`Tpp`] zeroes the reserved bit of byte 0, while the
 //! in-place path preserves unknown bits it never touches. Sections produced
 //! by [`Tpp::serialize`](super::Tpp::serialize) always carry a zero reserved
 //! bit, so the two paths are byte-identical for every frame this stack

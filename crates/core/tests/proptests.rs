@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use tpp_core::addr::{resolve_mnemonic, Address};
 use tpp_core::analysis::{find_hazards, serialize_pushes};
+use tpp_core::asm::{assemble, disassemble};
 use tpp_core::exec::{execute, execute_in_place, ExecOptions, InstrStatus, MapBus};
 use tpp_core::isa::{decode_program, encode_program, Instruction, Opcode};
 use tpp_core::wire::{checksum, AddrMode, Tpp, TppView, TppViewMut};
@@ -90,6 +91,31 @@ proptest! {
             Err(_) => {}
             Ok((t, _)) => prop_assert_ne!(t, tpp, "flip at byte {} bit {} undetected", idx, bit),
         }
+    }
+
+    /// `assemble ∘ disassemble` is the identity on every assembly-
+    /// representable TPP (and the textual form is a fixed point): what the
+    /// assembler accepts, the disassembler round-trips losslessly.
+    #[test]
+    fn asm_roundtrip_fixed_point(tpp in arb_tpp()) {
+        // Restrict to the assembly-representable subset: execution state
+        // (hop/sp/wrote) and the encapsulation ethertype have no
+        // directives, and PUSH/POP take no textual operand (their encoded
+        // operand byte is semantically ignored).
+        let mut t = tpp;
+        t.hop = 0;
+        t.sp = 0;
+        t.wrote = false;
+        t.encap_proto = 0;
+        for ins in &mut t.instrs {
+            if matches!(ins.opcode, Opcode::Push | Opcode::Pop) {
+                ins.op1 = 0;
+            }
+        }
+        let text = disassemble(&t);
+        let back = assemble(&text).expect("disassembly reassembles");
+        prop_assert_eq!(&back, &t, "{}", text);
+        prop_assert_eq!(disassemble(&back), text);
     }
 
     /// Instruction encode/decode is bijective over valid instructions.

@@ -47,6 +47,10 @@ pub struct AppRecord {
     pub app_id: u16,
     pub name: String,
     pub segments: Vec<Segment>,
+    /// First `AppSpecific` register granted (with `n_regs`, the exclusive
+    /// per-link block), so re-registration can return the original grant.
+    pub first_reg: u16,
+    pub n_regs: u16,
 }
 
 /// The central TPP-CP: application registry and switch-memory allocator.
@@ -54,12 +58,19 @@ pub struct AppRecord {
 /// Memory allocation is modeled on the paper's RCP example: applications
 /// ask for a number of per-link `AppSpecific` registers, which they then
 /// own exclusively on every link.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CentralCp {
     apps: BTreeMap<u16, AppRecord>,
     next_app_id: u16,
     /// Next free AppSpecific register index (allocated contiguously).
     next_app_reg: u16,
+}
+
+impl Default for CentralCp {
+    fn default() -> Self {
+        // Not derived: app IDs start at 1 (0 marks "unassigned" on the wire).
+        CentralCp::new()
+    }
 }
 
 /// Read-only statistics every app may query (Table 2): the whole address
@@ -74,17 +85,26 @@ impl CentralCp {
     }
 
     /// Register an application that only reads network state.
+    ///
+    /// Idempotent per name: re-registering returns the existing app ID.
     pub fn register_app(&mut self, name: &str) -> u16 {
         self.register_app_with_regs(name, 0).expect("zero-register registration cannot fail").0
     }
 
     /// Register an application and grant it `n_regs` exclusive per-link
     /// `AppSpecific` registers (read-write). Returns `(app_id, first_reg)`.
+    ///
+    /// Idempotent per name: re-registering an existing name returns its
+    /// original `(app_id, first_reg)` grant instead of minting a duplicate
+    /// (the requested `n_regs` is ignored in that case).
     pub fn register_app_with_regs(
         &mut self,
         name: &str,
         n_regs: u16,
     ) -> Result<(u16, u16), CpError> {
+        if let Some(existing) = self.apps.values().find(|a| a.name == name) {
+            return Ok((existing.app_id, existing.first_reg));
+        }
         if self.next_app_reg + n_regs > link_ns::APP_COUNT {
             return Err(CpError::OutOfMemory);
         }
@@ -108,7 +128,10 @@ impl CentralCp {
                 ));
             }
         }
-        self.apps.insert(app_id, AppRecord { app_id, name: name.to_string(), segments });
+        self.apps.insert(
+            app_id,
+            AppRecord { app_id, name: name.to_string(), segments, first_reg: first, n_regs },
+        );
         Ok((app_id, first))
     }
 
@@ -187,6 +210,19 @@ mod tests {
         let (other, second) = cp.register_app_with_regs("conga", 1).unwrap();
         assert_ne!(rcp, other);
         assert_eq!(second, 2); // exclusive, contiguous
+    }
+
+    #[test]
+    fn register_app_is_idempotent_per_name() {
+        let mut cp = CentralCp::default(); // Default == new(): IDs start at 1
+        let (a, first) = cp.register_app_with_regs("rcp", 2).unwrap();
+        assert_eq!(a, 1);
+        let (b, first2) = cp.register_app_with_regs("rcp", 4).unwrap();
+        assert_eq!((a, first), (b, first2));
+        assert_eq!(cp.register_app("rcp"), a);
+        // A different name still gets a fresh grant after the first block.
+        let (_, f) = cp.register_app_with_regs("mon", 1).unwrap();
+        assert_eq!(f, 2);
     }
 
     #[test]

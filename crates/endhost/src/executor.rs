@@ -87,9 +87,17 @@ impl Executor {
     }
 
     /// Stamp a nonce into the TPP's last packet-memory word, growing memory
-    /// by one word so the program's own accesses can't clobber it.
+    /// by one word so the program's own accesses can't clobber it. A probe
+    /// already at the wire memory budget cannot grow (the one-byte length
+    /// field would wrap): its last word is overwritten instead, and if the
+    /// program then clobbers it, completion falls back to the source-port
+    /// match ([`Executor::on_completed_full`]).
     fn stamp_nonce(tpp: &mut Tpp, token: u32) {
-        tpp.memory.extend_from_slice(&token.to_be_bytes());
+        if tpp.memory.len() + 4 <= tpp_core::wire::MAX_MEMORY_BYTES {
+            tpp.memory.extend_from_slice(&token.to_be_bytes());
+        } else if let Some(last) = tpp.memory.len().checked_sub(4) {
+            tpp.memory[last..].copy_from_slice(&token.to_be_bytes());
+        }
     }
 
     /// Read a probe's nonce back out of a completed TPP.
@@ -357,6 +365,21 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(e.pending_count(), 0);
+    }
+
+    #[test]
+    fn full_capacity_probe_stays_wire_valid() {
+        // A probe compiled at the full wire memory budget cannot grow by a
+        // nonce word: the one-byte length field would wrap to 0. The nonce
+        // overwrites the last word instead and the section stays parseable.
+        let mut e = exec();
+        let mut big = probe();
+        big.memory = vec![0; tpp_core::wire::MAX_MEMORY_BYTES];
+        let (token, frame) = e.send(0, Ipv4Address::from_host_id(2), big);
+        let (_, tpp) = tpp_core::wire::extract_tpp(&frame).expect("section parses");
+        assert_eq!(tpp.memory.len(), tpp_core::wire::MAX_MEMORY_BYTES);
+        assert_eq!(Executor::nonce_of(&tpp), Some(token));
+        assert!(e.on_completed(&tpp).is_some());
     }
 
     #[test]

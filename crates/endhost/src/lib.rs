@@ -18,15 +18,20 @@
 //! * [`transport`] — a Reno-like TCP model and paced UDP senders: the
 //!   substrate for the paper's congestion-control and overhead experiments
 //!   (§2.2, §6.2).
+//! * [`harness`] — the unified application harness: declare typed
+//!   [`Probe`](tpp_core::probe::Probe)s with completion callbacks and get a
+//!   fully wired simulator host ([`Harness`] → [`Endhost`]).
 
 pub mod cp;
 pub mod executor;
 pub mod filter;
+pub mod harness;
 pub mod shim;
 pub mod transport;
 
 pub use cp::{CentralCp, CpError, Policy};
 pub use executor::{Executor, ExecutorConfig, ProbeOutcome, ScatterGather};
 pub use filter::{Filter, FilterTable};
+pub use harness::{Aggregator, Completion, Endhost, Harness, HarnessError, Io};
 pub use shim::{CompletedTpp, FlowRef, Incoming, Shim, TPP_ECHO_PORT};
 pub use transport::{PacedSender, SegHeader, TcpConn};

@@ -8,7 +8,7 @@
 //! synchronizes them with the classic conservative-parallel discrete-event
 //! recipe:
 //!
-//! * **Partitioning** ([`partition`]) — a union-find pass glues together
+//! * **Partitioning** ([`partition`](mod@partition)) — a union-find pass glues together
 //!   anything joined by a zero-delay link (such links admit no lookahead,
 //!   so they can never cross a shard boundary), optionally pulls hosts onto
 //!   their edge switch for locality, then bin-packs the resulting

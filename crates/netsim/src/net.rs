@@ -25,7 +25,7 @@
 //!   independent RNG seeded from `(network seed, node, port)`. Drop and
 //!   corruption draws depend only on the order of frames through that one
 //!   link, which sharding preserves, not on global event interleaving.
-//! * **Remote peers** — a node slot can be a [`NodeKind::Remote`] marker
+//! * **Remote peers** — a node slot can be a `NodeKind::Remote` marker
 //!   (see [`Network::split`]). Frames transmitted toward a remote peer are
 //!   diverted into an *outbox* of [`RemoteFrame`]s instead of the local
 //!   event queue; the fabric routes them to the owning shard, which
@@ -488,7 +488,7 @@ impl Network {
         matches!(self.nodes[id.0 as usize], NodeKind::Switch(_))
     }
 
-    /// Whether this kernel owns `id` (false for [`NodeKind::Remote`] slots
+    /// Whether this kernel owns `id` (false for `NodeKind::Remote` slots
     /// of a partitioned run).
     pub fn is_local(&self, id: NodeId) -> bool {
         !matches!(self.nodes[id.0 as usize], NodeKind::Remote)

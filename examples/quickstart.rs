@@ -1,80 +1,49 @@
-//! Quickstart: write a TPP in the paper's assembly, send it across a small
-//! simulated network, and read the per-hop state it collected.
+//! Quickstart: declare a typed probe, send it across a small simulated
+//! network, and read the per-hop records it collected. The entire
+//! application — schema, wiring, decode — is the ~20 lines inside `main`.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use minions::apps::common::Responder;
-use minions::core::asm::{assemble, disassemble};
-use minions::endhost::{Executor, ExecutorConfig, ProbeOutcome, Shim};
-use minions::netsim::{topology, HostApp, HostCtx, MILLIS};
+use minions::core::probe::Probe;
+use minions::endhost::{Endhost, ExecutorConfig, Harness};
+use minions::netsim::{topology, MILLIS};
 
-/// A one-shot host: sends a single standalone probe and prints the result.
-struct Prober {
-    dst: minions::core::wire::Ipv4Address,
-    shim: Option<Shim>,
-    exec: Option<Executor>,
-    result: std::sync::Arc<std::sync::Mutex<Option<minions::core::wire::Tpp>>>,
-}
-
-impl HostApp for Prober {
-    fn start(&mut self, ctx: &mut HostCtx<'_>) {
-        self.shim = Some(Shim::new(ctx.ip, ctx.mac, 1));
-        self.exec = Some(Executor::new(ctx.ip, ctx.mac, ExecutorConfig::default()));
-
-        // The §2.1 micro-burst TPP, in the paper's pseudo-assembly.
-        let tpp = assemble(
-            "
-            PUSH [Switch:SwitchID]
-            PUSH [PacketMetadata:OutputPort]
-            PUSH [Queue:QueueOccupancy]
-            ",
-        )
-        .expect("valid program");
-        println!("sending TPP:\n{}", disassemble(&tpp));
-        let (_, frame) = self.exec.as_mut().unwrap().send(ctx.now, self.dst, tpp);
-        ctx.send(frame);
-    }
-
-    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Vec<u8>) {
-        let out = self.shim.as_mut().unwrap().incoming(frame);
-        if let Some(echo) = out.echo {
-            ctx.send(echo);
-        }
-        if let Some(done) = out.completed {
-            if let Some(ProbeOutcome::Completed { tpp, .. }) =
-                self.exec.as_mut().unwrap().on_completed(&done.tpp)
-            {
-                *self.result.lock().unwrap() = Some(tpp);
-            }
-        }
-    }
-
-    fn as_any(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-}
+type Rows = Vec<(u32, u32, u32)>;
 
 fn main() {
     // A 3-switch line; the probe traverses all three.
     let mut topo = topology::line(3, 1, 1000, 10_000, 42);
     let hosts = topo.hosts.clone();
-    let dst_ip = topo.net.host(hosts[2]).ip;
-    let result = std::sync::Arc::new(std::sync::Mutex::new(None));
-    topo.net.set_app(hosts[2], Box::new(Responder::new()));
-    topo.net.set_app(
-        hosts[0],
-        Box::new(Prober { dst: dst_ip, shim: None, exec: None, result: result.clone() }),
-    );
+    let dst = topo.net.host(hosts[2]).ip;
+    topo.net.set_app(hosts[2], Box::new(minions::apps::common::Responder::new()));
+
+    // The §2.1 micro-burst probe, as a typed schema.
+    let probe = Probe::stack("quickstart")
+        .field("switch", "Switch:SwitchID")
+        .field("port", "PacketMetadata:OutputPort")
+        .field("queue", "Queue:QueueOccupancy");
+
+    let prober = Harness::new(Rows::new())
+        .executor(ExecutorConfig::default())
+        .launch(probe, |rows: &mut Rows, _io, c| {
+            rows.extend(c.hops().map(|r| {
+                (r.get("switch").unwrap(), r.get("port").unwrap(), r.get("queue").unwrap())
+            }));
+        })
+        .on_start(move |_rows, io| {
+            io.launch(0, dst);
+        })
+        .build()
+        .expect("valid probe");
+    topo.net.set_app(hosts[0], Box::new(prober));
     topo.net.run_until(10 * MILLIS);
 
-    let tpp = result.lock().unwrap().clone().expect("probe completed");
-    println!("probe executed at {} hops; collected state:", tpp.hop);
+    let rows = topo.net.app_mut::<Endhost<Rows>>(hosts[0]);
+    println!("probe executed at {} hops; collected state:", rows.len());
     println!("{:>8} {:>10} {:>12}", "switch", "out port", "queue bytes");
-    let words = tpp.words();
-    for h in 0..tpp.hop as usize {
-        let (s, p, q) = (words[3 * h], words[3 * h + 1], words[3 * h + 2]);
+    for (s, p, q) in rows.iter() {
         println!("{s:>8} {p:>10} {q:>12}");
     }
 }

@@ -2,7 +2,7 @@
 //! wire formats, switches, simulator — exercised together.
 
 use minions::apps::common::Responder;
-use minions::apps::netverify::PathVerifier;
+use minions::apps::netverify::{PathVerifier, PathVerifierApp};
 use minions::core::asm::TppBuilder;
 use minions::core::wire::Ipv4Address;
 use minions::endhost::{Executor, ExecutorConfig, ProbeOutcome, Shim};
@@ -241,7 +241,7 @@ fn path_visibility_tracks_link_failure_and_recovery() {
     topo.net.set_link_up(switches[0], 0, false);
     topo.net.set_link_up(switches[0], 1, false);
     topo.net.run_until(200 * MILLIS);
-    let v = topo.net.app_mut::<PathVerifier>(hosts[0]);
+    let v = topo.net.app_mut::<PathVerifierApp>(hosts[0]);
     let obs = v.observations.borrow();
     let before_fail = obs.iter().filter(|o| o.t_ns < 50 * MILLIS).count();
     assert!(before_fail > 20, "steady probing before failure");
@@ -342,7 +342,7 @@ fn ecmp_probes_and_flows_share_fate_when_hash_excludes_dst_port() {
     };
     topo.net.set_app(hosts[0], Box::new(minions::apps::conga::CongaSender::new(cfg, dst_ip)));
     topo.net.run_until(100 * MILLIS);
-    let sender = topo.net.app_mut::<minions::apps::conga::CongaSender>(hosts[0]);
+    let sender = topo.net.app_mut::<minions::apps::conga::CongaSenderApp>(hosts[0]);
     assert_eq!(sender.paths_discovered(), 2);
     // Every probed port maps to exactly one of the two paths, and both
     // paths have ports.
