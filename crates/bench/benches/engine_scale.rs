@@ -1,0 +1,113 @@
+//! Engine-scale benchmark: raw scheduler throughput (events/sec) of the
+//! hierarchical timing wheel vs the legacy `BinaryHeap` queue at 1k / 10k /
+//! 100k scheduled events, plus the batched end-to-end delivery loop.
+//!
+//! * `wheel/{n}` — schedule `n` keyed events with delays mixed across every
+//!   wheel level, then drain with same-timestamp batch pops.
+//! * `heap/{n}` — the identical schedule through [`HeapQueue`], drained one
+//!   pop at a time (the pre-refactor engine's only mode).
+//! * `delivery/batched` — one simulated window of heavy traffic on a k=4
+//!   fat-tree through the batched `Network` loop (`receive_batch` /
+//!   `dequeue_batch` under the wheel), digest-pinned so the workload can't
+//!   silently drift.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use tpp_fabric::{install_traffic, TrafficConfig};
+use tpp_netsim::engine::{HeapQueue, Scheduler};
+use tpp_netsim::{topology, Time, MILLIS};
+
+/// Delays mixed across wheel levels: immediate, sub-slot, level-1/2/3
+/// spans, and a far-future sprinkle that exercises the overflow heap.
+fn delay_for(i: u64) -> u64 {
+    const DELAYS: [u64; 8] = [0, 3, 70, 900, 5_000, 70_000, 900_000, 1 << 37];
+    DELAYS[(i.wrapping_mul(0x9E37_79B9)) as usize % DELAYS.len()] + (i % 50)
+}
+
+fn drive_wheel(n: u64) -> u64 {
+    let mut q = Scheduler::new();
+    let mut popped = 0u64;
+    let mut batch = Vec::new();
+    for i in 0..n {
+        q.schedule_keyed(q.now() + delay_for(i), i % 7, i);
+    }
+    while q.pop_batch(&mut batch).is_some() {
+        popped += batch.len() as u64;
+        batch.clear();
+    }
+    popped
+}
+
+fn drive_heap(n: u64) -> u64 {
+    let mut q = HeapQueue::new();
+    let mut popped = 0u64;
+    for i in 0..n {
+        q.schedule_keyed(q.now() + delay_for(i), i % 7, i);
+    }
+    while q.pop().is_some() {
+        popped += 1;
+    }
+    popped
+}
+
+const HORIZON: Time = 2 * MILLIS / 5;
+
+fn run_delivery() -> (u64, u64) {
+    let mut t = topology::fat_tree(4, 10_000, 1000, 8);
+    let hosts = t.hosts.clone();
+    let cfg = TrafficConfig {
+        frames_per_tick: 16,
+        tick_ns: 5_000,
+        payload: 256,
+        tpp_every: 4,
+        stop_at: HORIZON,
+        seed: 8,
+    };
+    let _delivered = install_traffic(&mut t.net, &hosts, &cfg);
+    t.net.run_until(HORIZON);
+    (t.net.stats.digest(), t.net.stats.events_processed)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    for n in [1_000u64, 10_000, 100_000] {
+        let label = match n {
+            1_000 => "1k",
+            10_000 => "10k",
+            _ => "100k",
+        };
+        assert_eq!(drive_wheel(n), n, "wheel must pop every scheduled event");
+        assert_eq!(drive_heap(n), n, "heap must pop every scheduled event");
+        let mut g = c.benchmark_group("engine_scale");
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("wheel/{label}"), |b| b.iter(|| black_box(drive_wheel(n))));
+        g.bench_function(format!("heap/{label}"), |b| b.iter(|| black_box(drive_heap(n))));
+        g.finish();
+    }
+
+    // End-to-end batched delivery, digest-pinned against drift: the same
+    // run twice must agree, and the event count sets the throughput unit.
+    let (digest, events) = run_delivery();
+    assert_eq!(run_delivery(), (digest, events), "delivery workload must be deterministic");
+    let mut g = c.benchmark_group("engine_scale");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("delivery/batched", |b| {
+        b.iter(|| {
+            let got = run_delivery();
+            assert_eq!(got.0, digest, "batched delivery digest drifted");
+            black_box(got)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -68,8 +68,10 @@ pub fn partition(net: &Network, n_shards: usize, strategy: PartitionStrategy) ->
     assert!(n_shards >= 1, "need at least one shard");
     let mut uf = UnionFind::new(n);
 
-    // 1. Mandatory: zero-delay links are always co-sharded.
-    for (a, _pa, b, _pb, spec) in net.links() {
+    // 1. Mandatory: zero-delay links are always co-sharded. The iterator
+    //    accessor walks the link layer without materializing a Vec of every
+    //    directed link (k=64 fat-trees have hundreds of thousands).
+    for (a, _pa, b, _pb, spec) in net.links_iter() {
         if spec.delay_ns == 0 {
             uf.union(a.0 as usize, b.0 as usize);
         }
@@ -78,7 +80,7 @@ pub fn partition(net: &Network, n_shards: usize, strategy: PartitionStrategy) ->
     // 2. Locality: hosts follow their first switch neighbor.
     if strategy == PartitionStrategy::Locality {
         for h in net.host_ids() {
-            if let Some((_, peer)) = net.neighbors(h).first() {
+            if let Some((_, peer)) = net.neighbors_iter(h).next() {
                 uf.union(h.0 as usize, peer.0 as usize);
             }
         }
@@ -131,8 +133,7 @@ pub fn partition(net: &Network, n_shards: usize, strategy: PartitionStrategy) ->
 /// `None` when nothing crosses (a single shard, or disconnected shards) —
 /// the runtime then needs no synchronization at all.
 pub fn lookahead(net: &Network, assignment: &[usize]) -> Option<Time> {
-    net.links()
-        .into_iter()
+    net.links_iter()
         .filter(|(a, _, b, _, _)| assignment[a.0 as usize] != assignment[b.0 as usize])
         .map(|(_, _, _, _, spec)| spec.delay_ns)
         .min()

@@ -1,9 +1,17 @@
 //! The sharded runtime: conservative lookahead epochs over shard kernels.
 //!
+//! A shard kernel is not a private engine: it is the same layered
+//! `tpp-netsim` core — timing-wheel `Scheduler`, `LinkFabric`, `NodeStore`
+//! — driven through the same batched `Network` coordinator, just with
+//! remote markers in the node layer and the full port table in the link
+//! layer. Each epoch simply calls the kernel's `run_until` (same-timestamp
+//! batch delivery included) and exchanges the link layer's boundary frames
+//! at the barrier.
+//!
 //! Both executors — thread-per-shard and sequential — run the *same*
 //! epoch/exchange schedule and therefore produce bit-identical results;
 //! the sequential path exists for single-core machines (no barrier or
-//! context-switch overhead, but still the smaller per-shard event heaps
+//! context-switch overhead, but still the smaller per-shard event wheels
 //! and working sets) and for debugging.
 
 use std::sync::{Barrier, Mutex};
@@ -79,6 +87,11 @@ impl Fabric {
     /// The shard kernels (read-only; handy for per-switch inspection).
     pub fn shards(&self) -> &[Network] {
         &self.shards
+    }
+
+    /// Total events pending across every shard's scheduler layer.
+    pub fn pending_events(&self) -> usize {
+        self.shards.iter().map(|s| s.pending_events()).sum()
     }
 
     /// Read-only access to the kernel owning `node`.

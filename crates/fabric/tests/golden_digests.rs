@@ -1,0 +1,163 @@
+//! Golden-digest differential test for the layered engine refactor.
+//!
+//! The [`tpp_netsim::NetStats::digest`] values below were recorded on the
+//! pre-refactor engine (`BinaryHeap` event queue, one-frame-at-a-time
+//! `Switch::receive`) for twelve scenarios: {star, leaf-spine, fat-tree(4)}
+//! × {clean, link faults} × {single-threaded, 4 fabric shards}. The
+//! timing-wheel scheduler, the LinkFabric/NodeStore decomposition, and the
+//! batched `receive_batch`/`dequeue_batch` delivery path must reproduce
+//! every digest bit-for-bit — any divergence in a timestamp, a route, a
+//! fault draw, or a single TPP result word changes the value.
+//!
+//! To re-record after an *intentional* behavior change, run with
+//! `GOLDEN_PRINT=1 cargo test -p tpp-fabric --test golden_digests -- --nocapture`
+//! and update the table (and say why in the commit message).
+
+use std::sync::atomic::Ordering;
+
+use tpp_fabric::{install_traffic, ExecMode, Fabric, PartitionStrategy, TrafficConfig};
+use tpp_netsim::{topology, NodeId, Topology, MILLIS};
+
+const HORIZON: u64 = 8 * MILLIS;
+
+fn traffic() -> TrafficConfig {
+    TrafficConfig { stop_at: 6 * MILLIS, ..TrafficConfig::default() }
+}
+
+struct Scenario {
+    name: &'static str,
+    build: fn() -> Topology,
+    /// `(node, port, drop_prob, corrupt_prob)` applied before any split.
+    faults: &'static [(u32, u8, f64, f64)],
+    strategy: PartitionStrategy,
+}
+
+fn build(s: &Scenario) -> Topology {
+    let mut t = (s.build)();
+    for &(node, port, drop, corrupt) in s.faults {
+        t.net.set_link_faults(NodeId(node), port, drop, corrupt);
+    }
+    t
+}
+
+fn run_single(s: &Scenario) -> u64 {
+    let mut t = build(s);
+    let hosts = t.hosts.clone();
+    let delivered = install_traffic(&mut t.net, &hosts, &traffic());
+    t.net.run_until(HORIZON);
+    assert!(delivered.load(Ordering::Relaxed) > 100, "{}: workload too small", s.name);
+    t.net.stats.digest()
+}
+
+fn run_sharded(s: &Scenario, n_shards: usize) -> u64 {
+    let mut t = build(s);
+    let hosts = t.hosts.clone();
+    let _ = install_traffic(&mut t.net, &hosts, &traffic());
+    let mut fabric = Fabric::new(t.net, n_shards, s.strategy);
+    fabric.set_mode(ExecMode::Sequential);
+    fabric.run_until(HORIZON);
+    fabric.stats().digest()
+}
+
+/// `(scenario, digest at 1 shard, digest at 4 shards)` — both columns were
+/// recorded on the pre-refactor engine and (by PR 3's determinism tests)
+/// agree with each other.
+const GOLDEN: &[(Scenario, u64, u64)] = &[
+    (
+        Scenario {
+            name: "star/clean",
+            build: || topology::star(8, 1000, 1000, 11),
+            faults: &[],
+            strategy: PartitionStrategy::RoundRobin,
+        },
+        GOLDEN_STAR_CLEAN_1,
+        GOLDEN_STAR_CLEAN_4,
+    ),
+    (
+        Scenario {
+            name: "star/faults",
+            build: || topology::star(8, 1000, 1000, 11),
+            faults: &[(0, 0, 0.2, 0.05), (0, 3, 0.1, 0.0)],
+            strategy: PartitionStrategy::RoundRobin,
+        },
+        GOLDEN_STAR_FAULTS_1,
+        GOLDEN_STAR_FAULTS_4,
+    ),
+    (
+        Scenario {
+            name: "leaf_spine/clean",
+            build: || topology::leaf_spine(4, 2, 2, 1000, 1000, 1000, 12),
+            faults: &[],
+            strategy: PartitionStrategy::Locality,
+        },
+        GOLDEN_LEAF_SPINE_CLEAN_1,
+        GOLDEN_LEAF_SPINE_CLEAN_4,
+    ),
+    (
+        Scenario {
+            name: "leaf_spine/faults",
+            build: || topology::leaf_spine(4, 2, 2, 1000, 1000, 1000, 12),
+            faults: &[(0, 0, 0.2, 0.05), (1, 1, 0.1, 0.0)],
+            strategy: PartitionStrategy::Locality,
+        },
+        GOLDEN_LEAF_SPINE_FAULTS_1,
+        GOLDEN_LEAF_SPINE_FAULTS_4,
+    ),
+    (
+        Scenario {
+            name: "fat_tree4/clean",
+            build: || topology::fat_tree(4, 1000, 1000, 13),
+            faults: &[],
+            strategy: PartitionStrategy::Locality,
+        },
+        GOLDEN_FAT_TREE_CLEAN_1,
+        GOLDEN_FAT_TREE_CLEAN_4,
+    ),
+    (
+        Scenario {
+            name: "fat_tree4/faults",
+            build: || topology::fat_tree(4, 1000, 1000, 13),
+            // Degrade one core uplink and one edge downlink.
+            faults: &[(0, 0, 0.15, 0.02), (12, 2, 0.1, 0.0)],
+            strategy: PartitionStrategy::Locality,
+        },
+        GOLDEN_FAT_TREE_FAULTS_1,
+        GOLDEN_FAT_TREE_FAULTS_4,
+    ),
+];
+
+const GOLDEN_STAR_CLEAN_1: u64 = 0xF11C_1AE0_79FB_127B;
+const GOLDEN_STAR_CLEAN_4: u64 = 0xF11C_1AE0_79FB_127B;
+const GOLDEN_STAR_FAULTS_1: u64 = 0x3E87_1779_81FF_4B5E;
+const GOLDEN_STAR_FAULTS_4: u64 = 0x3E87_1779_81FF_4B5E;
+const GOLDEN_LEAF_SPINE_CLEAN_1: u64 = 0x4C24_3069_F999_FF0A;
+const GOLDEN_LEAF_SPINE_CLEAN_4: u64 = 0x4C24_3069_F999_FF0A;
+const GOLDEN_LEAF_SPINE_FAULTS_1: u64 = 0x4D88_FE9E_7F55_8AA2;
+const GOLDEN_LEAF_SPINE_FAULTS_4: u64 = 0x4D88_FE9E_7F55_8AA2;
+const GOLDEN_FAT_TREE_CLEAN_1: u64 = 0xEECD_4E22_7828_0281;
+const GOLDEN_FAT_TREE_CLEAN_4: u64 = 0xEECD_4E22_7828_0281;
+const GOLDEN_FAT_TREE_FAULTS_1: u64 = 0x2D4C_9941_7FA7_D594;
+const GOLDEN_FAT_TREE_FAULTS_4: u64 = 0x2D4C_9941_7FA7_D594;
+
+#[test]
+fn digests_match_pre_refactor_engine() {
+    let record = std::env::var("GOLDEN_PRINT").is_ok();
+    for (scenario, want_1, want_4) in GOLDEN {
+        let got_1 = run_single(scenario);
+        let got_4 = run_sharded(scenario, 4);
+        if record {
+            println!("{}: 1-shard 0x{got_1:016X}  4-shard 0x{got_4:016X}", scenario.name);
+            continue;
+        }
+        assert_eq!(
+            got_1, *want_1,
+            "{}: single-threaded digest diverged from the pre-refactor engine",
+            scenario.name
+        );
+        assert_eq!(
+            got_4, *want_4,
+            "{}: 4-shard digest diverged from the pre-refactor engine",
+            scenario.name
+        );
+    }
+}

@@ -1,25 +1,69 @@
-//! Deterministic discrete-event core: a time-ordered event queue.
+//! Deterministic discrete-event core: a hierarchical timing-wheel
+//! scheduler.
+//!
+//! # Ordering contract
 //!
 //! Events at equal timestamps are delivered by ascending *order key*, then
 //! by insertion order (a strictly increasing sequence number breaks the
-//! remaining ties). Plain [`EventQueue::schedule_at`] uses key 0 for every
+//! remaining ties). Plain [`Scheduler::schedule_at`] uses key 0 for every
 //! event, which degenerates to pure insertion-order ties — the classic
-//! single-queue behavior. [`EventQueue::schedule_keyed`] lets a simulation
+//! single-queue behavior. [`Scheduler::schedule_keyed`] lets a simulation
 //! attach a *content-derived* key (e.g. packed from node id and port) so
 //! that same-timestamp delivery order is a function of the events
 //! themselves rather than of when they were inserted. That property is what
 //! allows a sharded runtime (`tpp-fabric`) to replay the exact same
 //! tie-break decisions as the single-threaded simulator: per-shard queues
 //! cannot reproduce global insertion order, but they *can* reproduce keys.
+//!
+//! # The wheel
+//!
+//! The scheduler is a hierarchical timing wheel (Varghese & Lauck's "hashed
+//! and hierarchical timing wheels", the structure inside every serious
+//! timer subsystem) rather than a comparison-based heap:
+//!
+//! * [`LEVELS`] levels of [`SLOTS`] slots each; level `l` slots are
+//!   `64^l` ns wide. Slots are *absolute-digit* aligned: the wheel holds
+//!   exactly the deadlines sharing the clock's current `64^6`-era (its
+//!   bits above bit 35), so it reaches up to the next era boundary — on
+//!   average half of, at most all of, `64^6` ns ≈ 68.7 simulated seconds.
+//!   Near a boundary even a deadline 1 ns ahead detours through the
+//!   overflow heap; that era partitioning is what keeps wheel and overflow
+//!   from ever interleaving. Scheduling is O(1): two shifts and a push.
+//! * An event lands at the level of the *highest bit group in which its
+//!   deadline differs from the current clock*. As the clock reaches a
+//!   non-leaf slot's start time, the slot's events *cascade* down to finer
+//!   levels; each event cascades at most `LEVELS - 1` times in its life.
+//! * A level-0 slot is exactly 1 ns wide, so every event in it shares one
+//!   timestamp. Draining a level-0 slot and sorting it by `(key, seq)`
+//!   yields precisely the heap's pop order — and hands the caller the whole
+//!   same-timestamp *batch* at once ([`Scheduler::pop_batch`]), which the
+//!   network loop turns into batched frame delivery.
+//! * Deadlines further out than the wheel span go to a sorted *overflow
+//!   heap* and migrate into the wheel when the clock gets close enough.
+//!   Because every wheel event shares the clock's high bits and every
+//!   overflow event differs in them, the wheel minimum is always earlier
+//!   than the overflow minimum — the two structures never interleave.
+//!
+//! The pre-wheel `BinaryHeap` implementation survives as [`HeapQueue`]: it
+//! is the reference model the property tests compare the wheel against,
+//! and the "legacy" arm of the `engine_scale` benchmark.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Simulation time in nanoseconds.
 pub type Time = u64;
 
 pub const MILLIS: Time = 1_000_000;
 pub const SECONDS: Time = 1_000_000_000;
+
+/// log2 of the slots per wheel level.
+const BITS: u32 = 6;
+/// Slots per wheel level.
+pub const SLOTS: usize = 1 << BITS;
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+/// Wheel levels; level `l` covers `64^(l+1)` ns, the whole wheel `64^6` ns.
+pub const LEVELS: usize = 6;
 
 struct Entry<E> {
     time: Time,
@@ -46,20 +90,72 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic event queue.
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
-    now: Time,
+/// `(level, slot)` for a deadline `at`, relative to clock position `now`,
+/// or `None` when `at` is beyond the wheel span (overflow).
+#[inline]
+fn level_slot(now: Time, at: Time) -> Option<(usize, usize)> {
+    let masked = at ^ now;
+    let level =
+        if masked == 0 { 0 } else { (63 - masked.leading_zeros()) as usize / BITS as usize };
+    if level >= LEVELS {
+        return None;
+    }
+    Some((level, ((at >> (BITS * level as u32)) & SLOT_MASK) as usize))
 }
 
-impl<E> Default for EventQueue<E> {
+/// A deterministic event scheduler (see the module docs for the wheel).
+pub struct Scheduler<E> {
+    /// The clock: the timestamp of the last popped event, and the wheel's
+    /// rotation position. Invariant between public calls: `now` never
+    /// exceeds the earliest pending deadline.
+    now: Time,
+    next_seq: u64,
+    len: usize,
+    /// `LEVELS * SLOTS` buckets, level-major.
+    slots: Vec<Vec<Entry<E>>>,
+    /// One occupancy bit per slot, per level — O(1) next-slot scans.
+    occupied: [u64; LEVELS],
+    /// Per-slot minimum `(time, key)` so `peek` is exact without draining.
+    slot_min: Vec<(Time, u64)>,
+    /// Deadlines beyond the wheel span, earliest first.
+    overflow: BinaryHeap<Entry<E>>,
+    /// The staged batch: every not-yet-popped event of timestamp
+    /// `ready_time`, sorted by `(key, seq)`. Late arrivals for the same
+    /// timestamp merge in by key, preserving the heap ordering contract.
+    ready: VecDeque<Entry<E>>,
+    ready_time: Time,
+    /// Recycled slot storage: draining a slot swaps its `Vec` for this one
+    /// instead of dropping it, so cascades don't churn the allocator.
+    spare: Vec<Entry<E>>,
+    /// Count of inserts that landed exactly at the current clock value.
+    /// Batch consumers snapshot this to learn whether a handler scheduled
+    /// new work at the timestamp being drained (the only case where a
+    /// mid-batch merge against [`Scheduler::peek_next`] is needed).
+    now_inserts: u64,
+}
+
+/// The name the network loop grew up with; kept as an alias.
+pub type EventQueue<E> = Scheduler<E>;
+
+impl<E> Default for Scheduler<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0 }
+        Scheduler {
+            now: 0,
+            next_seq: 0,
+            len: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            slot_min: vec![(Time::MAX, u64::MAX); LEVELS * SLOTS],
+            overflow: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            ready_time: 0,
+            spare: Vec::new(),
+            now_inserts: 0,
+        }
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> Scheduler<E> {
     pub fn new() -> Self {
         Self::default()
     }
@@ -70,11 +166,11 @@ impl<E> EventQueue<E> {
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Schedule `event` at absolute time `at`. Scheduling in the past is a
@@ -94,7 +190,19 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: at, key, seq, event });
+        self.len += 1;
+        if at == self.now {
+            self.now_inserts += 1;
+        }
+        let entry = Entry { time: at, key, seq, event };
+        if !self.ready.is_empty() && at == self.ready_time {
+            // The batch for this timestamp is already staged: merge by key
+            // (every staged entry has a smaller seq, so key alone decides).
+            let pos = self.ready.partition_point(|e| (e.key, e.seq) <= (key, seq));
+            self.ready.insert(pos, entry);
+            return;
+        }
+        self.insert_wheel(entry);
     }
 
     /// Schedule `event` after a delay relative to now.
@@ -102,7 +210,220 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, event);
     }
 
+    fn insert_wheel(&mut self, entry: Entry<E>) {
+        match level_slot(self.now, entry.time) {
+            Some((level, slot)) => {
+                let idx = level * SLOTS + slot;
+                let min = &mut self.slot_min[idx];
+                if (entry.time, entry.key) < *min {
+                    *min = (entry.time, entry.key);
+                }
+                self.slots[idx].push(entry);
+                self.occupied[level] |= 1 << slot;
+            }
+            None => self.overflow.push(entry),
+        }
+    }
+
+    /// First occupied `(level, slot)` in deadline order, or `None` when the
+    /// wheel is empty. The lowest occupied level always holds the earliest
+    /// deadline: level-`l` events live inside the clock's current level-
+    /// `l+1` digit span, while higher-level occupancy sits at later digits.
+    fn next_occupied(&self) -> Option<(usize, usize)> {
+        for level in 0..LEVELS {
+            let pos = (self.now >> (BITS * level as u32)) & SLOT_MASK;
+            let bits = self.occupied[level] & (!0u64 << pos);
+            if bits != 0 {
+                return Some((level, bits.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Make `ready` hold the earliest pending timestamp's full batch.
+    /// Returns false when no events remain anywhere.
+    fn stage_next(&mut self) -> bool {
+        if !self.ready.is_empty() {
+            return true;
+        }
+        loop {
+            let Some((level, slot)) = self.next_occupied() else {
+                // Wheel empty: pull the overflow prefix that fits into the
+                // wheel once the clock jumps to the overflow minimum.
+                let Some(min) = self.overflow.peek() else { return false };
+                self.now = min.time;
+                while let Some(p) = self.overflow.peek() {
+                    if level_slot(self.now, p.time).is_none() {
+                        break;
+                    }
+                    let e = self.overflow.pop().unwrap();
+                    self.insert_wheel(e);
+                }
+                continue;
+            };
+            let shift = BITS * level as u32;
+            if level == 0 {
+                // 1 ns slots: everything here shares one timestamp.
+                let deadline = (self.now & !SLOT_MASK) | slot as u64;
+                debug_assert!(deadline >= self.now);
+                self.now = deadline;
+                let idx = slot; // level 0
+                self.occupied[0] &= !(1 << slot);
+                self.slot_min[idx] = (Time::MAX, u64::MAX);
+                let mut batch =
+                    std::mem::replace(&mut self.slots[idx], std::mem::take(&mut self.spare));
+                batch.sort_unstable_by_key(|e| (e.key, e.seq));
+                debug_assert!(batch.iter().all(|e| e.time == deadline));
+                self.ready.extend(batch.drain(..));
+                self.spare = batch;
+                self.ready_time = deadline;
+                return true;
+            }
+            // Cascade: advance the clock to the slot's start (still at or
+            // before every pending deadline) and re-insert its events —
+            // their top differing digit now sits at a finer level.
+            let range_mask = (1u64 << (BITS * (level as u32 + 1))) - 1;
+            let deadline = (self.now & !range_mask) | ((slot as u64) << shift);
+            debug_assert!(deadline >= self.now);
+            self.now = deadline;
+            let idx = level * SLOTS + slot;
+            self.occupied[level] &= !(1 << slot);
+            self.slot_min[idx] = (Time::MAX, u64::MAX);
+            // Cascade targets are strictly lower levels, so the drained
+            // slot is never pushed to while `cascading` holds its storage.
+            let mut cascading =
+                std::mem::replace(&mut self.slots[idx], std::mem::take(&mut self.spare));
+            for e in cascading.drain(..) {
+                debug_assert!(level_slot(self.now, e.time).is_some_and(|(l, _)| l < level));
+                self.insert_wheel(e);
+            }
+            self.spare = cascading;
+        }
+    }
+
     /// Pop the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        if !self.stage_next() {
+            return None;
+        }
+        let e = self.ready.pop_front().unwrap();
+        self.len -= 1;
+        debug_assert_eq!(self.now, e.time);
+        Some((e.time, e.event))
+    }
+
+    /// Drain the *entire* earliest-timestamp batch — every event sharing
+    /// that timestamp, in `(key, seq)` order — into `out` (appended as
+    /// `(key, event)` pairs), advancing the clock. Returns the batch
+    /// timestamp, or `None` when no events remain.
+    ///
+    /// Handlers may keep scheduling at the returned timestamp; such events
+    /// are *not* part of this batch (they pop on a later call), so a caller
+    /// that needs exact heap-equivalent interleaving must merge against
+    /// [`Scheduler::peek_next`] while it works through the batch.
+    pub fn pop_batch(&mut self, out: &mut Vec<(u64, E)>) -> Option<Time> {
+        if !self.stage_next() {
+            return None;
+        }
+        let t = self.ready_time;
+        self.len -= self.ready.len();
+        out.extend(self.ready.drain(..).map(|e| (e.key, e.event)));
+        Some(t)
+    }
+
+    /// Timestamp of the next event without popping.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.peek_next().map(|(t, _)| t)
+    }
+
+    /// Monotone count of inserts that landed exactly at the current clock.
+    /// Snapshot before working through a drained batch; if unchanged, no
+    /// handler has scheduled at the batch timestamp and no merge check is
+    /// needed.
+    pub fn now_insert_marks(&self) -> u64 {
+        self.now_inserts
+    }
+
+    /// `(timestamp, order key)` of the next event without popping. Exact —
+    /// per-slot minima make this a scan of at most one candidate slot per
+    /// level plus the overflow head, with no cascading.
+    pub fn peek_next(&self) -> Option<(Time, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<(Time, u64)> =
+            self.ready.front().map(|front| (self.ready_time, front.key));
+        for level in 0..LEVELS {
+            let pos = (self.now >> (BITS * level as u32)) & SLOT_MASK;
+            let bits = self.occupied[level] & (!0u64 << pos);
+            if bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                let cand = self.slot_min[level * SLOTS + slot];
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        if let Some(o) = self.overflow.peek() {
+            let cand = (o.time, o.key);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+}
+
+/// The pre-wheel scheduler: a plain `BinaryHeap` ordered by
+/// `(time, key, seq)`. Kept as the executable specification — the property
+/// tests drive [`Scheduler`] and `HeapQueue` with identical schedules and
+/// demand identical pop sequences — and as the `legacy` arm of the
+/// `engine_scale` benchmark.
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        HeapQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0 }
+    }
+}
+
+impl<E> HeapQueue<E> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        self.schedule_keyed(at, 0, event);
+    }
+
+    pub fn schedule_keyed(&mut self, at: Time, key: u64, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {} < {}", at, self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time: at, key, seq, event });
+    }
+
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let e = self.heap.pop()?;
         debug_assert!(e.time >= self.now);
@@ -110,7 +431,6 @@ impl<E> EventQueue<E> {
         Some((e.time, e.event))
     }
 
-    /// Timestamp of the next event without popping.
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.time)
     }
@@ -122,7 +442,7 @@ mod tests {
 
     #[test]
     fn events_pop_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = Scheduler::new();
         q.schedule_at(30, "c");
         q.schedule_at(10, "a");
         q.schedule_at(20, "b");
@@ -134,7 +454,7 @@ mod tests {
 
     #[test]
     fn ties_broken_by_insertion_order() {
-        let mut q = EventQueue::new();
+        let mut q = Scheduler::new();
         for i in 0..100 {
             q.schedule_at(5, i);
         }
@@ -145,7 +465,7 @@ mod tests {
 
     #[test]
     fn clock_advances_monotonically() {
-        let mut q = EventQueue::new();
+        let mut q = Scheduler::new();
         q.schedule_at(10, ());
         q.schedule_at(10, ());
         q.schedule_at(25, ());
@@ -159,7 +479,7 @@ mod tests {
 
     #[test]
     fn keys_order_same_timestamp_events() {
-        let mut q = EventQueue::new();
+        let mut q = Scheduler::new();
         q.schedule_keyed(10, 3, "c");
         q.schedule_keyed(10, 1, "a");
         q.schedule_keyed(10, 2, "b");
@@ -172,7 +492,7 @@ mod tests {
 
     #[test]
     fn equal_keys_fall_back_to_insertion_order() {
-        let mut q = EventQueue::new();
+        let mut q = Scheduler::new();
         for i in 0..50 {
             q.schedule_keyed(7, 42, i);
         }
@@ -187,7 +507,7 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "scheduling into the past")]
     fn schedule_into_the_past_panics_in_debug() {
-        let mut q = EventQueue::new();
+        let mut q = Scheduler::new();
         q.schedule_at(100, "later");
         q.pop(); // now == 100
         q.schedule_at(99, "earlier");
@@ -196,7 +516,7 @@ mod tests {
     #[test]
     #[cfg(not(debug_assertions))]
     fn schedule_into_the_past_clamps_in_release() {
-        let mut q = EventQueue::new();
+        let mut q = Scheduler::new();
         q.schedule_at(100, "later");
         q.pop(); // now == 100
         q.schedule_at(99, "earlier");
@@ -205,7 +525,7 @@ mod tests {
 
     #[test]
     fn schedule_relative() {
-        let mut q = EventQueue::new();
+        let mut q = Scheduler::new();
         q.schedule_at(100, 1);
         q.pop();
         q.schedule_in(50, 2);
@@ -213,10 +533,97 @@ mod tests {
     }
 
     #[test]
+    fn far_future_events_overflow_and_return() {
+        // Beyond the 64^6 ns span: must detour through the overflow heap
+        // and still pop in exact order.
+        let mut q = Scheduler::new();
+        let span = 64u64.pow(6);
+        q.schedule_at(3 * span + 7, "far");
+        q.schedule_at(5, "near");
+        q.schedule_keyed(3 * span + 7, 0, "far2"); // same far timestamp
+        assert_eq!(q.pop(), Some((5, "near")));
+        assert_eq!(q.pop(), Some((3 * span + 7, "far")));
+        assert_eq!(q.pop(), Some((3 * span + 7, "far2")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 3 * span + 7);
+    }
+
+    #[test]
+    fn cascades_preserve_order_across_level_boundaries() {
+        // Straddle several level boundaries (64, 4096, 262144 ns).
+        let mut q = Scheduler::new();
+        let times = [0u64, 1, 63, 64, 65, 4095, 4096, 4097, 262143, 262144, 1 << 30];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(t, i);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn pop_batch_drains_one_timestamp_in_key_order() {
+        let mut q = Scheduler::new();
+        q.schedule_keyed(10, 2, "b");
+        q.schedule_keyed(10, 1, "a");
+        q.schedule_keyed(20, 0, "later");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out), Some(10));
+        assert_eq!(out, vec![(1, "a"), (2, "b")]);
+        assert_eq!(q.now(), 10);
+        out.clear();
+        assert_eq!(q.pop_batch(&mut out), Some(20));
+        assert_eq!(out, vec![(0, "later")]);
+        assert_eq!(q.pop_batch(&mut out), None);
+    }
+
+    #[test]
+    fn late_same_timestamp_arrivals_merge_by_key() {
+        // After popping part of a timestamp's batch, a newly scheduled
+        // event at that same timestamp with a smaller key must pop before
+        // the already-staged larger-key events (heap semantics).
+        let mut q = Scheduler::new();
+        q.schedule_keyed(10, 2, "b");
+        q.schedule_keyed(10, 9, "z");
+        assert_eq!(q.pop(), Some((10, "b")));
+        q.schedule_keyed(10, 5, "mid");
+        assert_eq!(q.peek_next(), Some((10, 5)));
+        assert_eq!(q.pop(), Some((10, "mid")));
+        assert_eq!(q.pop(), Some((10, "z")));
+    }
+
+    #[test]
+    fn peek_next_is_exact_for_coarse_slots() {
+        // An event parked in a level-2 slot: peek must report its exact
+        // timestamp, not the slot boundary.
+        let mut q = Scheduler::new();
+        q.schedule_keyed(5000 + 4096 * 3, 7, "x");
+        assert_eq!(q.peek_next(), Some((5000 + 4096 * 3, 7)));
+        assert_eq!(q.peek_time(), Some(5000 + 4096 * 3));
+        assert_eq!(q.now(), 0, "peek must not advance the clock");
+        assert_eq!(q.pop(), Some((5000 + 4096 * 3, "x")));
+    }
+
+    #[test]
+    fn len_counts_staged_and_overflow() {
+        let mut q = Scheduler::new();
+        q.schedule_at(10, 0);
+        q.schedule_at(10, 1);
+        q.schedule_at(64u64.pow(6) * 2, 2);
+        assert_eq!(q.len(), 3);
+        q.pop();
+        assert_eq!(q.len(), 2); // one staged, one overflow
+        assert!(!q.is_empty());
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn interleaved_scheduling_stays_ordered() {
         // Property-style: pseudo-random schedule offsets never violate
         // monotonicity.
-        let mut q = EventQueue::new();
+        let mut q = Scheduler::new();
         let mut state = 12345u64;
         q.schedule_at(0, 0u64);
         let mut popped = 0;
@@ -240,5 +647,46 @@ mod tests {
             }
         }
         assert!(popped >= 500);
+    }
+
+    /// Exhaustive differential sweep against the heap model on a dense
+    /// xorshift schedule mixing delays around every level boundary.
+    #[test]
+    fn wheel_matches_heap_on_mixed_schedule() {
+        let mut wheel = Scheduler::new();
+        let mut heap = HeapQueue::new();
+        let mut state = 0xDEADBEEFu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let delays =
+            [0u64, 1, 2, 63, 64, 65, 100, 4095, 4096, 5000, 262143, 262144, 1 << 24, 1 << 37];
+        for i in 0..200u64 {
+            let d = delays[(rng() % delays.len() as u64) as usize];
+            let key = rng() % 4;
+            wheel.schedule_keyed(d, key, i);
+            heap.schedule_keyed(d, key, i);
+        }
+        let mut n = 0u64;
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            assert_eq!(w, h, "divergence after {n} pops");
+            if w.is_none() {
+                break;
+            }
+            n += 1;
+            // Keep feeding while draining, relative to the advancing clock.
+            if n < 400 {
+                let d = delays[(rng() % delays.len() as u64) as usize];
+                let key = rng() % 4;
+                let at = wheel.now() + d;
+                wheel.schedule_keyed(at, key, 10_000 + n);
+                heap.schedule_keyed(at, key, 10_000 + n);
+            }
+        }
+        assert_eq!(wheel.now(), heap.now());
     }
 }

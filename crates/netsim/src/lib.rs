@@ -1,12 +1,18 @@
 //! # tpp-netsim — deterministic discrete-event network simulator
 //!
 //! The substrate on which the paper's experiments run (substituting for the
-//! authors' Mininet/Open vSwitch testbed — see DESIGN.md §2):
+//! authors' Mininet/Open vSwitch testbed — see DESIGN.md §2), organized as
+//! three explicit layers under a thin coordinator:
 //!
-//! * [`engine`] — a deterministic event queue (time + sequence ordering).
-//! * [`net`] — switches (from `tpp-switch`), hosts with pluggable
-//!   applications, full-duplex rate/delay links, per-link fault injection
-//!   (drops, corruption), and the event loop.
+//! * [`engine`] — the scheduler layer: a deterministic hierarchical
+//!   timing-wheel event queue with same-timestamp batch draining.
+//! * [`link`] — the link layer: full-duplex rate/delay links, per-link
+//!   fault injection (drops, corruption), transmit sequencing, and
+//!   in-flight frame batches.
+//! * [`nodes`] — the node layer: switches (from `tpp-switch`), hosts with
+//!   pluggable applications, and the frame-buffer pool.
+//! * [`net`] — the coordinator gluing the layers into the batched event
+//!   loop (and the shard kernel of `tpp-fabric`).
 //! * [`topology`] — builders (star, dumbbell, line, leaf-spine, fat-tree)
 //!   with BFS shortest-path route installation and ECMP groups on ties.
 //!
@@ -14,11 +20,15 @@
 //! bytes at every hop.
 
 pub mod engine;
+pub mod link;
 pub mod net;
+pub mod nodes;
 pub mod topology;
 
-pub use engine::{Time, MILLIS, SECONDS};
+pub use engine::{Scheduler, Time, MILLIS, SECONDS};
+pub use link::LinkFabric;
 pub use net::{
     FramePool, Host, HostApp, HostCtx, LinkSpec, NetStats, Network, NodeId, NullApp, RemoteFrame,
 };
+pub use nodes::NodeStore;
 pub use topology::Topology;

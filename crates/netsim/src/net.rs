@@ -1,22 +1,48 @@
-//! The simulated network: switches, hosts, links, and the event loop.
+//! The network coordinator: three layers and the batched event loop.
 //!
-//! The model is deliberately explicit (smoltcp-style simplicity):
+//! The model is deliberately explicit (smoltcp-style simplicity): every
+//! packet is a real Ethernet frame (`Vec<u8>`); switches and hosts parse
+//! and rewrite actual bytes, so the full wire-format code path is exercised
+//! on every hop.
 //!
-//! * Every packet is a real Ethernet frame (`Vec<u8>`); switches and hosts
-//!   parse and rewrite actual bytes, so the full wire-format code path is
-//!   exercised on every hop.
-//! * A link connects two `(node, port)` endpoints full-duplex, with a rate
-//!   and a propagation delay. A transmitter serializes one frame at a time
-//!   at link rate.
-//! * Switch queues live inside [`tpp_switch::Switch`] so TPPs observe them;
-//!   hosts have a simple NIC queue.
-//! * Fault injection per link: random drop and corruption probabilities
-//!   (the smoltcp examples' `--drop-chance` / `--corrupt-chance`).
+//! # The three layers
+//!
+//! [`Network`] itself is a thin coordinator over three explicit layers,
+//! each ignorant of the others:
+//!
+//! * [`Scheduler`] — the hierarchical timing-wheel event queue (see
+//!   [`crate::engine`]): time, ordering, and same-timestamp batching.
+//! * [`LinkFabric`] — link wiring, rate/delay computation, per-link fault
+//!   RNG streams and transmit sequence numbers, and the per-`(node, port)`
+//!   in-flight frame batches.
+//! * [`NodeStore`] — switches, hosts, remote markers, and the
+//!   [`FramePool`] buffer freelist.
+//!
+//! The coordinator owns only the glue: event dispatch, host effect
+//! application, statistics, and the cross-shard outbox. A `tpp-fabric`
+//! shard drives the *same* three layers through the same coordinator — a
+//! shard kernel is not a different engine, just a `Network` whose node
+//! store holds `Remote` markers for non-local slots.
+//!
+//! # Batched delivery
+//!
+//! The scheduler drains *all* events sharing a timestamp into a reusable
+//! batch buffer in one call ([`Scheduler::pop_batch`]). The coordinator
+//! walks the batch in key order and hands maximal runs to batch-aware node
+//! entry points: link arrivals targeting the same switch go through
+//! [`Switch::receive_batch`] (amortizing clock stores and route lookups
+//! across back-to-back frames, like an ASIC pipeline), and transmit
+//! completions on the same switch pop their next frames through
+//! [`Switch::dequeue_batch`]. Batching is *behavior-invariant*: handlers
+//! that schedule new events at the current timestamp are merged back into
+//! the key order via [`Scheduler::peek_next`], so the pop sequence — and
+//! therefore [`NetStats::digest`] — is bit-identical to the
+//! one-event-at-a-time loop.
 //!
 //! # The network as a shard kernel
 //!
-//! `Network` doubles as the single-shard kernel of the `tpp-fabric`
-//! parallel runtime. Three properties make one kernel serve both roles:
+//! Three properties make one kernel serve both the single-threaded and the
+//! sharded runtime:
 //!
 //! * **Content-keyed event ordering** — same-timestamp events are ordered
 //!   by a key packed from `(kind, node, port/token)`, never by insertion
@@ -25,20 +51,20 @@
 //!   independent RNG seeded from `(network seed, node, port)`. Drop and
 //!   corruption draws depend only on the order of frames through that one
 //!   link, which sharding preserves, not on global event interleaving.
-//! * **Remote peers** — a node slot can be a `NodeKind::Remote` marker
-//!   (see [`Network::split`]). Frames transmitted toward a remote peer are
+//! * **Remote peers** — a node slot can be a remote marker (see
+//!   [`Network::split`]). Frames transmitted toward a remote peer are
 //!   diverted into an *outbox* of [`RemoteFrame`]s instead of the local
 //!   event queue; the fabric routes them to the owning shard, which
 //!   re-injects them with [`Network::inject_remote`].
 
-use std::collections::VecDeque;
-
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
-use crate::engine::{EventQueue, Time, MILLIS};
+use crate::engine::{Scheduler, Time, MILLIS};
+use crate::link::LinkFabric;
+use crate::nodes::{NodeKind, NodeStore};
 use tpp_core::wire::{EthernetAddress, Ipv4Address};
 use tpp_switch::{ReceiveOutcome, Switch, SwitchConfig};
+
+pub use crate::link::LinkSpec;
+pub use crate::nodes::{FramePool, Host};
 
 /// Identifies a node (switch or host) in the network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -62,62 +88,6 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
-}
-
-/// A freelist of retired frame buffers, shared by the whole simulation.
-///
-/// Every packet is a real `Vec<u8>`; buffers normally move end to end
-/// without copying, but they *die* at many points — link-fault drops,
-/// switch drops (queue overflow, no route, TTL, malformed), host NIC-limit
-/// drops, and application sinks that consume a delivered frame. The pool
-/// collects those carcasses (bounded) and hands them back out via
-/// [`FramePool::get`] / [`HostCtx::take_buf`] so multi-hop simulations stop
-/// round-tripping the allocator for a fresh `Vec<u8>` on every such event.
-/// In a sharded run each shard owns its own pool, preserving the
-/// zero-allocation steady state without cross-core contention.
-#[derive(Debug, Default)]
-pub struct FramePool {
-    free: Vec<Vec<u8>>,
-    /// Buffers handed back out instead of freshly allocated.
-    pub recycled: u64,
-    /// `get()` calls that had to allocate because the pool was empty.
-    pub misses: u64,
-}
-
-impl FramePool {
-    /// Retained buffers are capped; beyond this they free normally.
-    const MAX_RETAINED: usize = 1024;
-
-    /// A cleared buffer, recycled when possible.
-    pub fn get(&mut self) -> Vec<u8> {
-        match self.free.pop() {
-            Some(mut b) => {
-                b.clear();
-                self.recycled += 1;
-                b
-            }
-            None => {
-                self.misses += 1;
-                Vec::new()
-            }
-        }
-    }
-
-    /// Return a spent buffer to the pool.
-    pub fn put(&mut self, buf: Vec<u8>) {
-        if buf.capacity() > 0 && self.free.len() < Self::MAX_RETAINED {
-            self.free.push(buf);
-        }
-    }
-
-    /// Buffers currently available for reuse.
-    pub fn len(&self) -> usize {
-        self.free.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.free.is_empty()
-    }
 }
 
 /// The interface hosts implement to participate in the simulation.
@@ -185,61 +155,6 @@ impl HostCtx<'_> {
     }
 }
 
-/// A host: one NIC, one application.
-pub struct Host {
-    pub id: NodeId,
-    pub ip: Ipv4Address,
-    pub mac: EthernetAddress,
-    pub app: Box<dyn HostApp>,
-    nic_queue: VecDeque<Vec<u8>>,
-    nic_queued_bytes: usize,
-    /// NIC queue limit; beyond this the host drops locally.
-    pub nic_limit_bytes: usize,
-    pub tx_frames: u64,
-    pub rx_frames: u64,
-    pub nic_drops: u64,
-    started: bool,
-}
-
-/// What occupies a node slot: a local switch, a local host, or a marker
-/// that the node lives in another shard of a partitioned run.
-enum NodeKind {
-    Switch(Box<Switch>),
-    Host(Box<Host>),
-    Remote,
-}
-
-/// Link parameters.
-#[derive(Clone, Copy, Debug)]
-pub struct LinkSpec {
-    pub rate_mbps: u64,
-    pub delay_ns: u64,
-    /// Probability a frame is silently dropped in flight.
-    pub drop_prob: f64,
-    /// Probability one byte of the frame is flipped in flight.
-    pub corrupt_prob: f64,
-}
-
-impl LinkSpec {
-    pub fn new(rate_mbps: u64, delay_ns: u64) -> Self {
-        LinkSpec { rate_mbps, delay_ns, drop_prob: 0.0, corrupt_prob: 0.0 }
-    }
-}
-
-#[derive(Clone, Debug)]
-struct Port {
-    peer: (NodeId, u8),
-    spec: LinkSpec,
-    busy: bool,
-    /// Fault-injection stream for this transmitter. Keyed to the link end,
-    /// not the network, so draws depend only on the order of frames through
-    /// this port — a property sharding preserves.
-    rng: StdRng,
-    /// Frames handed to this transmitter so far: a per-link total order
-    /// carried on [`RemoteFrame`]s for deterministic cross-shard replay.
-    tx_seq: u64,
-}
-
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Frame fully received at `(node, port)`.
@@ -264,11 +179,14 @@ enum Ev {
     UtilTick,
 }
 
-/// Deterministic same-timestamp ordering key (see [`EventQueue`] docs):
-/// packed from event content so per-shard queues reproduce the global
-/// tie-break order. Layout: `kind:6 | node:32 | sub:26`. Utilization ticks
-/// sort first at a boundary, then arrivals, transmit completions, kicks,
-/// and host timers.
+/// Deterministic same-timestamp ordering key (see
+/// [`Scheduler`](crate::engine::Scheduler) docs): packed from event content
+/// so per-shard queues reproduce the global tie-break order. Layout:
+/// `kind:6 | node:32 | sub:26`. Utilization ticks sort first at a boundary,
+/// then arrivals, transmit completions, kicks, and host timers. A welcome
+/// side effect of key order: all arrivals for one switch are *adjacent* in
+/// a same-timestamp batch, ports ascending — exactly the shape
+/// [`Switch::receive_batch`] wants.
 fn ev_key(ev: &Ev) -> u64 {
     const fn pack(kind: u64, node: u32, sub: u64) -> u64 {
         (kind << 58) | ((node as u64) << 26) | (sub & 0x03FF_FFFF)
@@ -307,6 +225,9 @@ pub struct NetStats {
     pub frames_dropped_in_flight: u64,
     pub frames_corrupted: u64,
     pub events_processed: u64,
+    /// Frame-pool occupancy (buffers retained for reuse) as of the last
+    /// `run_until` return; summed across shards by [`NetStats::merge`].
+    pub pool_retained: u64,
     /// Order-independent trace accumulator: a wrapping sum of one strong
     /// mix per frame arrival, folding in the arrival time, the receiving
     /// `(node, port)`, and an FNV-1a hash of the full frame bytes. Because
@@ -330,10 +251,11 @@ impl NetStats {
 
     /// Digest of the run for differential testing: covers delivery, drop,
     /// and corruption counts plus the [`trace`](NetStats::trace)
-    /// accumulator. `events_processed` is deliberately excluded — it counts
-    /// per-queue bookkeeping (each shard schedules its own utilization
-    /// ticks), which differs across partitionings without any difference
-    /// in simulated behavior.
+    /// accumulator. `events_processed` and `pool_retained` are deliberately
+    /// excluded — they count per-queue and per-pool bookkeeping (each shard
+    /// schedules its own utilization ticks and recycles its own buffers),
+    /// which differs across partitionings without any difference in
+    /// simulated behavior.
     pub fn digest(&self) -> u64 {
         let mut h = 0x9AE1_6A3B_2F90_404Fu64;
         for v in [
@@ -353,116 +275,111 @@ impl NetStats {
         self.frames_dropped_in_flight += other.frames_dropped_in_flight;
         self.frames_corrupted += other.frames_corrupted;
         self.events_processed += other.events_processed;
+        self.pool_retained += other.pool_retained;
         self.trace = self.trace.wrapping_add(other.trace);
     }
 }
 
-/// Stream seed for one link transmitter, decorrelated per `(node, port)`.
-fn link_stream_seed(seed: u64, node: NodeId, port: u8) -> u64 {
-    seed ^ splitmix64(((node.0 as u64) << 8) | port as u64)
-}
+/// Above this link rate a minimum-size frame could serialize in under a
+/// nanosecond, letting a transmit completion chain more same-timestamp
+/// work whose keys fall *inside* a batched dequeue run. Such links (well
+/// beyond any profile the experiments use) take the single-event path,
+/// where the [`Scheduler::peek_next`] merge preserves exact order.
+const BATCH_SAFE_RATE_MBPS: u64 = 100_000;
 
-/// The simulated network (equally: one shard kernel of a partitioned run).
+/// The simulated network (equally: one shard kernel of a partitioned run):
+/// a thin coordinator over the scheduler, link, and node layers.
 pub struct Network {
-    queue: EventQueue<Ev>,
-    /// Payloads for Arrive events, per `(node, port)` (kept out of `Ev` so
-    /// it stays `Copy`); indexed like `ports`.
-    in_flight: Vec<Vec<VecDeque<Vec<u8>>>>,
-    nodes: Vec<NodeKind>,
-    ports: Vec<Vec<Port>>,
+    scheduler: Scheduler<Ev>,
+    links: LinkFabric,
+    nodes: NodeStore,
     pub stats: NetStats,
-    /// Freelist of retired frame buffers (see [`FramePool`]).
-    pub pool: FramePool,
     /// Frames destined to nodes owned by other shards (see [`RemoteFrame`]).
     outbox: Vec<RemoteFrame>,
-    seed: u64,
     util_interval: Time,
     util_tick_scheduled: bool,
     hosts_started: bool,
+    /// Reusable buffers for the batched delivery loop.
+    batch: Vec<(u64, Ev)>,
+    rx_frames: Vec<(u8, Vec<u8>)>,
+    rx_outcomes: Vec<ReceiveOutcome>,
+    deq_ports: Vec<u8>,
+    deq_frames: Vec<(u8, Vec<u8>)>,
 }
 
 impl Network {
     pub fn new(seed: u64) -> Self {
         Network {
-            queue: EventQueue::new(),
-            in_flight: Vec::new(),
-            nodes: Vec::new(),
-            ports: Vec::new(),
+            scheduler: Scheduler::new(),
+            links: LinkFabric::new(seed),
+            nodes: NodeStore::default(),
             stats: NetStats::default(),
-            pool: FramePool::default(),
             outbox: Vec::new(),
-            seed,
             util_interval: MILLIS,
             util_tick_scheduled: false,
             hosts_started: false,
+            batch: Vec::new(),
+            rx_frames: Vec::new(),
+            rx_outcomes: Vec::new(),
+            deq_ports: Vec::new(),
+            deq_frames: Vec::new(),
         }
     }
 
     pub fn now(&self) -> Time {
-        self.queue.now()
+        self.scheduler.now()
+    }
+
+    /// The link layer (read-only): wiring, specs, fault parameters.
+    pub fn link_fabric(&self) -> &LinkFabric {
+        &self.links
+    }
+
+    /// The node layer (read-only): switches, hosts, pool.
+    pub fn node_store(&self) -> &NodeStore {
+        &self.nodes
+    }
+
+    /// The shared frame pool (see [`FramePool`]).
+    pub fn pool(&self) -> &FramePool {
+        &self.nodes.pool
+    }
+
+    pub fn pool_mut(&mut self) -> &mut FramePool {
+        &mut self.nodes.pool
+    }
+
+    /// Events currently pending in the scheduler layer.
+    pub fn pending_events(&self) -> usize {
+        self.scheduler.len()
     }
 
     fn schedule_ev(&mut self, at: Time, ev: Ev) {
-        self.queue.schedule_keyed(at, ev_key(&ev), ev);
+        self.scheduler.schedule_keyed(at, ev_key(&ev), ev);
     }
 
     /// Add a switch; `cfg.n_ports` ports are created up front.
     pub fn add_switch(&mut self, cfg: SwitchConfig) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeKind::Switch(Box::new(Switch::new(cfg))));
-        self.ports.push(Vec::new());
-        self.in_flight.push(Vec::new());
-        id
+        self.links.add_node();
+        self.nodes.add_switch(cfg)
     }
 
     /// Add a host with deterministic IP/MAC derived from its node id.
     pub fn add_host(&mut self, app: Box<dyn HostApp>) -> NodeId {
         // A host added mid-run must still get its start() callback.
         self.hosts_started = false;
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeKind::Host(Box::new(Host {
-            id,
-            ip: Ipv4Address::from_host_id(id.0),
-            mac: EthernetAddress::from_node_id(id.0),
-            app,
-            nic_queue: VecDeque::new(),
-            nic_queued_bytes: 0,
-            nic_limit_bytes: 1 << 20,
-            tx_frames: 0,
-            rx_frames: 0,
-            nic_drops: 0,
-            started: false,
-        })));
-        self.ports.push(Vec::new());
-        self.in_flight.push(Vec::new());
-        id
+        self.links.add_node();
+        self.nodes.add_host(app)
     }
 
     /// Connect two nodes full-duplex; ports are auto-assigned and returned.
     pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (u8, u8) {
-        let pa = self.ports[a.0 as usize].len() as u8;
-        let pb = self.ports[b.0 as usize].len() as u8;
-        self.ports[a.0 as usize].push(Port {
-            peer: (b, pb),
-            spec,
-            busy: false,
-            rng: StdRng::seed_from_u64(link_stream_seed(self.seed, a, pa)),
-            tx_seq: 0,
-        });
-        self.ports[b.0 as usize].push(Port {
-            peer: (a, pa),
-            spec,
-            busy: false,
-            rng: StdRng::seed_from_u64(link_stream_seed(self.seed, b, pb)),
-            tx_seq: 0,
-        });
-        self.in_flight[a.0 as usize].push(VecDeque::new());
-        self.in_flight[b.0 as usize].push(VecDeque::new());
-        if let NodeKind::Switch(sw) = &mut self.nodes[a.0 as usize] {
+        let (pa, pb) = self.links.connect(a, b, spec);
+        if let NodeKind::Switch(sw) = self.nodes.kind_mut(a) {
             assert!((pa as usize) < sw.cfg.n_ports, "switch {a:?} has too few ports");
             sw.set_link_speed(pa, spec.rate_mbps as u32);
         }
-        if let NodeKind::Switch(sw) = &mut self.nodes[b.0 as usize] {
+        if let NodeKind::Switch(sw) = self.nodes.kind_mut(b) {
             assert!((pb as usize) < sw.cfg.n_ports, "switch {b:?} has too few ports");
             sw.set_link_speed(pb, spec.rate_mbps as u32);
         }
@@ -471,46 +388,34 @@ impl Network {
 
     /// Mutable access to a switch (panics if `id` is not a local switch).
     pub fn switch_mut(&mut self, id: NodeId) -> &mut Switch {
-        match &mut self.nodes[id.0 as usize] {
-            NodeKind::Switch(s) => s,
-            _ => panic!("{id:?} is not a local switch"),
-        }
+        self.nodes.switch_mut(id)
     }
 
     pub fn switch(&self, id: NodeId) -> &Switch {
-        match &self.nodes[id.0 as usize] {
-            NodeKind::Switch(s) => s,
-            _ => panic!("{id:?} is not a local switch"),
-        }
+        self.nodes.switch(id)
     }
 
     pub fn is_switch(&self, id: NodeId) -> bool {
-        matches!(self.nodes[id.0 as usize], NodeKind::Switch(_))
+        self.nodes.is_switch(id)
     }
 
-    /// Whether this kernel owns `id` (false for `NodeKind::Remote` slots
-    /// of a partitioned run).
+    /// Whether this kernel owns `id` (false for remote slots of a
+    /// partitioned run).
     pub fn is_local(&self, id: NodeId) -> bool {
-        !matches!(self.nodes[id.0 as usize], NodeKind::Remote)
+        self.nodes.is_local(id)
     }
 
     pub fn host(&self, id: NodeId) -> &Host {
-        match &self.nodes[id.0 as usize] {
-            NodeKind::Host(h) => h,
-            _ => panic!("{id:?} is not a local host"),
-        }
+        self.nodes.host(id)
     }
 
     pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
-        match &mut self.nodes[id.0 as usize] {
-            NodeKind::Host(h) => h,
-            _ => panic!("{id:?} is not a local host"),
-        }
+        self.nodes.host_mut(id)
     }
 
     /// Replace a host's application (topology builders install `NullApp`).
     pub fn set_app(&mut self, id: NodeId, app: Box<dyn HostApp>) {
-        let h = self.host_mut(id);
+        let h = self.nodes.host_mut(id);
         h.app = app;
         h.started = false;
         self.hosts_started = false;
@@ -518,41 +423,38 @@ impl Network {
 
     /// Downcast a host's application for result extraction.
     pub fn app_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
-        self.host_mut(id).app.as_any().downcast_mut::<T>().expect("app type mismatch")
+        self.nodes.host_mut(id).app.as_any().downcast_mut::<T>().expect("app type mismatch")
+    }
+
+    /// Cap the frame pool's retained-buffer count (see
+    /// [`FramePool::set_high_water`]).
+    pub fn set_pool_high_water(&mut self, high_water: usize) {
+        self.nodes.pool.set_high_water(high_water);
     }
 
     /// Degrade a link (both directions) for failure-injection experiments.
     /// In a partitioned run this must happen before [`Network::split`]:
     /// each kernel only updates its own port table.
     pub fn set_link_faults(&mut self, a: NodeId, port_a: u8, drop_prob: f64, corrupt_prob: f64) {
-        let (peer, peer_port) = {
-            let p = &mut self.ports[a.0 as usize][port_a as usize];
-            p.spec.drop_prob = drop_prob;
-            p.spec.corrupt_prob = corrupt_prob;
-            p.peer
-        };
-        let back = &mut self.ports[peer.0 as usize][peer_port as usize];
-        back.spec.drop_prob = drop_prob;
-        back.spec.corrupt_prob = corrupt_prob;
+        self.links.set_faults(a, port_a, drop_prob, corrupt_prob);
     }
 
     /// Take a link fully down or up (port status + packets blackholed).
     pub fn set_link_up(&mut self, a: NodeId, port_a: u8, up: bool) {
         let drop = if up { 0.0 } else { 1.0 };
-        self.set_link_faults(a, port_a, drop, 0.0);
-        let peer = self.ports[a.0 as usize][port_a as usize].peer;
-        if let NodeKind::Switch(sw) = &mut self.nodes[a.0 as usize] {
+        let (peer, peer_port) = self.links.set_faults(a, port_a, drop, 0.0);
+        if let NodeKind::Switch(sw) = self.nodes.kind_mut(a) {
             sw.mem.links[port_a as usize].up = up;
         }
-        if let NodeKind::Switch(sw) = &mut self.nodes[peer.0 .0 as usize] {
-            sw.mem.links[peer.1 as usize].up = up;
+        if let NodeKind::Switch(sw) = self.nodes.kind_mut(peer) {
+            sw.mem.links[peer_port as usize].up = up;
         }
     }
 
     fn ensure_started(&mut self) {
         if !self.util_tick_scheduled {
             self.util_tick_scheduled = true;
-            let at = self.queue.now() + self.util_interval;
+            let at = self.scheduler.now() + self.util_interval;
             self.schedule_ev(at, Ev::UtilTick);
         }
         if self.hosts_started {
@@ -561,22 +463,23 @@ impl Network {
         self.hosts_started = true;
         for i in 0..self.nodes.len() {
             let node = NodeId(i as u32);
-            let needs_start = match &self.nodes[i] {
+            let needs_start = match self.nodes.kind(node) {
                 NodeKind::Host(h) => !h.started,
                 _ => false,
             };
             if needs_start {
                 let mut effects = Vec::new();
                 {
-                    let NodeKind::Host(h) = &mut self.nodes[i] else { unreachable!() };
+                    let (kind, pool) = self.nodes.kind_and_pool_mut(node);
+                    let NodeKind::Host(h) = kind else { unreachable!() };
                     h.started = true;
                     let mut ctx = HostCtx {
-                        now: self.queue.now(),
+                        now: self.scheduler.now(),
                         node,
                         ip: h.ip,
                         mac: h.mac,
                         effects: &mut effects,
-                        pool: &mut self.pool,
+                        pool,
                     };
                     h.app.start(&mut ctx);
                 }
@@ -597,12 +500,10 @@ impl Network {
     fn host_enqueue(&mut self, node: NodeId, frame: Vec<u8>) {
         let len = frame.len();
         {
-            let NodeKind::Host(h) = &mut self.nodes[node.0 as usize] else {
-                panic!("send from non-host")
-            };
+            let NodeKind::Host(h) = self.nodes.kind_mut(node) else { panic!("send from non-host") };
             if h.nic_queued_bytes + len > h.nic_limit_bytes {
                 h.nic_drops += 1;
-                self.pool.put(frame);
+                self.nodes.pool.put(frame);
                 return;
             }
             h.nic_queue.push_back(frame);
@@ -614,14 +515,14 @@ impl Network {
     /// If the transmitter at `(node, port)` is idle and a frame is waiting,
     /// start serializing it.
     fn try_start_tx(&mut self, node: NodeId, port: u8) {
-        if self.ports[node.0 as usize].get(port as usize).is_none() {
+        if !self.links.is_connected(node, port) {
             return; // unconnected port: blackhole
         }
-        if self.ports[node.0 as usize][port as usize].busy {
+        if self.links.is_busy(node, port) {
             return;
         }
-        let now = self.queue.now();
-        let frame = match &mut self.nodes[node.0 as usize] {
+        let now = self.scheduler.now();
+        let frame = match self.nodes.kind_mut(node) {
             NodeKind::Switch(sw) => sw.dequeue(now, port),
             NodeKind::Host(h) => {
                 let f = h.nic_queue.pop_front();
@@ -633,50 +534,38 @@ impl Network {
             }
             NodeKind::Remote => panic!("transmit from remote node {node:?}"),
         };
-        let Some(mut frame) = frame else { return };
+        let Some(frame) = frame else { return };
+        self.launch_frame(now, node, port, frame);
+    }
 
-        // Fault injection happens "on the wire", drawn from the
-        // transmitter's own stream (see [`Port::rng`]).
-        let (spec, peer, tx_seq, dropped, corrupt) = {
-            let p = &mut self.ports[node.0 as usize][port as usize];
-            p.busy = true;
-            let spec = p.spec;
-            let dropped = spec.drop_prob > 0.0 && p.rng.random::<f64>() < spec.drop_prob;
-            let corrupt =
-                if !dropped && spec.corrupt_prob > 0.0 && p.rng.random::<f64>() < spec.corrupt_prob
-                {
-                    Some((p.rng.random_range(0..frame.len()), 1u8 << p.rng.random_range(0..8)))
-                } else {
-                    None
-                };
-            let seq = p.tx_seq;
-            p.tx_seq += 1;
-            (spec, p.peer, seq, dropped, corrupt)
-        };
-        let tx_ns = frame.len() as u64 * 8 * 1000 / spec.rate_mbps; // bytes*8 / (Mbps) in ns
-        self.schedule_ev(now + tx_ns, Ev::TxDone { node, port });
+    /// Commit a dequeued frame to the wire: fault draws and delay
+    /// computation live in the link layer; the coordinator schedules the
+    /// resulting events and routes remote-bound frames to the outbox.
+    fn launch_frame(&mut self, now: Time, node: NodeId, port: u8, mut frame: Vec<u8>) {
+        let tx = self.links.transmit(now, node, port, frame.len());
+        self.schedule_ev(tx.tx_done_at, Ev::TxDone { node, port });
 
-        if dropped {
+        if tx.dropped {
             self.stats.frames_dropped_in_flight += 1;
-            self.pool.put(frame);
+            self.nodes.pool.put(frame);
             return;
         }
-        if let Some((idx, bit)) = corrupt {
+        if let Some((idx, bit)) = tx.corrupt {
             frame[idx] ^= bit;
             self.stats.frames_corrupted += 1;
         }
-        let arrive_at = now + tx_ns + spec.delay_ns;
-        if matches!(self.nodes[peer.0 .0 as usize], NodeKind::Remote) {
+        let (peer, peer_port) = tx.peer;
+        if !self.nodes.is_local(peer) {
             self.outbox.push(RemoteFrame {
-                at: arrive_at,
-                node: peer.0,
-                port: peer.1,
-                seq: tx_seq,
+                at: tx.arrive_at,
+                node: peer,
+                port: peer_port,
+                seq: tx.seq,
                 frame,
             });
         } else {
-            self.in_flight[peer.0 .0 as usize][peer.1 as usize].push_back(frame);
-            self.schedule_ev(arrive_at, Ev::Arrive { node: peer.0, port: peer.1 });
+            self.links.push_in_flight(peer, peer_port, frame);
+            self.schedule_ev(tx.arrive_at, Ev::Arrive { node: peer, port: peer_port });
         }
     }
 
@@ -692,18 +581,19 @@ impl Network {
     /// lookahead window (and enforced by the event queue's time-travel
     /// guard).
     pub fn inject_remote(&mut self, f: RemoteFrame) {
-        self.in_flight[f.node.0 as usize][f.port as usize].push_back(f.frame);
+        self.links.push_in_flight(f.node, f.port, f.frame);
         self.schedule_ev(f.at, Ev::Arrive { node: f.node, port: f.port });
     }
 
     fn handle_arrive(&mut self, node: NodeId, port: u8) {
-        let Some(frame) = self.in_flight[node.0 as usize][port as usize].pop_front() else {
+        let Some(frame) = self.links.pop_in_flight(node, port) else {
             return;
         };
         self.stats.frames_delivered += 1;
-        let now = self.queue.now();
+        let now = self.scheduler.now();
         self.stats.observe_arrival(now, node, port, &frame);
-        match &mut self.nodes[node.0 as usize] {
+        let (kind, pool) = self.nodes.kind_and_pool_mut(node);
+        match kind {
             NodeKind::Switch(sw) => {
                 match sw.receive(now, port, frame) {
                     ReceiveOutcome::Enqueued { port: out, proc_latency_ns, .. } => {
@@ -715,7 +605,7 @@ impl Network {
                         // The switch parks dropped frame buffers; reclaim
                         // them into the shared pool.
                         while let Some(buf) = sw.take_retired() {
-                            self.pool.put(buf);
+                            pool.put(buf);
                         }
                     }
                 }
@@ -724,14 +614,8 @@ impl Network {
                 h.rx_frames += 1;
                 let mut effects = Vec::new();
                 {
-                    let mut ctx = HostCtx {
-                        now,
-                        node,
-                        ip: h.ip,
-                        mac: h.mac,
-                        effects: &mut effects,
-                        pool: &mut self.pool,
-                    };
+                    let mut ctx =
+                        HostCtx { now, node, ip: h.ip, mac: h.mac, effects: &mut effects, pool };
                     h.app.on_frame(&mut ctx, frame);
                 }
                 self.apply_effects(node, effects);
@@ -741,52 +625,224 @@ impl Network {
     }
 
     fn handle_timer(&mut self, node: NodeId, token: u64) {
-        let now = self.queue.now();
+        let now = self.scheduler.now();
         let mut effects = Vec::new();
         {
-            let NodeKind::Host(h) = &mut self.nodes[node.0 as usize] else { return };
-            let mut ctx = HostCtx {
-                now,
-                node,
-                ip: h.ip,
-                mac: h.mac,
-                effects: &mut effects,
-                pool: &mut self.pool,
-            };
+            let (kind, pool) = self.nodes.kind_and_pool_mut(node);
+            let NodeKind::Host(h) = kind else { return };
+            let mut ctx = HostCtx { now, node, ip: h.ip, mac: h.mac, effects: &mut effects, pool };
             h.app.on_timer(&mut ctx, token);
         }
         self.apply_effects(node, effects);
     }
 
-    /// Run until `until` (ns) or until no events remain.
-    pub fn run_until(&mut self, until: Time) {
-        self.ensure_started();
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
+    /// Dispatch one event the classic way (the non-batched path: host
+    /// events, util ticks, and anything the batch segmenter opts out of).
+    fn handle_event(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrive { node, port } => self.handle_arrive(node, port),
+            Ev::TxDone { node, port } => {
+                self.links.clear_busy(node, port);
+                self.try_start_tx(node, port);
             }
-            let (_, ev) = self.queue.pop().unwrap();
-            self.stats.events_processed += 1;
-            match ev {
-                Ev::Arrive { node, port } => self.handle_arrive(node, port),
-                Ev::TxDone { node, port } => {
-                    self.ports[node.0 as usize][port as usize].busy = false;
-                    self.try_start_tx(node, port);
+            Ev::Kick { node, port } => self.try_start_tx(node, port),
+            Ev::HostTimer { node, token } => self.handle_timer(node, token),
+            Ev::UtilTick => {
+                let now = self.scheduler.now();
+                for n in &mut self.nodes.nodes {
+                    if let NodeKind::Switch(sw) = n {
+                        sw.tick(now);
+                    }
                 }
-                Ev::Kick { node, port } => self.try_start_tx(node, port),
-                Ev::HostTimer { node, token } => self.handle_timer(node, token),
-                Ev::UtilTick => {
-                    let now = self.queue.now();
-                    for n in &mut self.nodes {
-                        if let NodeKind::Switch(sw) = n {
-                            sw.tick(now);
+                let at = now + self.util_interval;
+                self.schedule_ev(at, Ev::UtilTick);
+            }
+        }
+    }
+
+    /// Deliver a run of same-timestamp arrivals to one switch through
+    /// [`Switch::receive_batch`], then schedule the pipeline kicks in the
+    /// same order the one-at-a-time loop would have.
+    fn deliver_switch_batch(&mut self, t: Time, node: NodeId, events: &[(u64, Ev)]) {
+        let mut frames = std::mem::take(&mut self.rx_frames);
+        let mut outcomes = std::mem::take(&mut self.rx_outcomes);
+        frames.clear();
+        outcomes.clear();
+        for &(_, ev) in events {
+            let Ev::Arrive { port, .. } = ev else { unreachable!("segmenter produced non-arrive") };
+            if let Some(frame) = self.links.pop_in_flight(node, port) {
+                self.stats.frames_delivered += 1;
+                self.stats.observe_arrival(t, node, port, &frame);
+                frames.push((port, frame));
+            }
+        }
+        let mut any_drop = false;
+        {
+            let sw = self.nodes.switch_mut(node);
+            sw.receive_batch(t, &mut frames, &mut outcomes);
+        }
+        for oc in &outcomes {
+            match *oc {
+                ReceiveOutcome::Enqueued { port: out, proc_latency_ns, .. } => {
+                    self.schedule_ev(t + proc_latency_ns, Ev::Kick { node, port: out });
+                }
+                ReceiveOutcome::Dropped(_) => any_drop = true,
+            }
+        }
+        if any_drop {
+            let (kind, pool) = self.nodes.kind_and_pool_mut(node);
+            let NodeKind::Switch(sw) = kind else { unreachable!("segmenter checked is_switch") };
+            while let Some(buf) = sw.take_retired() {
+                pool.put(buf);
+            }
+        }
+        self.rx_frames = frames;
+        self.rx_outcomes = outcomes;
+    }
+
+    /// Handle a run of same-timestamp transmit completions (or kicks) on
+    /// one switch: free the transmitters, pop the next frame of every
+    /// ready port through [`Switch::dequeue_batch`], and put each on the
+    /// wire in port order — the exact sequence the one-at-a-time loop
+    /// produces, since the events arrived key-sorted by port.
+    fn txdone_switch_batch(&mut self, t: Time, node: NodeId, events: &[(u64, Ev)], tx_done: bool) {
+        let mut ports = std::mem::take(&mut self.deq_ports);
+        ports.clear();
+        for &(_, ev) in events {
+            let port = match ev {
+                Ev::TxDone { port, .. } if tx_done => {
+                    self.links.clear_busy(node, port);
+                    port
+                }
+                Ev::Kick { port, .. } if !tx_done => port,
+                _ => unreachable!("segmenter produced a mixed run"),
+            };
+            // Duplicate kicks for one port are adjacent (key-sorted): only
+            // the first can win the transmitter, exactly like the
+            // one-at-a-time loop where the second kick finds the port busy.
+            if ports.last() == Some(&port) {
+                continue;
+            }
+            if self.links.is_connected(node, port) && !self.links.is_busy(node, port) {
+                ports.push(port);
+            }
+        }
+        let mut frames = std::mem::take(&mut self.deq_frames);
+        frames.clear();
+        self.nodes.switch_mut(node).dequeue_batch(t, &ports, &mut frames);
+        for (port, frame) in frames.drain(..) {
+            self.launch_frame(t, node, port, frame);
+        }
+        self.deq_ports = ports;
+        self.deq_frames = frames;
+    }
+
+    /// Whether every port in a prospective dequeue run serializes even a
+    /// minimum-size frame in ≥ 1 ns (see [`BATCH_SAFE_RATE_MBPS`]).
+    fn dequeue_batch_safe(&self, node: NodeId, events: &[(u64, Ev)]) -> bool {
+        events.iter().all(|&(_, ev)| match ev {
+            Ev::TxDone { port, .. } | Ev::Kick { port, .. } => {
+                !self.links.is_connected(node, port)
+                    || self.links.spec(node, port).rate_mbps <= BATCH_SAFE_RATE_MBPS
+            }
+            _ => true,
+        })
+    }
+
+    /// Process one same-timestamp batch in exact heap order: maximal
+    /// same-switch runs go through the batch entry points; everything else
+    /// dispatches singly. Handlers scheduling *new* events at `t` are
+    /// merged back in by key via [`Scheduler::peek_next`].
+    fn process_batch_at(&mut self, t: Time, batch: &[(u64, Ev)]) {
+        let mut i = 0;
+        // Merge checks are only needed once a handler has actually
+        // scheduled at `t` (the insert-at-now counter moves); the common
+        // all-future-work case pays nothing.
+        let mut mark = self.scheduler.now_insert_marks();
+        while i < batch.len() {
+            if self.scheduler.now_insert_marks() != mark {
+                loop {
+                    match self.scheduler.peek_next() {
+                        Some((pt, pk)) if pt == t && pk < batch[i].0 => {
+                            let (_, ev) = self.scheduler.pop().unwrap();
+                            self.stats.events_processed += 1;
+                            self.handle_event(ev);
+                        }
+                        // Still events pending at `t` with keys at or past
+                        // the cursor: leave the mark dirty so later batch
+                        // items keep checking.
+                        Some((pt, _)) if pt == t => break,
+                        _ => {
+                            mark = self.scheduler.now_insert_marks();
+                            break;
                         }
                     }
-                    let at = now + self.util_interval;
-                    self.schedule_ev(at, Ev::UtilTick);
+                }
+            }
+            let run_end = |kind_match: &dyn Fn(&Ev) -> bool| {
+                let mut j = i + 1;
+                while j < batch.len() && kind_match(&batch[j].1) {
+                    j += 1;
+                }
+                j
+            };
+            match batch[i].1 {
+                Ev::Arrive { node, .. } if self.nodes.is_switch(node) => {
+                    let j = run_end(&|ev| matches!(*ev, Ev::Arrive { node: n, .. } if n == node));
+                    self.deliver_switch_batch(t, node, &batch[i..j]);
+                    i = j;
+                }
+                Ev::TxDone { node, .. } if self.nodes.is_switch(node) => {
+                    let j = run_end(&|ev| matches!(*ev, Ev::TxDone { node: n, .. } if n == node));
+                    if self.dequeue_batch_safe(node, &batch[i..j]) {
+                        self.txdone_switch_batch(t, node, &batch[i..j], true);
+                        i = j;
+                    } else {
+                        self.handle_event(batch[i].1);
+                        i += 1;
+                    }
+                }
+                Ev::Kick { node, .. } if self.nodes.is_switch(node) => {
+                    let j = run_end(&|ev| matches!(*ev, Ev::Kick { node: n, .. } if n == node));
+                    // A zero-base-latency pipeline lets an arrival merged
+                    // mid-run schedule a kick at the *current* timestamp,
+                    // whose key can fall inside this run's span — only the
+                    // single-event path (merge check before every event)
+                    // reproduces heap order then. With base latency > 0
+                    // such kicks always land at a later timestamp.
+                    let kicks_at_now_possible =
+                        self.nodes.switch(node).cfg.cost.base_latency_ns == 0;
+                    if !kicks_at_now_possible && self.dequeue_batch_safe(node, &batch[i..j]) {
+                        self.txdone_switch_batch(t, node, &batch[i..j], false);
+                        i = j;
+                    } else {
+                        self.handle_event(batch[i].1);
+                        i += 1;
+                    }
+                }
+                ev => {
+                    self.handle_event(ev);
+                    i += 1;
                 }
             }
         }
+    }
+
+    /// Run until `until` (ns) or until no events remain.
+    pub fn run_until(&mut self, until: Time) {
+        self.ensure_started();
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(t) = self.scheduler.peek_time() {
+            if t > until {
+                break;
+            }
+            batch.clear();
+            self.scheduler.pop_batch(&mut batch);
+            self.stats.events_processed += batch.len() as u64;
+            self.process_batch_at(t, &batch);
+        }
+        self.batch = batch;
+        self.stats.pool_retained = self.nodes.pool.len() as u64;
     }
 
     /// Run for `dur` more nanoseconds, measured from the *last processed
@@ -804,46 +860,44 @@ impl Network {
         self.nodes.len()
     }
 
-    /// Adjacency of a node: `(local port, peer node)` per link.
-    pub fn neighbors(&self, node: NodeId) -> Vec<(u8, NodeId)> {
-        self.ports[node.0 as usize]
-            .iter()
-            .enumerate()
-            .map(|(p, port)| (p as u8, port.peer.0))
-            .collect()
+    /// Adjacency of a node, allocation-free: `(local port, peer node)` per
+    /// link. Prefer this on hot paths (BFS route setup, partitioning); the
+    /// [`Network::neighbors`] `Vec` form remains for tests and one-shot
+    /// topology inspection.
+    pub fn neighbors_iter(&self, node: NodeId) -> impl Iterator<Item = (u8, NodeId)> + '_ {
+        self.links.neighbors(node)
     }
 
-    /// Every directed link: `(node, port, peer, peer_port, spec)`. Used by
-    /// the fabric partitioner (lookahead = min cross-shard delay).
+    /// Adjacency of a node: `(local port, peer node)` per link.
+    pub fn neighbors(&self, node: NodeId) -> Vec<(u8, NodeId)> {
+        self.neighbors_iter(node).collect()
+    }
+
+    /// Every directed link, allocation-free:
+    /// `(node, port, peer, peer_port, spec)`. Used by the fabric
+    /// partitioner (lookahead = min cross-shard delay).
+    pub fn links_iter(&self) -> impl Iterator<Item = (NodeId, u8, NodeId, u8, LinkSpec)> + '_ {
+        self.links.links()
+    }
+
+    /// Every directed link, as a `Vec` (tests / topology setup).
     pub fn links(&self) -> Vec<(NodeId, u8, NodeId, u8, LinkSpec)> {
-        let mut out = Vec::new();
-        for (n, ports) in self.ports.iter().enumerate() {
-            for (p, port) in ports.iter().enumerate() {
-                out.push((NodeId(n as u32), p as u8, port.peer.0, port.peer.1, port.spec));
-            }
-        }
-        out
+        self.links_iter().collect()
     }
 
     pub fn switch_ids(&self) -> Vec<NodeId> {
-        (0..self.nodes.len() as u32)
-            .map(NodeId)
-            .filter(|n| matches!(self.nodes[n.0 as usize], NodeKind::Switch(_)))
-            .collect()
+        self.nodes.switch_ids().collect()
     }
 
     pub fn host_ids(&self) -> Vec<NodeId> {
-        (0..self.nodes.len() as u32)
-            .map(NodeId)
-            .filter(|n| matches!(self.nodes[n.0 as usize], NodeKind::Host(_)))
-            .collect()
+        self.nodes.host_ids().collect()
     }
 
     /// Partition a freshly built network into per-shard kernels.
     ///
     /// `assignment[node]` names the shard (in `0..n_shards`) that owns each
-    /// node. Every shard receives the full port table — link specs, peers,
-    /// and fault-RNG streams (only the transmitting side of a port ever
+    /// node. Every shard receives the full link layer — specs, peers, and
+    /// fault-RNG streams (only the transmitting side of a port ever
     /// consumes its stream, so the copies never diverge) — plus the nodes
     /// assigned to it; all other slots become remote markers. Panics if the
     /// simulation has already started: partitioning an in-flight run would
@@ -851,32 +905,28 @@ impl Network {
     pub fn split(self, assignment: &[usize], n_shards: usize) -> Vec<Network> {
         assert_eq!(assignment.len(), self.nodes.len(), "assignment must cover every node");
         assert!(
-            self.queue.now() == 0
-                && self.queue.is_empty()
+            self.scheduler.now() == 0
+                && self.scheduler.is_empty()
                 && !self.hosts_started
                 && !self.util_tick_scheduled,
             "split() must happen before the simulation runs"
         );
         let mut shards: Vec<Network> = (0..n_shards)
             .map(|_| {
-                let mut n = Network::new(self.seed);
-                n.ports = self.ports.clone();
-                n.in_flight = self
-                    .ports
-                    .iter()
-                    .map(|ps| ps.iter().map(|_| VecDeque::new()).collect())
-                    .collect();
+                let mut n = Network::new(self.links.seed());
+                n.links = self.links.split_clone();
                 n.util_interval = self.util_interval;
+                n.nodes.pool.set_high_water(self.nodes.pool.high_water());
                 n
             })
             .collect();
-        for (i, node) in self.nodes.into_iter().enumerate() {
+        for (i, node) in self.nodes.into_nodes().into_iter().enumerate() {
             let owner = assignment[i];
             assert!(owner < n_shards, "node {i} assigned to out-of-range shard {owner}");
             for net in shards.iter_mut() {
-                net.nodes.push(NodeKind::Remote);
+                net.nodes.push_remote();
             }
-            shards[owner].nodes[i] = node;
+            shards[owner].nodes.nodes[i] = node;
         }
         shards
     }
@@ -1086,6 +1136,39 @@ mod tests {
     }
 
     #[test]
+    fn zero_delay_timer_chains_preserve_key_order() {
+        // A timer handler scheduling another timer at delay 0 exercises the
+        // same-timestamp merge path: the new event must still fire at the
+        // current timestamp, after the already-pending events of that
+        // timestamp with smaller keys.
+        struct ChainApp {
+            log: Arc<Mutex<Vec<(Time, u64)>>>,
+        }
+        impl HostApp for ChainApp {
+            fn start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.set_timer(1000, 1);
+                ctx.set_timer(1000, 5);
+            }
+            fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+                self.log.lock().unwrap().push((ctx.now, token));
+                if token == 1 {
+                    // Key (kind=timer, node, 3) sorts between tokens 1 and 5:
+                    // must fire *before* the staged token-5 event.
+                    ctx.set_timer(0, 3);
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut net = Network::new(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let _h = net.add_host(Box::new(ChainApp { log: log.clone() }));
+        net.run_until(10 * MILLIS);
+        assert_eq!(*log.lock().unwrap(), vec![(1000, 1), (1000, 3), (1000, 5)]);
+    }
+
+    #[test]
     fn nic_queue_limit_drops() {
         let mut net = Network::new(0);
         let received = Arc::new(Mutex::new(Vec::new()));
@@ -1119,11 +1202,34 @@ mod tests {
         net.set_link_faults(NodeId(0), 0, 1.0, 0.0);
         net.run_until(100 * MILLIS);
         assert!(net.stats.frames_dropped_in_flight > 0);
-        assert!(!net.pool.is_empty(), "dropped frames must land in the pool");
-        let before = net.pool.recycled;
-        let buf = net.pool.get();
+        assert!(!net.pool().is_empty(), "dropped frames must land in the pool");
+        assert_eq!(net.stats.pool_retained, net.pool().len() as u64, "occupancy is exposed");
+        let before = net.pool().recycled;
+        let buf = net.pool_mut().get();
         assert!(buf.is_empty() && buf.capacity() > 0, "recycled buffer keeps its capacity");
-        assert_eq!(net.pool.recycled, before + 1);
+        assert_eq!(net.pool().recycled, before + 1);
+    }
+
+    #[test]
+    fn pool_high_water_caps_and_shrinks() {
+        let mut pool = FramePool::default();
+        pool.set_high_water(4);
+        for _ in 0..10 {
+            pool.put(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.len(), 4, "puts beyond the high-water mark free normally");
+        pool.shrink_to(1);
+        assert_eq!(pool.len(), 1);
+        // Raising the mark allows growth again.
+        pool.set_high_water(8);
+        for _ in 0..10 {
+            pool.put(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.len(), 8);
+        // Lowering it shrinks immediately.
+        pool.set_high_water(2);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.high_water(), 2);
     }
 
     #[test]
@@ -1142,7 +1248,7 @@ mod tests {
         net.connect(sw, _sink, LinkSpec::new(1000, 0));
         net.connect(sw, src, LinkSpec::new(1000, 0));
         net.run_until(10 * MILLIS);
-        assert!(!net.pool.is_empty(), "no-route drops must be reclaimed");
+        assert!(!net.pool().is_empty(), "no-route drops must be reclaimed");
     }
 
     #[test]
@@ -1207,6 +1313,14 @@ mod tests {
         // Per-link sequence numbers give a total order on the one link.
         let seqs: Vec<u64> = out.iter().map(|f| f.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn split_propagates_pool_high_water() {
+        let (mut net, _received) = two_hosts_one_switch(1000, 1000, 1);
+        net.set_pool_high_water(7);
+        let shards = net.split(&[0, 1, 1], 2);
+        assert!(shards.iter().all(|s| s.pool().high_water() == 7));
     }
 
     #[test]

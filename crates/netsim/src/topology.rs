@@ -68,7 +68,10 @@ fn bfs_dist(net: &Network, start: NodeId) -> NodeMap<u32> {
     q.push_back(start);
     while let Some(n) = q.pop_front() {
         let d = *dist.get(n).unwrap();
-        for (_, peer) in net.neighbors(n) {
+        // `neighbors_iter`: route installation runs a BFS per host — on a
+        // k=8 fat-tree that is hundreds of thousands of adjacency visits,
+        // and the iterator form performs them without a `Vec` per node.
+        for (_, peer) in net.neighbors_iter(n) {
             if !dist.contains(peer) {
                 dist.insert(peer, d + 1);
                 // Hosts are leaves: record their distance, never route
@@ -91,10 +94,9 @@ pub fn install_shortest_path_routes(net: &mut Network, hosts: &[NodeId], switche
             let Some(&ds) = dist.get(s) else { continue };
             // Next hops: neighbors strictly closer to the host.
             let mut ports: Vec<u8> = net
-                .neighbors(s)
-                .iter()
+                .neighbors_iter(s)
                 .filter(|(_, peer)| dist.get(*peer).is_some_and(|&dp| dp + 1 == ds))
-                .map(|(p, _)| *p)
+                .map(|(p, _)| p)
                 .collect();
             ports.sort_unstable();
             let action = match ports.as_slice() {

@@ -1,0 +1,108 @@
+//! Property tests: the timing-wheel [`Scheduler`] against its executable
+//! specification, the pre-wheel [`HeapQueue`].
+//!
+//! Both structures are driven with identical arbitrary schedules — delays
+//! clustered around every wheel-level boundary (0/1, 63/64, 4095/4096,
+//! 262143/262144, and past the 64^6 overflow horizon), arbitrary order
+//! keys, interleaved single pops and whole-timestamp batch drains — and
+//! must agree on every pop, every peek, and every length along the way.
+//! Same-timestamp keyed ordering is the load-bearing property: the sharded
+//! fabric replays tie-breaks from keys alone, so a wheel that reordered a
+//! single equal-time pair would silently break digest determinism.
+
+use proptest::prelude::*;
+use tpp_netsim::engine::{HeapQueue, Scheduler};
+
+prop_compose! {
+    /// One operation: `(kind, delay, key)`. Kinds 0-1 schedule (weighting
+    /// the mix toward insertion), 2 pops, 3 batch-drains.
+    fn arb_op()(
+        kind in 0u8..4,
+        delay_class in 0usize..10,
+        fine in 0u64..128,
+        key in 0u64..4,
+    ) -> (u8, u64, u64) {
+        const BASES: [u64; 10] = [0, 0, 1, 63, 64, 4095, 4096, 262_143, 262_144, 1 << 36];
+        (kind, BASES[delay_class].saturating_add(fine), key)
+    }
+}
+
+proptest! {
+    #[test]
+    fn wheel_matches_heap_reference(ops in prop::collection::vec(arb_op(), 1..300)) {
+        let mut wheel = Scheduler::new();
+        let mut heap = HeapQueue::new();
+        let mut next_id = 0u64;
+        let mut batch: Vec<(u64, u64)> = Vec::new();
+        for (kind, delay, key) in ops {
+            match kind {
+                0 | 1 => {
+                    let at = heap.now() + delay;
+                    wheel.schedule_keyed(at, key, next_id);
+                    heap.schedule_keyed(at, key, next_id);
+                    next_id += 1;
+                }
+                2 => prop_assert_eq!(wheel.pop(), heap.pop()),
+                _ => {
+                    batch.clear();
+                    match wheel.pop_batch(&mut batch) {
+                        None => prop_assert_eq!(heap.pop(), None),
+                        Some(tb) => {
+                            for &(_key, id) in &batch {
+                                let (ht, hv) = heap.pop().expect("heap holds the batch too");
+                                prop_assert_eq!(ht, tb, "batch event at the batch timestamp");
+                                prop_assert_eq!(hv, id, "batch preserves (key, seq) pop order");
+                            }
+                            prop_assert!(
+                                heap.peek_time() != Some(tb),
+                                "pop_batch must drain the whole timestamp"
+                            );
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time(), "peek must be exact");
+            prop_assert_eq!(wheel.now(), heap.now());
+        }
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.now(), heap.now());
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Scheduling *at the current timestamp* while that timestamp's batch
+    /// is partially drained must merge by key exactly like the heap.
+    #[test]
+    fn same_timestamp_merge_matches_heap(
+        keys in prop::collection::vec(0u64..6, 2..40),
+        late_keys in prop::collection::vec(0u64..6, 1..20),
+    ) {
+        let mut wheel = Scheduler::new();
+        let mut heap = HeapQueue::new();
+        for (i, &k) in keys.iter().enumerate() {
+            wheel.schedule_keyed(50, k, i as u64);
+            heap.schedule_keyed(50, k, i as u64);
+        }
+        // Pop one to stage the timestamp, then rain more events onto it.
+        prop_assert_eq!(wheel.pop(), heap.pop());
+        for (i, &k) in late_keys.iter().enumerate() {
+            let id = 1000 + i as u64;
+            wheel.schedule_keyed(50, k, id);
+            heap.schedule_keyed(50, k, id);
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+}

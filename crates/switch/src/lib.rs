@@ -26,4 +26,4 @@ pub use cost::{CostProfile, ResourceModel, ASIC, NETFPGA};
 pub use memmap::{MatchedEntries, PacketContext, SwitchBus, SwitchMemory};
 pub use pipeline::{PipelineConfig, TppRun};
 pub use switch::{DropReason, ReceiveOutcome, Switch, SwitchConfig};
-pub use tables::{Action, FlowKey, FlowTable, GroupTable};
+pub use tables::{Action, FlowKey, FlowTable, GroupTable, LookupHint};

@@ -325,6 +325,15 @@ impl SwitchMemory {
         }
     }
 
+    /// Set the switch wall clock. The batch entry points
+    /// ([`crate::switch::Switch::receive_batch`] /
+    /// [`crate::switch::Switch::dequeue_batch`]) call this once per batch —
+    /// part of the memory-map bus setup shared by every frame of the batch,
+    /// since all frames of a batch observe the same instant.
+    pub fn set_clock(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+    }
+
     fn read_switch_ns(&self, off: u16) -> Option<Word> {
         let cycles = self.now_ns.saturating_mul(self.clock_freq_hz as u64) / 1_000_000_000;
         Some(match off {

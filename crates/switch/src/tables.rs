@@ -98,15 +98,37 @@ impl FlowTable {
 
     /// Longest-prefix match; updates the entry's counters on hit.
     pub fn lookup(&mut self, dst: Ipv4Address, pkt_bytes: u64) -> Option<&FlowEntry> {
-        let mut best: Option<usize> = None;
-        let mut best_len = 0u8;
-        for (i, e) in self.entries.iter().enumerate() {
-            if prefix_matches(e.prefix, dst) && (best.is_none() || e.prefix.1 > best_len) {
-                best = Some(i);
-                best_len = e.prefix.1;
+        let mut hint = LookupHint::default();
+        self.lookup_hinted(dst, pkt_bytes, &mut hint)
+    }
+
+    /// [`FlowTable::lookup`] with a caller-held memo: back-to-back packets
+    /// of one delivery batch often share a destination, and the LPM scan is
+    /// linear in the table, so a batch-scoped [`LookupHint`] turns the
+    /// repeat lookups into O(1) — with *identical* side effects (the
+    /// matched entry's packet/byte counters advance exactly as if the scan
+    /// had run, which TPPs observe via `FlowEntry$i:MatchPkts`). The memo
+    /// self-invalidates when the table version moves.
+    pub fn lookup_hinted(
+        &mut self,
+        dst: Ipv4Address,
+        pkt_bytes: u64,
+        hint: &mut LookupHint,
+    ) -> Option<&FlowEntry> {
+        let i = if hint.valid && hint.version == self.version && hint.dst == dst {
+            hint.outcome?
+        } else {
+            let mut best: Option<usize> = None;
+            let mut best_len = 0u8;
+            for (i, e) in self.entries.iter().enumerate() {
+                if prefix_matches(e.prefix, dst) && (best.is_none() || e.prefix.1 > best_len) {
+                    best = Some(i);
+                    best_len = e.prefix.1;
+                }
             }
-        }
-        let i = best?;
+            *hint = LookupHint { dst, version: self.version, outcome: best, valid: true };
+            best?
+        };
         let e = &mut self.entries[i];
         e.match_pkts += 1;
         e.match_bytes += pkt_bytes;
@@ -122,6 +144,18 @@ impl FlowTable {
     pub fn entries(&self) -> &[FlowEntry] {
         &self.entries
     }
+}
+
+/// A one-destination memo for [`FlowTable::lookup_hinted`]: remembers the
+/// LPM outcome (hit index or miss) for `dst` at a table `version`. Default
+/// state is invalid, so a fresh hint always scans once.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LookupHint {
+    dst: Ipv4Address,
+    version: u32,
+    /// `Some(index)` = hit; `None` = known miss.
+    outcome: Option<usize>,
+    valid: bool,
 }
 
 /// ECMP group table: each group is a list of candidate output ports.

@@ -33,6 +33,9 @@ cargo bench -p tpp-bench --bench tcpu_exec | tee -a "$RAW"
 # Fabric scaling: single-threaded Network vs tpp-fabric at 2/4 shards on a
 # k=8 fat-tree (digest equality is asserted inside the bench).
 cargo bench -p tpp-bench --bench fabric_scale | tee -a "$RAW"
+# Scheduler core: timing wheel vs legacy BinaryHeap at 1k/10k/100k events,
+# plus the batched end-to-end delivery loop (digest-pinned).
+cargo bench -p tpp-bench --bench engine_scale | tee -a "$RAW"
 
 # Lines look like:
 #   switch_forward/tpp_packet   time: [246.4 ns 268.2 ns 321.6 ns] thrpt: ...
