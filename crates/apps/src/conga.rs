@@ -31,6 +31,7 @@ use tpp_core::wire::{Ipv4Address, Tpp};
 use tpp_endhost::harness::{Endhost, Harness, Io};
 use tpp_endhost::{ExecutorConfig, PacedSender};
 use tpp_netsim::Time;
+use tpp_netsim::TopologySpec;
 
 /// Base destination port for CONGA data flows (flow i uses `BASE + i`).
 pub const FLOW_PORT_BASE: u16 = 6000;
@@ -430,7 +431,13 @@ pub struct Fig4Result {
 /// Run the Figure 4 scenario: 2 spines, 3 leaves, L0→L2 pinned to one
 /// path at 50 Mb/s, L1→L2 at 120 Mb/s over two paths.
 pub fn run_conga_fig4(mode: Balancer, metric: Metric, duration: Time, seed: u64) -> Fig4Result {
-    let mut topo = tpp_netsim::topology::leaf_spine(3, 2, 1, 100, 1000, 10_000, seed);
+    let mut topo = TopologySpec::LeafSpine { leaves: 3, spines: 2, hosts_per_leaf: 1 }
+        .builder()
+        .link_mbps(100)
+        .host_mbps(1000)
+        .delay_ns(10_000)
+        .seed(seed)
+        .build();
     // Exclude the dst port from ECMP hashing everywhere (probes follow data).
     let switches = topo.switches.clone();
     for &s in &switches {
@@ -548,7 +555,13 @@ mod tests {
 
     #[test]
     fn discovery_finds_both_paths() {
-        let mut topo = tpp_netsim::topology::leaf_spine(3, 2, 1, 100, 1000, 10_000, 1);
+        let mut topo = TopologySpec::LeafSpine { leaves: 3, spines: 2, hosts_per_leaf: 1 }
+            .builder()
+            .link_mbps(100)
+            .host_mbps(1000)
+            .delay_ns(10_000)
+            .seed(1)
+            .build();
         let switches = topo.switches.clone();
         for &s in &switches {
             topo.net.switch_mut(s).cfg.ecmp_hash_dst_port = false;

@@ -27,6 +27,7 @@ use tpp_core::wire::Ipv4Address;
 use tpp_endhost::harness::{Aggregator, Completion, Endhost, Harness, Io};
 use tpp_endhost::Filter;
 use tpp_netsim::Time;
+use tpp_netsim::TopologySpec;
 
 /// One queue-occupancy observation extracted from a completed TPP.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -210,7 +211,13 @@ pub struct MicroburstResult {
 /// Run the Figure 1 experiment on a `per_side`-per-switch dumbbell for
 /// `duration_ns`. The observer is host 0.
 pub fn run_microburst(per_side: usize, duration_ns: Time, seed: u64) -> MicroburstResult {
-    let mut topo = tpp_netsim::topology::dumbbell(per_side, 100, 100, 10_000, seed);
+    let mut topo = TopologySpec::Dumbbell { per_side }
+        .builder()
+        .link_mbps(100)
+        .host_mbps(100)
+        .delay_ns(10_000)
+        .seed(seed)
+        .build();
     let hosts = topo.hosts.clone();
     let ips: Vec<Ipv4Address> = hosts.iter().map(|&h| topo.net.host(h).ip).collect();
     for (i, &h) in hosts.iter().enumerate() {

@@ -30,7 +30,7 @@ use tpp_core::wire::Ipv4Address;
 use tpp_endhost::harness::{Aggregator, Endhost, Harness};
 use tpp_endhost::shim::FlowRef;
 use tpp_endhost::Filter;
-use tpp_netsim::{NodeId, Time};
+use tpp_netsim::{NodeId, Time, TopologySpec};
 
 /// One hop of a packet history.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -324,7 +324,12 @@ pub struct NetsightRun {
 /// All hosts send traced traffic to their "next" host; the last host is the
 /// dedicated collector.
 pub fn run_netsight(duration: Time, sample_frequency: u32, seed: u64) -> NetsightRun {
-    let mut topo = tpp_netsim::topology::line(3, 2, 100, 10_000, seed);
+    let mut topo = TopologySpec::Line { switches: 3, hosts_per_switch: 2 }
+        .builder()
+        .link_mbps(100)
+        .delay_ns(10_000)
+        .seed(seed)
+        .build();
     let hosts = topo.hosts.clone();
     let ips: Vec<Ipv4Address> = hosts.iter().map(|&h| topo.net.host(h).ip).collect();
     // Last host is the collector.

@@ -122,7 +122,7 @@ pub fn blackhole_frontier(observations: &[PathObservation]) -> Option<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpp_netsim::{topology, LinkSpec, MILLIS};
+    use tpp_netsim::{LinkSpec, TopologySpec, MILLIS};
     use tpp_switch::Action;
 
     #[test]
@@ -130,7 +130,12 @@ mod tests {
         // Line of 3 switches; host 0 -> host 4 (on switch 3). We then move
         // the destination host route on switch 1 through a detour and watch
         // the observed path change.
-        let mut topo = topology::line(3, 2, 1000, 10_000, 1);
+        let mut topo = TopologySpec::Line { switches: 3, hosts_per_switch: 2 }
+            .builder()
+            .link_mbps(1000)
+            .delay_ns(10_000)
+            .seed(1)
+            .build();
         let hosts = topo.hosts.clone();
         let dst_ip = topo.net.host(hosts[4]).ip;
         topo.net.set_app(hosts[4], Box::new(crate::common::Responder::new()));
@@ -191,7 +196,12 @@ mod tests {
 
     #[test]
     fn blackhole_localized_to_failed_link() {
-        let mut topo = topology::line(3, 2, 1000, 10_000, 2);
+        let mut topo = TopologySpec::Line { switches: 3, hosts_per_switch: 2 }
+            .builder()
+            .link_mbps(1000)
+            .delay_ns(10_000)
+            .seed(2)
+            .build();
         let hosts = topo.hosts.clone();
         let switches = topo.switches.clone();
         let dst_ip = topo.net.host(hosts[4]).ip;

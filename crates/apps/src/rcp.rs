@@ -27,6 +27,7 @@ use tpp_core::wire::{Ipv4Address, Tpp};
 use tpp_endhost::harness::{Endhost, Harness, Io};
 use tpp_endhost::{ExecutorConfig, PacedSender};
 use tpp_netsim::Time;
+use tpp_netsim::TopologySpec;
 
 /// The phase-1 collect schema (§2.2).
 ///
@@ -346,7 +347,12 @@ pub struct RcpResult {
 /// Run the Figure 2 topology: flow `a` over two links, `b` and `c` over one
 /// each; every link 100 Mb/s; flows start at 1 Mb/s.
 pub fn run_rcp_fig2(alpha: f64, duration: Time, seed: u64) -> RcpResult {
-    let mut topo = tpp_netsim::topology::line(3, 2, 100, 10_000, seed);
+    let mut topo = TopologySpec::Line { switches: 3, hosts_per_switch: 2 }
+        .builder()
+        .link_mbps(100)
+        .delay_ns(10_000)
+        .seed(seed)
+        .build();
     // Hosts: [h0a, h0b (S0), h1a, h1b (S1), h2a, h2b (S2)].
     let h = topo.hosts.clone();
     let ips: Vec<Ipv4Address> = h.iter().map(|&n| topo.net.host(n).ip).collect();
@@ -478,7 +484,12 @@ mod tests {
     fn rcp_converges_quickly_on_single_bottleneck() {
         // Two flows sharing one link must converge toward ~50 each within
         // a few seconds (smoke test of the full control loop).
-        let mut topo = tpp_netsim::topology::line(2, 2, 100, 10_000, 3);
+        let mut topo = TopologySpec::Line { switches: 2, hosts_per_switch: 2 }
+            .builder()
+            .link_mbps(100)
+            .delay_ns(10_000)
+            .seed(3)
+            .build();
         let h = topo.hosts.clone();
         let ips: Vec<Ipv4Address> = h.iter().map(|&n| topo.net.host(n).ip).collect();
         let cfg = RcpConfig::default();

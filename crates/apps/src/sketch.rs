@@ -28,6 +28,7 @@ use tpp_core::wire::{Ipv4Address, Tpp};
 use tpp_endhost::harness::{Aggregator, Endhost, Harness};
 use tpp_endhost::Filter;
 use tpp_netsim::Time;
+use tpp_netsim::TopologySpec;
 
 /// The §2.5 routing-context probe schema.
 pub fn sketch_probe() -> Probe {
@@ -209,7 +210,8 @@ pub fn run_sketch(
     sample_frequency: u32,
     seed: u64,
 ) -> SketchResult {
-    let mut topo = tpp_netsim::topology::fat_tree(4, 1000, 5_000, seed);
+    let mut topo =
+        TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(5_000).seed(seed).build();
     let hosts = topo.hosts.clone();
     let ips: Vec<Ipv4Address> = hosts.iter().map(|&h| topo.net.host(h).ip).collect();
     for (i, &h) in hosts.iter().enumerate() {

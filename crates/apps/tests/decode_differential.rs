@@ -13,6 +13,7 @@ use tpp_core::probe::Probe;
 use tpp_core::wire::Tpp;
 use tpp_endhost::harness::{Aggregator, Endhost, Harness};
 use tpp_endhost::Filter;
+use tpp_netsim::TopologySpec;
 use tpp_netsim::MILLIS;
 
 /// The pre-redesign extraction for stack probes of `k` words per hop:
@@ -71,7 +72,12 @@ fn typed_decode_matches_legacy_on_recorded_runs() {
     // Line of 3 switches: host0 records microburst-style stamped TPPs on
     // its own traffic; host2 runs a NetSight traced host aggregating to a
     // collector on host5.
-    let mut topo = tpp_netsim::topology::line(3, 2, 100, 10_000, 11);
+    let mut topo = TopologySpec::Line { switches: 3, hosts_per_switch: 2 }
+        .builder()
+        .link_mbps(100)
+        .delay_ns(10_000)
+        .seed(11)
+        .build();
     let hosts = topo.hosts.clone();
     let ips: Vec<_> = hosts.iter().map(|&h| topo.net.host(h).ip).collect();
 

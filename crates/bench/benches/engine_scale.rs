@@ -3,7 +3,12 @@
 //! 100k scheduled events, plus the batched end-to-end delivery loop.
 //!
 //! * `wheel/{n}` — schedule `n` keyed events with delays mixed across every
-//!   wheel level, then drain with same-timestamp batch pops.
+//!   wheel level, then drain with same-timestamp batch pops (spill
+//!   threshold 0: pure wheel).
+//! * `hybrid/{n}` — the same schedule through the default [`Scheduler`],
+//!   which starts on its heap backend and spills into the wheel at the
+//!   crossover threshold — the configuration every simulation actually
+//!   runs.
 //! * `heap/{n}` — the identical schedule through [`HeapQueue`], drained one
 //!   pop at a time (the pre-refactor engine's only mode).
 //! * `delivery/batched` — one simulated window of heavy traffic on a k=4
@@ -15,9 +20,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 
-use tpp_fabric::{install_traffic, TrafficConfig};
+use tpp_fabric::{install_traffic, TrafficConfig, TrafficPattern};
 use tpp_netsim::engine::{HeapQueue, Scheduler};
-use tpp_netsim::{topology, Time, MILLIS};
+use tpp_netsim::{Time, TopologySpec, MILLIS};
 
 /// Delays mixed across wheel levels: immediate, sub-slot, level-1/2/3
 /// spans, and a far-future sprinkle that exercises the overflow heap.
@@ -27,6 +32,20 @@ fn delay_for(i: u64) -> u64 {
 }
 
 fn drive_wheel(n: u64) -> u64 {
+    let mut q = Scheduler::with_spill_threshold(0);
+    let mut popped = 0u64;
+    let mut batch = Vec::new();
+    for i in 0..n {
+        q.schedule_keyed(q.now() + delay_for(i), i % 7, i);
+    }
+    while q.pop_batch(&mut batch).is_some() {
+        popped += batch.len() as u64;
+        batch.clear();
+    }
+    popped
+}
+
+fn drive_hybrid(n: u64) -> u64 {
     let mut q = Scheduler::new();
     let mut popped = 0u64;
     let mut batch = Vec::new();
@@ -55,7 +74,8 @@ fn drive_heap(n: u64) -> u64 {
 const HORIZON: Time = 2 * MILLIS / 5;
 
 fn run_delivery() -> (u64, u64) {
-    let mut t = topology::fat_tree(4, 10_000, 1000, 8);
+    let mut t =
+        TopologySpec::FatTree { k: 4 }.builder().link_mbps(10_000).delay_ns(1000).seed(8).build();
     let hosts = t.hosts.clone();
     let cfg = TrafficConfig {
         frames_per_tick: 16,
@@ -64,6 +84,7 @@ fn run_delivery() -> (u64, u64) {
         tpp_every: 4,
         stop_at: HORIZON,
         seed: 8,
+        pattern: TrafficPattern::Uniform,
     };
     let _delivered = install_traffic(&mut t.net, &hosts, &cfg);
     t.net.run_until(HORIZON);
@@ -78,10 +99,12 @@ fn bench_engine(c: &mut Criterion) {
             _ => "100k",
         };
         assert_eq!(drive_wheel(n), n, "wheel must pop every scheduled event");
+        assert_eq!(drive_hybrid(n), n, "hybrid must pop every scheduled event");
         assert_eq!(drive_heap(n), n, "heap must pop every scheduled event");
         let mut g = c.benchmark_group("engine_scale");
         g.throughput(Throughput::Elements(n));
         g.bench_function(format!("wheel/{label}"), |b| b.iter(|| black_box(drive_wheel(n))));
+        g.bench_function(format!("hybrid/{label}"), |b| b.iter(|| black_box(drive_hybrid(n))));
         g.bench_function(format!("heap/{label}"), |b| b.iter(|| black_box(drive_heap(n))));
         g.finish();
     }

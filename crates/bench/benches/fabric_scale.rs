@@ -9,8 +9,10 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 
-use tpp_fabric::{install_traffic, ExecMode, Fabric, PartitionStrategy, TrafficConfig};
-use tpp_netsim::{topology, Time, MILLIS};
+use tpp_fabric::{
+    install_traffic, ExecMode, Fabric, PartitionStrategy, TrafficConfig, TrafficPattern,
+};
+use tpp_netsim::{Time, TopologySpec, MILLIS};
 
 const K: usize = 8;
 const HORIZON: Time = 2 * MILLIS / 5;
@@ -24,11 +26,13 @@ fn traffic() -> TrafficConfig {
         tpp_every: 4,
         stop_at: HORIZON,
         seed: 8,
+        pattern: TrafficPattern::Uniform,
     }
 }
 
 fn run(n_shards: usize) -> u64 {
-    let mut t = topology::fat_tree(K, 10_000, 1000, 8);
+    let mut t =
+        TopologySpec::FatTree { k: K }.builder().link_mbps(10_000).delay_ns(1000).seed(8).build();
     let hosts = t.hosts.clone();
     let _delivered = install_traffic(&mut t.net, &hosts, &traffic());
     if n_shards == 1 {

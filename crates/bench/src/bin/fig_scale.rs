@@ -10,17 +10,9 @@
 //! `TPP_BENCH_ITERS` below 10_000_000 switches to smoke mode (k = 4 only,
 //! short horizon) for CI; the digest-equality assertions always run.
 
-use std::sync::atomic::Ordering;
-use std::time::Instant;
-
-use tpp_fabric::{install_traffic, ExecMode, Fabric, PartitionStrategy, TrafficConfig};
-use tpp_netsim::{topology, NetStats, Time, MILLIS};
-
-struct Case {
-    wall_ms: f64,
-    stats: NetStats,
-    delivered: u64,
-}
+use tpp_fabric::scenario::{Cell, Scenario, WorkloadSpec};
+use tpp_fabric::{ExecMode, TrafficConfig, TrafficPattern};
+use tpp_netsim::{Time, TopologySpec, MILLIS};
 
 fn traffic(horizon: Time) -> TrafficConfig {
     // Heavy load: deep queues grow the event heap, which is where sharding
@@ -33,29 +25,19 @@ fn traffic(horizon: Time) -> TrafficConfig {
         tpp_every: 4,
         stop_at: horizon,
         seed: 8,
+        pattern: TrafficPattern::Uniform,
     }
 }
 
-fn run_case(k: usize, n_shards: usize, horizon: Time, mode: ExecMode) -> Case {
-    let mut t = topology::fat_tree(k, 10_000, 1000, 8);
-    let hosts = t.hosts.clone();
-    let delivered = install_traffic(&mut t.net, &hosts, &traffic(horizon));
-    let start = Instant::now();
-    let stats = if n_shards == 1 {
-        // The single-threaded reference: the plain Network event loop.
-        t.net.run_until(horizon);
-        t.net.stats
-    } else {
-        let mut fabric = Fabric::new(t.net, n_shards, PartitionStrategy::Locality);
-        fabric.set_mode(mode);
-        fabric.run_until(horizon);
-        fabric.stats()
-    };
-    Case {
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        stats,
-        delivered: delivered.load(Ordering::Relaxed),
-    }
+fn run_case(k: usize, n_shards: usize, horizon: Time, mode: ExecMode) -> Cell {
+    Scenario::new(
+        TopologySpec::FatTree { k }.builder().link_mbps(10_000).delay_ns(1000).seed(8),
+        WorkloadSpec::custom("fig_scale", traffic(horizon)),
+    )
+    .shards(n_shards)
+    .mode(mode)
+    .duration_ns(horizon)
+    .run()
 }
 
 fn main() {
@@ -83,24 +65,23 @@ fn main() {
         for shards in [1usize, 2, 4] {
             let c = run_case(k, shards, horizon, mode);
             if shards == 1 {
-                baseline_ms = c.wall_ms;
-                baseline_digest = c.stats.digest();
+                baseline_ms = c.wall_ms as f64;
+                baseline_digest = c.digest;
             } else {
                 assert_eq!(
-                    c.stats.digest(),
-                    baseline_digest,
+                    c.digest, baseline_digest,
                     "k={k} shards={shards}: sharded digest diverged from single-threaded"
                 );
             }
             println!(
-                "{:>4} {:>7} {:>10} {:>12} {:>10.1} {:>7.2}x  {:016x}",
+                "{:>4} {:>7} {:>10} {:>12} {:>10} {:>7.2}x  {:016x}",
                 k,
                 shards,
                 c.delivered,
                 c.stats.events_processed,
                 c.wall_ms,
-                baseline_ms / c.wall_ms,
-                c.stats.digest()
+                baseline_ms / (c.wall_ms.max(1) as f64),
+                c.digest
             );
         }
     }

@@ -33,8 +33,10 @@
 
 pub mod partition;
 pub mod runtime;
+pub mod scenario;
 pub mod workload;
 
 pub use partition::{partition, PartitionStrategy};
 pub use runtime::{ExecMode, Fabric};
-pub use workload::{install_traffic, TrafficConfig, TrafficGen};
+pub use scenario::{Cell, Scenario, WorkloadSpec};
+pub use workload::{install_traffic, TrafficConfig, TrafficGen, TrafficPattern};

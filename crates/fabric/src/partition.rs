@@ -142,13 +142,19 @@ pub fn lookahead(net: &Network, assignment: &[usize]) -> Option<Time> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpp_netsim::topology;
+    use tpp_netsim::TopologySpec;
 
     #[test]
     fn zero_delay_links_are_co_sharded() {
         // A dumbbell with a zero-delay trunk: both switches (and, with
         // RoundRobin, only what the trunk forces) must share a shard.
-        let t = topology::dumbbell(2, 100, 100, 0, 1);
+        let t = TopologySpec::Dumbbell { per_side: 2 }
+            .builder()
+            .link_mbps(100)
+            .host_mbps(100)
+            .delay_ns(0)
+            .seed(1)
+            .build();
         let a = partition(&t.net, 4, PartitionStrategy::RoundRobin);
         assert_eq!(a[t.switches[0].0 as usize], a[t.switches[1].0 as usize]);
         // With every link at zero delay there is exactly one component.
@@ -157,7 +163,8 @@ mod tests {
 
     #[test]
     fn locality_keeps_hosts_with_their_edge_switch() {
-        let t = topology::fat_tree(4, 1000, 1000, 1);
+        let t =
+            TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(1).build();
         let a = partition(&t.net, 4, PartitionStrategy::Locality);
         for &h in &t.hosts {
             let (_, edge) = t.net.neighbors(h)[0];
@@ -174,7 +181,8 @@ mod tests {
 
     #[test]
     fn round_robin_splits_a_star() {
-        let t = topology::star(6, 100, 500, 1);
+        let t =
+            TopologySpec::Star { hosts: 6 }.builder().host_mbps(100).delay_ns(500).seed(1).build();
         let a = partition(&t.net, 2, PartitionStrategy::RoundRobin);
         let mut used: Vec<usize> = a.clone();
         used.sort_unstable();
@@ -185,7 +193,8 @@ mod tests {
 
     #[test]
     fn balance_is_reasonable_on_fat_tree() {
-        let t = topology::fat_tree(4, 1000, 1000, 1);
+        let t =
+            TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(1).build();
         let a = partition(&t.net, 4, PartitionStrategy::Locality);
         let mut weights = vec![0u64; 4];
         for (i, &s) in a.iter().enumerate() {

@@ -17,6 +17,34 @@ use tpp_core::wire::{
 };
 use tpp_netsim::{HostApp, HostCtx, Time};
 
+/// How each generator picks destinations (see [`TrafficGen`]). Every
+/// pattern draws only from the host's own RNG stream and per-host state,
+/// so all of them shard deterministically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Every frame independently picks a uniform random peer — the
+    /// original workload; its RNG call sequence is unchanged, so seeded
+    /// digests from before patterns existed still hold.
+    Uniform,
+    /// Pareto flow sizes (shape 1.5, mean `mean_frames`): pick a uniform
+    /// random peer, stream a heavy-tailed number of frames to it, repeat.
+    /// The elephant/mice mix that stresses CONGA*-style load balancing.
+    HeavyTailed {
+        /// Mean flow size in frames (tail extends ~100× beyond).
+        mean_frames: u64,
+    },
+    /// The first `sinks` hosts (in peer-list order) only receive; every
+    /// other host aims every frame at a uniform random sink. The
+    /// fan-in pattern that stresses the micro-burst detector.
+    Incast {
+        /// Receive-only hosts (clamped to `1..peers`).
+        sinks: usize,
+    },
+    /// All-to-all shuffle: host `i` walks the peer list round-robin
+    /// starting at `i + 1`, like a MapReduce shuffle stage.
+    Shuffle,
+}
+
 /// Workload knobs.
 #[derive(Clone, Debug)]
 pub struct TrafficConfig {
@@ -32,6 +60,8 @@ pub struct TrafficConfig {
     pub stop_at: Time,
     /// Base RNG seed (combined with the host's node id).
     pub seed: u64,
+    /// Destination-selection pattern.
+    pub pattern: TrafficPattern,
 }
 
 impl Default for TrafficConfig {
@@ -43,6 +73,7 @@ impl Default for TrafficConfig {
             tpp_every: 4,
             stop_at: Time::MAX,
             seed: 1,
+            pattern: TrafficPattern::Uniform,
         }
     }
 }
@@ -56,6 +87,13 @@ pub struct TrafficGen {
     rng: Option<StdRng>,
     tpp: Tpp,
     sent: u64,
+    /// This host's position in `peers` (set in `start`).
+    my_index: usize,
+    /// Current heavy-tailed flow: destination and frames remaining.
+    flow_dst: u32,
+    flow_left: u64,
+    /// Round-robin offset for [`TrafficPattern::Shuffle`].
+    rr: usize,
     /// Frames delivered to *this and every sibling* generator.
     pub delivered: Arc<AtomicU64>,
 }
@@ -75,7 +113,82 @@ impl TrafficGen {
             .hops(6)
             .build()
             .unwrap();
-        TrafficGen { cfg, peers, rng: None, tpp, sent: 0, delivered }
+        TrafficGen {
+            cfg,
+            peers,
+            rng: None,
+            tpp,
+            sent: 0,
+            my_index: 0,
+            flow_dst: 0,
+            flow_left: 0,
+            rr: 0,
+            delivered,
+        }
+    }
+
+    /// Pareto(shape 1.5) flow size with the given mean, clamped to
+    /// `[1, 100 * mean]` so one draw can't outlive a whole run.
+    fn pareto_frames(rng: &mut StdRng, mean_frames: u64) -> u64 {
+        // mean = shape * scale / (shape - 1) = 3 * scale for shape 1.5.
+        let scale = mean_frames as f64 / 3.0;
+        let u = (1.0 - rng.random::<f64>()).max(1e-9);
+        let size = scale / u.powf(1.0 / 1.5);
+        (size.ceil() as u64).clamp(1, mean_frames.saturating_mul(100).max(1))
+    }
+
+    /// Next destination under the configured pattern. Must be called only
+    /// from sending hosts (Incast sinks never reach here).
+    fn next_dst(&mut self, node: u32) -> u32 {
+        let rng = self.rng.as_mut().unwrap();
+        match self.cfg.pattern {
+            TrafficPattern::Uniform => {
+                let i = rng.random_range(0..self.peers.len());
+                if self.peers[i] == node {
+                    self.peers[(i + 1) % self.peers.len()]
+                } else {
+                    self.peers[i]
+                }
+            }
+            TrafficPattern::HeavyTailed { mean_frames } => {
+                if self.flow_left == 0 {
+                    let i = rng.random_range(0..self.peers.len());
+                    self.flow_dst = if self.peers[i] == node {
+                        self.peers[(i + 1) % self.peers.len()]
+                    } else {
+                        self.peers[i]
+                    };
+                    self.flow_left = Self::pareto_frames(rng, mean_frames);
+                }
+                self.flow_left -= 1;
+                self.flow_dst
+            }
+            TrafficPattern::Incast { sinks } => {
+                let n = sinks.clamp(1, self.peers.len() - 1);
+                self.peers[rng.random_range(0..n)]
+            }
+            TrafficPattern::Shuffle => {
+                let len = self.peers.len();
+                let mut dst = self.peers[(self.my_index + 1 + self.rr) % len];
+                self.rr = (self.rr + 1) % len;
+                if dst == node {
+                    dst = self.peers[(self.my_index + 1 + self.rr) % len];
+                    self.rr = (self.rr + 1) % len;
+                }
+                dst
+            }
+        }
+    }
+
+    /// Under [`TrafficPattern::Incast`], the first `sinks` peers never
+    /// send.
+    fn is_incast_sink(&self) -> bool {
+        match self.cfg.pattern {
+            TrafficPattern::Incast { sinks } => {
+                self.my_index < sinks.clamp(1, self.peers.len() - 1)
+            }
+            _ => false,
+        }
     }
 
     fn build_frame(&mut self, src_ip: Ipv4Address, src_mac: EthernetAddress, dst: u32) -> Vec<u8> {
@@ -107,6 +220,11 @@ impl TrafficGen {
 impl HostApp for TrafficGen {
     fn start(&mut self, ctx: &mut HostCtx<'_>) {
         self.rng = Some(StdRng::seed_from_u64(self.cfg.seed ^ ((ctx.node.0 as u64) << 20)));
+        self.my_index =
+            self.peers.iter().position(|&p| p == ctx.node.0).expect("host is in the peer list");
+        if self.is_incast_sink() {
+            return; // receive-only: no timer, no RNG draws
+        }
         // Stagger first ticks across hosts to avoid a thundering herd.
         let jitter = self.rng.as_mut().unwrap().random_range(0..self.cfg.tick_ns);
         ctx.set_timer(jitter, 0);
@@ -117,15 +235,7 @@ impl HostApp for TrafficGen {
             return;
         }
         for _ in 0..self.cfg.frames_per_tick {
-            let dst = {
-                let rng = self.rng.as_mut().unwrap();
-                let i = rng.random_range(0..self.peers.len());
-                if self.peers[i] == ctx.node.0 {
-                    self.peers[(i + 1) % self.peers.len()]
-                } else {
-                    self.peers[i]
-                }
-            };
+            let dst = self.next_dst(ctx.node.0);
             let frame = self.build_frame(ctx.ip, ctx.mac, dst);
             ctx.send(frame);
         }

@@ -8,7 +8,7 @@
 use std::sync::atomic::Ordering;
 
 use tpp_fabric::{install_traffic, ExecMode, Fabric, PartitionStrategy, TrafficConfig};
-use tpp_netsim::{topology, NetStats, Topology, MILLIS};
+use tpp_netsim::{NetStats, Topology, TopologySpec, MILLIS};
 
 /// Sim horizon: long enough for thousands of multi-hop deliveries and a
 /// few utilization intervals, short enough for quick tests.
@@ -68,7 +68,14 @@ fn star_matches_single_threaded() {
     // RoundRobin forces hosts off the hub's shard and every frame across a
     // boundary — maximum cross-shard stress.
     assert_differential(
-        &|| topology::star(8, 1000, 1000, 11),
+        &|| {
+            TopologySpec::Star { hosts: 8 }
+                .builder()
+                .host_mbps(1000)
+                .delay_ns(1000)
+                .seed(11)
+                .build()
+        },
         PartitionStrategy::RoundRobin,
         "star",
     );
@@ -77,7 +84,15 @@ fn star_matches_single_threaded() {
 #[test]
 fn leaf_spine_matches_single_threaded() {
     assert_differential(
-        &|| topology::leaf_spine(4, 2, 2, 1000, 1000, 1000, 12),
+        &|| {
+            TopologySpec::LeafSpine { leaves: 4, spines: 2, hosts_per_leaf: 2 }
+                .builder()
+                .link_mbps(1000)
+                .host_mbps(1000)
+                .delay_ns(1000)
+                .seed(12)
+                .build()
+        },
         PartitionStrategy::Locality,
         "leaf-spine",
     );
@@ -86,7 +101,9 @@ fn leaf_spine_matches_single_threaded() {
 #[test]
 fn fat_tree_matches_single_threaded() {
     assert_differential(
-        &|| topology::fat_tree(4, 1000, 1000, 13),
+        &|| {
+            TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(13).build()
+        },
         PartitionStrategy::Locality,
         "fat-tree",
     );
@@ -97,7 +114,9 @@ fn fat_tree_round_robin_matches_single_threaded() {
     // The adversarial partition: no locality at all, every link a
     // potential shard crossing.
     assert_differential(
-        &|| topology::fat_tree(4, 1000, 1000, 14),
+        &|| {
+            TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(14).build()
+        },
         PartitionStrategy::RoundRobin,
         "fat-tree/round-robin",
     );
@@ -109,7 +128,13 @@ fn faults_draw_identically_across_shardings() {
     // under any partitioning. Degrade two leaf-spine fabric links before
     // splitting.
     let build = || {
-        let mut t = topology::leaf_spine(3, 2, 2, 1000, 1000, 1000, 21);
+        let mut t = TopologySpec::LeafSpine { leaves: 3, spines: 2, hosts_per_leaf: 2 }
+            .builder()
+            .link_mbps(1000)
+            .host_mbps(1000)
+            .delay_ns(1000)
+            .seed(21)
+            .build();
         let leaf0 = t.switches[0];
         let leaf1 = t.switches[1];
         t.net.set_link_faults(leaf0, 0, 0.2, 0.05);
@@ -129,7 +154,9 @@ fn faults_draw_identically_across_shardings() {
 
 #[test]
 fn one_shard_fabric_is_the_single_threaded_network() {
-    let build = || topology::star(6, 1000, 1000, 31);
+    let build = || {
+        TopologySpec::Star { hosts: 6 }.builder().host_mbps(1000).delay_ns(1000).seed(31).build()
+    };
     let reference = single(&build);
     let got = sharded(&build, 1, PartitionStrategy::Locality, ExecMode::Sequential);
     assert_eq!(got.digest(), reference.digest());
@@ -143,7 +170,14 @@ fn one_shard_fabric_is_the_single_threaded_network() {
 fn repeated_sharded_runs_are_bit_identical() {
     let run = || {
         sharded(
-            &|| topology::fat_tree(4, 1000, 1000, 42),
+            &|| {
+                TopologySpec::FatTree { k: 4 }
+                    .builder()
+                    .link_mbps(1000)
+                    .delay_ns(1000)
+                    .seed(42)
+                    .build()
+            },
             4,
             PartitionStrategy::Locality,
             ExecMode::Threaded,
@@ -156,7 +190,8 @@ fn repeated_sharded_runs_are_bit_identical() {
 
 #[test]
 fn run_until_never_moves_the_clock_backwards() {
-    let mut t = topology::star(4, 1000, 1000, 3);
+    let mut t =
+        TopologySpec::Star { hosts: 4 }.builder().host_mbps(1000).delay_ns(1000).seed(3).build();
     let hosts = t.hosts.clone();
     let _d = install_traffic(&mut t.net, &hosts, &traffic());
     let mut fabric = Fabric::new(t.net, 2, PartitionStrategy::RoundRobin);
@@ -174,7 +209,15 @@ fn run_until_never_moves_the_clock_backwards() {
 fn incremental_run_until_matches_one_shot() {
     // Driving the fabric in small steps (as experiment drivers do) must
     // land on the same digest as one big run_until.
-    let build = || topology::leaf_spine(3, 2, 2, 1000, 1000, 1000, 55);
+    let build = || {
+        TopologySpec::LeafSpine { leaves: 3, spines: 2, hosts_per_leaf: 2 }
+            .builder()
+            .link_mbps(1000)
+            .host_mbps(1000)
+            .delay_ns(1000)
+            .seed(55)
+            .build()
+    };
     let one_shot = sharded(&build, 2, PartitionStrategy::Locality, ExecMode::Sequential);
     let mut t = build();
     let hosts = t.hosts.clone();

@@ -16,7 +16,7 @@
 use std::sync::atomic::Ordering;
 
 use tpp_fabric::{install_traffic, ExecMode, Fabric, PartitionStrategy, TrafficConfig};
-use tpp_netsim::{topology, NodeId, Topology, MILLIS};
+use tpp_netsim::{NodeId, Topology, TopologySpec, MILLIS};
 
 const HORIZON: u64 = 8 * MILLIS;
 
@@ -66,7 +66,14 @@ const GOLDEN: &[(Scenario, u64, u64)] = &[
     (
         Scenario {
             name: "star/clean",
-            build: || topology::star(8, 1000, 1000, 11),
+            build: || {
+                TopologySpec::Star { hosts: 8 }
+                    .builder()
+                    .host_mbps(1000)
+                    .delay_ns(1000)
+                    .seed(11)
+                    .build()
+            },
             faults: &[],
             strategy: PartitionStrategy::RoundRobin,
         },
@@ -76,7 +83,14 @@ const GOLDEN: &[(Scenario, u64, u64)] = &[
     (
         Scenario {
             name: "star/faults",
-            build: || topology::star(8, 1000, 1000, 11),
+            build: || {
+                TopologySpec::Star { hosts: 8 }
+                    .builder()
+                    .host_mbps(1000)
+                    .delay_ns(1000)
+                    .seed(11)
+                    .build()
+            },
             faults: &[(0, 0, 0.2, 0.05), (0, 3, 0.1, 0.0)],
             strategy: PartitionStrategy::RoundRobin,
         },
@@ -86,7 +100,15 @@ const GOLDEN: &[(Scenario, u64, u64)] = &[
     (
         Scenario {
             name: "leaf_spine/clean",
-            build: || topology::leaf_spine(4, 2, 2, 1000, 1000, 1000, 12),
+            build: || {
+                TopologySpec::LeafSpine { leaves: 4, spines: 2, hosts_per_leaf: 2 }
+                    .builder()
+                    .link_mbps(1000)
+                    .host_mbps(1000)
+                    .delay_ns(1000)
+                    .seed(12)
+                    .build()
+            },
             faults: &[],
             strategy: PartitionStrategy::Locality,
         },
@@ -96,7 +118,15 @@ const GOLDEN: &[(Scenario, u64, u64)] = &[
     (
         Scenario {
             name: "leaf_spine/faults",
-            build: || topology::leaf_spine(4, 2, 2, 1000, 1000, 1000, 12),
+            build: || {
+                TopologySpec::LeafSpine { leaves: 4, spines: 2, hosts_per_leaf: 2 }
+                    .builder()
+                    .link_mbps(1000)
+                    .host_mbps(1000)
+                    .delay_ns(1000)
+                    .seed(12)
+                    .build()
+            },
             faults: &[(0, 0, 0.2, 0.05), (1, 1, 0.1, 0.0)],
             strategy: PartitionStrategy::Locality,
         },
@@ -106,7 +136,14 @@ const GOLDEN: &[(Scenario, u64, u64)] = &[
     (
         Scenario {
             name: "fat_tree4/clean",
-            build: || topology::fat_tree(4, 1000, 1000, 13),
+            build: || {
+                TopologySpec::FatTree { k: 4 }
+                    .builder()
+                    .link_mbps(1000)
+                    .delay_ns(1000)
+                    .seed(13)
+                    .build()
+            },
             faults: &[],
             strategy: PartitionStrategy::Locality,
         },
@@ -116,7 +153,14 @@ const GOLDEN: &[(Scenario, u64, u64)] = &[
     (
         Scenario {
             name: "fat_tree4/faults",
-            build: || topology::fat_tree(4, 1000, 1000, 13),
+            build: || {
+                TopologySpec::FatTree { k: 4 }
+                    .builder()
+                    .link_mbps(1000)
+                    .delay_ns(1000)
+                    .seed(13)
+                    .build()
+            },
             // Degrade one core uplink and one edge downlink.
             faults: &[(0, 0, 0.15, 0.02), (12, 2, 0.1, 0.0)],
             strategy: PartitionStrategy::Locality,

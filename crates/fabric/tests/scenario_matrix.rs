@@ -1,0 +1,108 @@
+//! Scenario-level differential determinism: the same [`Scenario`] run on
+//! the single-threaded `Network` and on 2- and 4-shard fabrics must agree
+//! on the `NetStats` digest — for every traffic pattern the workload
+//! layer knows, not just the uniform one the older determinism tests
+//! cover. Plus the contract details of the cell output itself (JSON
+//! shape, speedup semantics).
+
+use tpp_fabric::scenario::{Cell, Scenario, WorkloadSpec};
+use tpp_fabric::PartitionStrategy;
+use tpp_netsim::{TopologySpec, MILLIS};
+
+fn run(w: WorkloadSpec, shards: usize) -> Cell {
+    Scenario::new(
+        TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(5),
+        w,
+    )
+    .shards(shards)
+    .duration_ns(2 * MILLIS)
+    .run()
+}
+
+fn assert_pattern_shards_match(w: WorkloadSpec) {
+    let reference = run(w.clone(), 1);
+    assert!(reference.stats.frames_delivered > 0, "{}: workload must deliver", w.name);
+    for shards in [2usize, 4] {
+        let got = run(w.clone(), shards);
+        assert_eq!(
+            got.digest, reference.digest,
+            "{}: digest diverged at {shards} shards (single={:?} sharded={:?})",
+            w.name, reference.stats, got.stats
+        );
+    }
+}
+
+#[test]
+fn uniform_scenario_matches_across_shard_counts() {
+    assert_pattern_shards_match(WorkloadSpec::uniform());
+}
+
+#[test]
+fn heavy_tailed_scenario_matches_across_shard_counts() {
+    assert_pattern_shards_match(WorkloadSpec::heavy_tailed());
+}
+
+#[test]
+fn incast_scenario_matches_across_shard_counts() {
+    assert_pattern_shards_match(WorkloadSpec::incast(2));
+}
+
+#[test]
+fn shuffle_scenario_matches_across_shard_counts() {
+    assert_pattern_shards_match(WorkloadSpec::shuffle());
+}
+
+#[test]
+fn round_robin_partitioning_matches_too() {
+    // The adversarial partition under the adversarial workload.
+    let w = WorkloadSpec::incast(2);
+    let reference = run(w.clone(), 1);
+    let got = Scenario::new(
+        TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(5),
+        w,
+    )
+    .shards(4)
+    .strategy(PartitionStrategy::RoundRobin)
+    .duration_ns(2 * MILLIS)
+    .run();
+    assert_eq!(got.digest, reference.digest, "round-robin digest diverged");
+}
+
+#[test]
+fn speedup_shrinks_the_horizon() {
+    let full = run(WorkloadSpec::uniform(), 1);
+    let fast = Scenario::new(
+        TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(5),
+        WorkloadSpec::uniform(),
+    )
+    .duration_ns(2 * MILLIS)
+    .speedup(2)
+    .run();
+    assert_eq!(fast.duration_ns, MILLIS, "speedup 2 halves the simulated horizon");
+    assert!(
+        fast.stats.events_processed < full.stats.events_processed,
+        "shorter horizon must process fewer events"
+    );
+    assert!(fast.stats.frames_delivered > 0, "but the cell still simulates");
+}
+
+#[test]
+fn cell_json_has_the_schema_fields() {
+    let cell = run(WorkloadSpec::uniform(), 2);
+    let json = cell.to_json();
+    for key in [
+        "\"schema\":1",
+        "\"topology\":\"fat_tree4\"",
+        "\"workload\":\"uniform\"",
+        "\"shards\":2",
+        "\"speedup\":1",
+        "\"duration_ns\":2000000",
+        "\"frames_delivered\":",
+        "\"digest\":\"0x",
+        "\"trace\":\"0x",
+        "\"wall_ms\":",
+    ] {
+        assert!(json.contains(key), "cell JSON missing {key}: {json}");
+    }
+    assert!(json.starts_with('{') && json.ends_with('}'));
+}

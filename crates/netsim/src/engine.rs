@@ -44,6 +44,21 @@
 //!   overflow event differs in them, the wheel minimum is always earlier
 //!   than the overflow minimum — the two structures never interleave.
 //!
+//! # The hybrid
+//!
+//! At small queue sizes a plain binary heap beats the wheel: the wheel's
+//! per-pop slot scans and cascades cost more than a handful of sift-downs
+//! (the `engine_scale` benchmark crossover sits near a couple thousand
+//! pending events). [`Scheduler`] therefore starts on an internal
+//! `BinaryHeap` backend and *spills* — once, one-way — into the wheel the
+//! first time its length crosses [`Scheduler::with_spill_threshold`]'s
+//! threshold (default [`SPILL_THRESHOLD`]). Both backends pop in identical
+//! `(time, key, seq)` order, so the switch is invisible to callers;
+//! threshold 0 forces the wheel from the first event, `usize::MAX` pins the
+//! heap forever. The wheel's bucket storage is allocated lazily at the
+//! first spill, so a scheduler that never crosses the threshold costs no
+//! more to construct than the heap it wraps.
+//!
 //! The pre-wheel `BinaryHeap` implementation survives as [`HeapQueue`]: it
 //! is the reference model the property tests compare the wheel against,
 //! and the "legacy" arm of the `engine_scale` benchmark.
@@ -64,6 +79,9 @@ pub const SLOTS: usize = 1 << BITS;
 const SLOT_MASK: u64 = SLOTS as u64 - 1;
 /// Wheel levels; level `l` covers `64^(l+1)` ns, the whole wheel `64^6` ns.
 pub const LEVELS: usize = 6;
+/// Default queue length at which the scheduler spills from its small-queue
+/// heap backend into the timing wheel (see the module docs).
+pub const SPILL_THRESHOLD: usize = 2048;
 
 struct Entry<E> {
     time: Time,
@@ -132,6 +150,13 @@ pub struct Scheduler<E> {
     /// new work at the timestamp being drained (the only case where a
     /// mid-batch merge against [`Scheduler::peek_next`] is needed).
     now_inserts: u64,
+    /// Small-queue backend: until the first spill, every pending event
+    /// (except the staged `ready` batch) lives here and the wheel is empty.
+    heap: BinaryHeap<Entry<E>>,
+    /// Queue length beyond which the heap backend spills into the wheel.
+    spill_threshold: usize,
+    /// Latched on the first spill: from then on inserts go to the wheel.
+    spilled: bool,
 }
 
 /// The name the network loop grew up with; kept as an alias.
@@ -143,14 +168,22 @@ impl<E> Default for Scheduler<E> {
             now: 0,
             next_seq: 0,
             len: 0,
-            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            // Wheel storage is allocated lazily on the first spill: a
+            // scheduler that stays under the threshold never pays for the
+            // LEVELS x SLOTS buckets. Safe because every slot access is
+            // guarded by an `occupied` bit, and bits are only set by
+            // `insert_wheel`, which runs after `spill` has allocated.
+            slots: Vec::new(),
             occupied: [0; LEVELS],
-            slot_min: vec![(Time::MAX, u64::MAX); LEVELS * SLOTS],
+            slot_min: Vec::new(),
             overflow: BinaryHeap::new(),
             ready: VecDeque::new(),
             ready_time: 0,
             spare: Vec::new(),
             now_inserts: 0,
+            heap: BinaryHeap::new(),
+            spill_threshold: SPILL_THRESHOLD,
+            spilled: false,
         }
     }
 }
@@ -158,6 +191,14 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A scheduler that spills from the heap backend to the wheel once its
+    /// length exceeds `threshold`: 0 forces the wheel from the first event,
+    /// `usize::MAX` pins the heap backend forever. [`Scheduler::new`] uses
+    /// [`SPILL_THRESHOLD`].
+    pub fn with_spill_threshold(threshold: usize) -> Self {
+        Scheduler { spill_threshold: threshold, ..Self::default() }
     }
 
     /// Current simulation time: the timestamp of the last popped event.
@@ -202,7 +243,27 @@ impl<E> Scheduler<E> {
             self.ready.insert(pos, entry);
             return;
         }
+        if !self.spilled {
+            self.heap.push(entry);
+            if self.len > self.spill_threshold {
+                self.spill();
+            }
+            return;
+        }
         self.insert_wheel(entry);
+    }
+
+    /// One-way switch from the heap backend to the wheel: re-file every
+    /// heap entry (arbitrary drain order — the wheel buckets by deadline).
+    fn spill(&mut self) {
+        self.spilled = true;
+        if self.slots.is_empty() {
+            self.slots = (0..LEVELS * SLOTS).map(|_| Vec::new()).collect();
+            self.slot_min = vec![(Time::MAX, u64::MAX); LEVELS * SLOTS];
+        }
+        for entry in std::mem::take(&mut self.heap) {
+            self.insert_wheel(entry);
+        }
     }
 
     /// Schedule `event` after a delay relative to now.
@@ -244,6 +305,19 @@ impl<E> Scheduler<E> {
     /// Returns false when no events remain anywhere.
     fn stage_next(&mut self) -> bool {
         if !self.ready.is_empty() {
+            return true;
+        }
+        // Heap backend: pops already come out in `(time, key, seq)` order,
+        // so draining the top timestamp yields the batch pre-sorted.
+        if let Some(top) = self.heap.peek() {
+            let t = top.time;
+            debug_assert!(t >= self.now);
+            self.now = t;
+            self.ready_time = t;
+            while self.heap.peek().is_some_and(|e| e.time == t) {
+                let e = self.heap.pop().unwrap();
+                self.ready.push_back(e);
+            }
             return true;
         }
         loop {
@@ -322,6 +396,26 @@ impl<E> Scheduler<E> {
     /// that needs exact heap-equivalent interleaving must merge against
     /// [`Scheduler::peek_next`] while it works through the batch.
     pub fn pop_batch(&mut self, out: &mut Vec<(u64, E)>) -> Option<Time> {
+        // Heap-backend fast path: with nothing staged, the top-timestamp
+        // run can drain straight into the caller's batch, skipping the
+        // `ready` round-trip. Identical to staging then draining — pops
+        // come out in `(time, key, seq)` order and `ready` stays empty,
+        // so the same-timestamp merge in `schedule_keyed` is inactive
+        // either way.
+        if self.ready.is_empty() {
+            if let Some(top) = self.heap.peek() {
+                let t = top.time;
+                debug_assert!(t >= self.now);
+                self.now = t;
+                self.ready_time = t;
+                while self.heap.peek().is_some_and(|e| e.time == t) {
+                    let e = self.heap.pop().unwrap();
+                    self.len -= 1;
+                    out.push((e.key, e.event));
+                }
+                return Some(t);
+            }
+        }
         if !self.stage_next() {
             return None;
         }
@@ -362,6 +456,14 @@ impl<E> Scheduler<E> {
                 if best.is_none_or(|b| cand < b) {
                     best = Some(cand);
                 }
+            }
+        }
+        // Heap-backend candidate: the top minimizes `(time, key, seq)`, so
+        // its `(time, key)` is the exact minimum of the backend.
+        if let Some(h) = self.heap.peek() {
+            let cand = (h.time, h.key);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
             }
         }
         if let Some(o) = self.overflow.peek() {
@@ -536,7 +638,7 @@ mod tests {
     fn far_future_events_overflow_and_return() {
         // Beyond the 64^6 ns span: must detour through the overflow heap
         // and still pop in exact order.
-        let mut q = Scheduler::new();
+        let mut q = Scheduler::with_spill_threshold(0);
         let span = 64u64.pow(6);
         q.schedule_at(3 * span + 7, "far");
         q.schedule_at(5, "near");
@@ -551,7 +653,7 @@ mod tests {
     #[test]
     fn cascades_preserve_order_across_level_boundaries() {
         // Straddle several level boundaries (64, 4096, 262144 ns).
-        let mut q = Scheduler::new();
+        let mut q = Scheduler::with_spill_threshold(0);
         let times = [0u64, 1, 63, 64, 65, 4095, 4096, 4097, 262143, 262144, 1 << 30];
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(t, i);
@@ -596,7 +698,7 @@ mod tests {
     fn peek_next_is_exact_for_coarse_slots() {
         // An event parked in a level-2 slot: peek must report its exact
         // timestamp, not the slot boundary.
-        let mut q = Scheduler::new();
+        let mut q = Scheduler::with_spill_threshold(0);
         q.schedule_keyed(5000 + 4096 * 3, 7, "x");
         assert_eq!(q.peek_next(), Some((5000 + 4096 * 3, 7)));
         assert_eq!(q.peek_time(), Some(5000 + 4096 * 3));
@@ -606,7 +708,7 @@ mod tests {
 
     #[test]
     fn len_counts_staged_and_overflow() {
-        let mut q = Scheduler::new();
+        let mut q = Scheduler::with_spill_threshold(0);
         q.schedule_at(10, 0);
         q.schedule_at(10, 1);
         q.schedule_at(64u64.pow(6) * 2, 2);
@@ -653,7 +755,7 @@ mod tests {
     /// xorshift schedule mixing delays around every level boundary.
     #[test]
     fn wheel_matches_heap_on_mixed_schedule() {
-        let mut wheel = Scheduler::new();
+        let mut wheel = Scheduler::with_spill_threshold(0);
         let mut heap = HeapQueue::new();
         let mut state = 0xDEADBEEFu64;
         let mut rng = move || {
@@ -688,5 +790,56 @@ mod tests {
             }
         }
         assert_eq!(wheel.now(), heap.now());
+    }
+
+    /// The default scheduler stays on its heap backend below the spill
+    /// threshold, where even era-crossing deadlines need no overflow detour.
+    #[test]
+    fn heap_backend_handles_far_deadlines_without_spilling() {
+        let mut q = Scheduler::new();
+        let span = 64u64.pow(6);
+        q.schedule_at(3 * span + 7, "far");
+        q.schedule_at(5, "near");
+        assert_eq!(q.peek_next(), Some((5, 0)));
+        assert_eq!(q.pop(), Some((5, "near")));
+        assert_eq!(q.pop(), Some((3 * span + 7, "far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Crossing the spill threshold mid-run must be invisible: a hybrid
+    /// with a tiny threshold and the reference heap see identical pops,
+    /// peeks, and lengths through the transition.
+    #[test]
+    fn hybrid_spill_is_invisible_mid_run() {
+        let mut q = Scheduler::with_spill_threshold(16);
+        let mut heap = HeapQueue::new();
+        let mut state = 0xC0FFEEu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let delays = [0u64, 1, 63, 64, 100, 4095, 4096, 262_144, 1 << 24, 1 << 37];
+        for i in 0..200u64 {
+            let d = delays[(rng() % delays.len() as u64) as usize];
+            let key = rng() % 4;
+            let at = q.now() + d;
+            q.schedule_keyed(at, key, i);
+            heap.schedule_keyed(at, key, i);
+            assert_eq!(q.len(), heap.len());
+            assert_eq!(q.peek_time(), heap.peek_time());
+            if rng().is_multiple_of(3) {
+                assert_eq!(q.pop(), heap.pop());
+            }
+        }
+        loop {
+            let (w, h) = (q.pop(), heap.pop());
+            assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
+        assert_eq!(q.now(), heap.now());
     }
 }

@@ -13,8 +13,11 @@
 //!   pluggable applications, and the frame-buffer pool.
 //! * [`net`] — the coordinator gluing the layers into the batched event
 //!   loop (and the shard kernel of `tpp-fabric`).
-//! * [`topology`] — builders (star, dumbbell, line, leaf-spine, fat-tree)
-//!   with BFS shortest-path route installation and ECMP groups on ties.
+//! * [`scenario`] — declarative topology construction: a [`TopologySpec`]
+//!   (star, dumbbell, line, leaf-spine, fat-trees plain/oversubscribed/
+//!   asymmetric, jellyfish, edge-list import) built by [`TopologyBuilder`].
+//! * [`topology`] — the [`Topology`] type plus BFS shortest-path route
+//!   installation with ECMP groups on ties.
 //!
 //! Every packet is a real Ethernet frame; switches execute TPPs on real
 //! bytes at every hop.
@@ -23,6 +26,7 @@ pub mod engine;
 pub mod link;
 pub mod net;
 pub mod nodes;
+pub mod scenario;
 pub mod topology;
 
 pub use engine::{Scheduler, Time, MILLIS, SECONDS};
@@ -31,4 +35,5 @@ pub use net::{
     FramePool, Host, HostApp, HostCtx, LinkSpec, NetStats, Network, NodeId, NullApp, RemoteFrame,
 };
 pub use nodes::NodeStore;
+pub use scenario::{TopologyBuilder, TopologySpec};
 pub use topology::Topology;

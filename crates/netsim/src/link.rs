@@ -21,7 +21,7 @@ use crate::engine::Time;
 use crate::net::{splitmix64, NodeId};
 
 /// Link parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkSpec {
     pub rate_mbps: u64,
     pub delay_ns: u64,

@@ -1,0 +1,729 @@
+//! Declarative topology construction: a topology is *data*, not code.
+//!
+//! [`TopologySpec`] names a topology family and its shape parameters;
+//! [`TopologyBuilder`] adds the physical knobs (link rate, host rate,
+//! propagation delay, seed) and produces a routed [`Topology`]. The five
+//! classic shapes the free functions in [`crate::topology`] used to build
+//! (star, dumbbell, line, leaf-tree, fat-tree) are reproduced *exactly* —
+//! same node-id assignment order, same switch-config numbering, same link
+//! creation order — so a builder-built network is bit-identical (digests
+//! and all) to one built by the deprecated wrappers.
+//!
+//! Beyond the classics, the spec covers the topologies the evaluation
+//! matrix sweeps:
+//!
+//! * [`TopologySpec::Jellyfish`] — the random-regular graph of Singla et
+//!   al. (NSDI'12): a deterministic random ring (guaranteeing
+//!   connectivity) plus random port matching, all drawn from the builder
+//!   seed.
+//! * [`TopologySpec::OversubFatTree`] — a fat-tree whose aggregation→core
+//!   uplinks run at `1/oversub` of the edge rate, the classic
+//!   oversubscribed datacenter fabric.
+//! * [`TopologySpec::AsymFatTree`] — a fat-tree where every pod's first
+//!   aggregation switch has half-rate core uplinks: equal-cost paths with
+//!   unequal capacity, the CONGA* stress case.
+//! * [`TopologySpec::EdgeList`] — an arbitrary switch graph imported from
+//!   a TopologyZoo-style edge list (see [`parse_edge_list`] and the
+//!   bundled [`abilene`] preset).
+//!
+//! ```
+//! use tpp_netsim::scenario::{TopologyBuilder, TopologySpec};
+//!
+//! let t = TopologyBuilder::new(TopologySpec::Star { hosts: 4 })
+//!     .host_mbps(1000)
+//!     .delay_ns(1000)
+//!     .seed(7)
+//!     .build();
+//! assert_eq!(t.hosts.len(), 4);
+//! assert_eq!(t.switches.len(), 1);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::net::{LinkSpec, Network, NodeId, NullApp};
+use crate::topology::Topology;
+use tpp_switch::SwitchConfig;
+
+/// A topology family plus its shape parameters. Physical knobs (rates,
+/// delay, seed) live on [`TopologyBuilder`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// One switch, `hosts` hosts. All links run at the builder host rate.
+    Star {
+        /// Number of hosts on the hub switch.
+        hosts: usize,
+    },
+    /// Two switches joined by a trunk at the builder *link* rate, with
+    /// `per_side` hosts on each at the builder *host* rate (the §2.1
+    /// micro-burst topology).
+    Dumbbell {
+        /// Hosts attached to each of the two switches.
+        per_side: usize,
+    },
+    /// A chain of `switches` switches with `hosts_per_switch` hosts each
+    /// (the Figure 2 RCP topology is `Line { switches: 3, .. }`).
+    Line {
+        /// Switches in the chain.
+        switches: usize,
+        /// Hosts on every switch.
+        hosts_per_switch: usize,
+    },
+    /// A leaf-spine fabric: every leaf connects to every spine at the
+    /// builder link rate; hosts hang off leaves at the host rate.
+    LeafSpine {
+        /// Leaf (top-of-rack) switches.
+        leaves: usize,
+        /// Spine switches.
+        spines: usize,
+        /// Hosts per leaf.
+        hosts_per_leaf: usize,
+    },
+    /// A k-ary fat-tree: k pods of k/2 edge and k/2 aggregation switches,
+    /// (k/2)^2 cores, k^3/4 hosts. `k` must be even.
+    FatTree {
+        /// Fat-tree arity (even; the paper's §2.5 uses k = 64).
+        k: usize,
+    },
+    /// A fat-tree whose aggregation→core uplinks run at `1/oversub` of the
+    /// builder link rate — the classic oversubscribed fabric.
+    OversubFatTree {
+        /// Fat-tree arity (even).
+        k: usize,
+        /// Oversubscription factor (≥ 1); core uplinks get
+        /// `link_mbps / oversub`.
+        oversub: u64,
+    },
+    /// A fat-tree where each pod's *first* aggregation switch has
+    /// half-rate core uplinks: ECMP still splits evenly over equal-cost
+    /// paths of unequal capacity.
+    AsymFatTree {
+        /// Fat-tree arity (even).
+        k: usize,
+    },
+    /// A Jellyfish random-regular switch graph (Singla et al., NSDI'12):
+    /// a seed-deterministic random ring plus random port matching, with
+    /// `hosts_per_switch` hosts on every switch. Always connected.
+    Jellyfish {
+        /// Switch count (≥ 3).
+        switches: usize,
+        /// Network ports per switch (≥ 2, < `switches`).
+        degree: usize,
+        /// Hosts on every switch.
+        hosts_per_switch: usize,
+    },
+    /// An arbitrary switch graph from a TopologyZoo-style edge list.
+    /// Labels are mapped to switches in ascending label order; duplicate
+    /// edges and self-loops are ignored.
+    EdgeList {
+        /// Display name (used by [`TopologySpec::label`]).
+        name: String,
+        /// Undirected switch-graph edges as label pairs.
+        edges: Vec<(u16, u16)>,
+        /// Hosts on every switch.
+        hosts_per_switch: usize,
+    },
+}
+
+impl TopologySpec {
+    /// A short, filesystem-safe label for matrix output
+    /// (e.g. `fat_tree4`, `jellyfish16x4`, `edge_abilene`).
+    pub fn label(&self) -> String {
+        match self {
+            TopologySpec::Star { hosts } => format!("star{hosts}"),
+            TopologySpec::Dumbbell { per_side } => format!("dumbbell{per_side}"),
+            TopologySpec::Line { switches, hosts_per_switch } => {
+                format!("line{switches}x{hosts_per_switch}")
+            }
+            TopologySpec::LeafSpine { leaves, spines, hosts_per_leaf } => {
+                format!("leaf_spine{leaves}x{spines}x{hosts_per_leaf}")
+            }
+            TopologySpec::FatTree { k } => format!("fat_tree{k}"),
+            TopologySpec::OversubFatTree { k, oversub } => {
+                format!("oversub_fat_tree{k}x{oversub}")
+            }
+            TopologySpec::AsymFatTree { k } => format!("asym_fat_tree{k}"),
+            TopologySpec::Jellyfish { switches, degree, .. } => {
+                format!("jellyfish{switches}x{degree}")
+            }
+            TopologySpec::EdgeList { name, .. } => format!("edge_{name}"),
+        }
+    }
+
+    /// Start a [`TopologyBuilder`] for this spec.
+    pub fn builder(self) -> TopologyBuilder {
+        TopologyBuilder::new(self)
+    }
+}
+
+/// Builds a routed [`Topology`] from a [`TopologySpec`] plus the physical
+/// knobs: switch-to-switch link rate, host link rate (defaults to the link
+/// rate), propagation delay, and the network seed.
+#[derive(Clone, Debug)]
+pub struct TopologyBuilder {
+    spec: TopologySpec,
+    link_mbps: u64,
+    host_mbps: Option<u64>,
+    delay_ns: u64,
+    seed: u64,
+}
+
+impl TopologyBuilder {
+    /// A builder with defaults: 1000 Mb/s links, host rate = link rate,
+    /// 1000 ns delay, seed 1.
+    pub fn new(spec: TopologySpec) -> Self {
+        TopologyBuilder { spec, link_mbps: 1000, host_mbps: None, delay_ns: 1000, seed: 1 }
+    }
+
+    /// Switch-to-switch link rate in Mb/s (also the host rate unless
+    /// [`TopologyBuilder::host_mbps`] overrides it).
+    pub fn link_mbps(mut self, mbps: u64) -> Self {
+        self.link_mbps = mbps;
+        self
+    }
+
+    /// Host link rate in Mb/s.
+    pub fn host_mbps(mut self, mbps: u64) -> Self {
+        self.host_mbps = Some(mbps);
+        self
+    }
+
+    /// Propagation delay on every link, in nanoseconds.
+    pub fn delay_ns(mut self, ns: u64) -> Self {
+        self.delay_ns = ns;
+        self
+    }
+
+    /// Seed for the network (ECMP hashing, fault streams) and for any
+    /// randomized wiring (jellyfish).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The spec this builder will construct.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// A short label for matrix output (delegates to the spec).
+    pub fn label(&self) -> String {
+        self.spec.label()
+    }
+
+    /// Construct the network, install shortest-path (ECMP) routes, and
+    /// return the routed topology.
+    pub fn build(self) -> Topology {
+        let host_mbps = self.host_mbps.unwrap_or(self.link_mbps);
+        let (link, delay, seed) = (self.link_mbps, self.delay_ns, self.seed);
+        let mut t = match self.spec {
+            TopologySpec::Star { hosts } => build_star(hosts, host_mbps, delay, seed),
+            TopologySpec::Dumbbell { per_side } => {
+                build_dumbbell(per_side, host_mbps, link, delay, seed)
+            }
+            TopologySpec::Line { switches, hosts_per_switch } => {
+                build_line(switches, hosts_per_switch, link, delay, seed)
+            }
+            TopologySpec::LeafSpine { leaves, spines, hosts_per_leaf } => {
+                build_leaf_spine(leaves, spines, hosts_per_leaf, link, host_mbps, delay, seed)
+            }
+            TopologySpec::FatTree { k } => build_fat_tree(k, link, delay, seed, |_, _| link),
+            TopologySpec::OversubFatTree { k, oversub } => {
+                assert!(oversub >= 1, "oversubscription factor must be >= 1");
+                let core = (link / oversub).max(1);
+                build_fat_tree(k, link, delay, seed, move |_, _| core)
+            }
+            TopologySpec::AsymFatTree { k } => {
+                let slow = (link / 2).max(1);
+                build_fat_tree(k, link, delay, seed, move |_, j| if j == 0 { slow } else { link })
+            }
+            TopologySpec::Jellyfish { switches, degree, hosts_per_switch } => {
+                build_jellyfish(switches, degree, hosts_per_switch, link, host_mbps, delay, seed)
+            }
+            TopologySpec::EdgeList { edges, hosts_per_switch, .. } => {
+                build_edge_list(&edges, hosts_per_switch, link, host_mbps, delay, seed)
+            }
+        };
+        t.install_routes();
+        t
+    }
+}
+
+fn switch_cfg(id: u32, n_ports: usize) -> SwitchConfig {
+    SwitchConfig::new(id, n_ports)
+}
+
+fn build_star(n: usize, host_mbps: u64, delay_ns: u64, seed: u64) -> Topology {
+    let mut net = Network::new(seed);
+    let sw = net.add_switch(switch_cfg(1, n));
+    let hosts: Vec<NodeId> = (0..n).map(|_| net.add_host(Box::new(NullApp))).collect();
+    for &h in &hosts {
+        net.connect(sw, h, LinkSpec::new(host_mbps, delay_ns));
+    }
+    Topology { net, hosts, switches: vec![sw] }
+}
+
+fn build_dumbbell(
+    per_side: usize,
+    host_mbps: u64,
+    bottleneck_mbps: u64,
+    delay_ns: u64,
+    seed: u64,
+) -> Topology {
+    let mut net = Network::new(seed);
+    let s0 = net.add_switch(switch_cfg(1, per_side + 1));
+    let s1 = net.add_switch(switch_cfg(2, per_side + 1));
+    net.connect(s0, s1, LinkSpec::new(bottleneck_mbps, delay_ns));
+    let mut hosts = Vec::new();
+    for side in [s0, s1] {
+        for _ in 0..per_side {
+            let h = net.add_host(Box::new(NullApp));
+            net.connect(side, h, LinkSpec::new(host_mbps, delay_ns));
+            hosts.push(h);
+        }
+    }
+    Topology { net, hosts, switches: vec![s0, s1] }
+}
+
+fn build_line(
+    n_switches: usize,
+    hosts_per_switch: usize,
+    link_mbps: u64,
+    delay_ns: u64,
+    seed: u64,
+) -> Topology {
+    let mut net = Network::new(seed);
+    let switches: Vec<NodeId> = (0..n_switches)
+        .map(|i| net.add_switch(switch_cfg(i as u32 + 1, hosts_per_switch + 2)))
+        .collect();
+    for w in switches.windows(2) {
+        net.connect(w[0], w[1], LinkSpec::new(link_mbps, delay_ns));
+    }
+    let mut hosts = Vec::new();
+    for &s in &switches {
+        for _ in 0..hosts_per_switch {
+            let h = net.add_host(Box::new(NullApp));
+            net.connect(s, h, LinkSpec::new(link_mbps, delay_ns));
+            hosts.push(h);
+        }
+    }
+    Topology { net, hosts, switches }
+}
+
+fn build_leaf_spine(
+    n_leaf: usize,
+    n_spine: usize,
+    hosts_per_leaf: usize,
+    fabric_mbps: u64,
+    host_mbps: u64,
+    delay_ns: u64,
+    seed: u64,
+) -> Topology {
+    let mut net = Network::new(seed);
+    let spines: Vec<NodeId> =
+        (0..n_spine).map(|i| net.add_switch(switch_cfg(100 + i as u32, n_leaf))).collect();
+    let leaves: Vec<NodeId> = (0..n_leaf)
+        .map(|i| net.add_switch(switch_cfg(1 + i as u32, n_spine + hosts_per_leaf)))
+        .collect();
+    for &leaf in &leaves {
+        for &spine in &spines {
+            net.connect(leaf, spine, LinkSpec::new(fabric_mbps, delay_ns));
+        }
+    }
+    let mut hosts = Vec::new();
+    for &leaf in &leaves {
+        for _ in 0..hosts_per_leaf {
+            let h = net.add_host(Box::new(NullApp));
+            net.connect(leaf, h, LinkSpec::new(host_mbps, delay_ns));
+            hosts.push(h);
+        }
+    }
+    let mut switches = leaves.clone();
+    switches.extend_from_slice(&spines);
+    Topology { net, hosts, switches }
+}
+
+/// Fat-tree skeleton shared by the plain, oversubscribed, and asymmetric
+/// variants: `core_rate(pod, agg_index)` decides each aggregation→core
+/// uplink's rate, everything else runs at `link_mbps`.
+fn build_fat_tree(
+    k: usize,
+    link_mbps: u64,
+    delay_ns: u64,
+    seed: u64,
+    core_rate: impl Fn(usize, usize) -> u64,
+) -> Topology {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+    let half = k / 2;
+    let mut net = Network::new(seed);
+
+    let cores: Vec<NodeId> =
+        (0..half * half).map(|i| net.add_switch(switch_cfg(1000 + i as u32, k))).collect();
+    let mut aggs: Vec<Vec<NodeId>> = Vec::new();
+    let mut edges: Vec<Vec<NodeId>> = Vec::new();
+    for pod in 0..k {
+        aggs.push(
+            (0..half).map(|i| net.add_switch(switch_cfg((100 + pod * 10 + i) as u32, k))).collect(),
+        );
+        edges.push(
+            (0..half).map(|i| net.add_switch(switch_cfg((500 + pod * 10 + i) as u32, k))).collect(),
+        );
+    }
+    // Core <-> aggregation: core (i, j) connects to aggregation j of each pod.
+    for j in 0..half {
+        for i in 0..half {
+            let core = cores[j * half + i];
+            for (pod, pod_aggs) in aggs.iter().enumerate() {
+                net.connect(pod_aggs[j], core, LinkSpec::new(core_rate(pod, j), delay_ns));
+            }
+        }
+    }
+    // Aggregation <-> edge within a pod (full bipartite).
+    for pod in 0..k {
+        for &a in &aggs[pod] {
+            for &e in &edges[pod] {
+                net.connect(a, e, LinkSpec::new(link_mbps, delay_ns));
+            }
+        }
+    }
+    // Hosts on edges.
+    let mut hosts = Vec::new();
+    for pod_edges in &edges {
+        for &e in pod_edges {
+            for _ in 0..half {
+                let h = net.add_host(Box::new(NullApp));
+                net.connect(e, h, LinkSpec::new(link_mbps, delay_ns));
+                hosts.push(h);
+            }
+        }
+    }
+    let mut switches = cores.clone();
+    for pod in 0..k {
+        switches.extend_from_slice(&aggs[pod]);
+        switches.extend_from_slice(&edges[pod]);
+    }
+    Topology { net, hosts, switches }
+}
+
+fn build_jellyfish(
+    n: usize,
+    degree: usize,
+    hosts_per_switch: usize,
+    link_mbps: u64,
+    host_mbps: u64,
+    delay_ns: u64,
+    seed: u64,
+) -> Topology {
+    assert!(n >= 3, "jellyfish needs at least 3 switches");
+    assert!((2..n).contains(&degree), "jellyfish degree must be in 2..switches");
+    let mut net = Network::new(seed);
+    let switches: Vec<NodeId> = (0..n)
+        .map(|i| net.add_switch(switch_cfg(1 + i as u32, degree + hosts_per_switch)))
+        .collect();
+
+    // Wiring randomness is its own stream so it cannot perturb the
+    // network's ECMP/fault streams for the same seed.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4A45_4C4C_5946_4953);
+    let mut adj = vec![vec![false; n]; n];
+    let mut free = vec![degree; n];
+
+    // A random ring first: connectivity is guaranteed before any random
+    // matching happens, so every built jellyfish is usable.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    for i in 0..n {
+        let (a, b) = (perm[i], perm[(i + 1) % n]);
+        if !adj[a][b] {
+            adj[a][b] = true;
+            adj[b][a] = true;
+            net.connect(switches[a], switches[b], LinkSpec::new(link_mbps, delay_ns));
+            free[a] -= 1;
+            free[b] -= 1;
+        }
+    }
+
+    // Random matching over the remaining ports: pick two non-adjacent
+    // switches with free ports until no progress is possible.
+    let mut misses = 0usize;
+    while misses < 50 * n {
+        let cand: Vec<usize> = (0..n).filter(|&i| free[i] > 0).collect();
+        if cand.len() < 2 {
+            break;
+        }
+        let a = cand[rng.random_range(0..cand.len())];
+        let b = cand[rng.random_range(0..cand.len())];
+        if a == b || adj[a][b] {
+            misses += 1;
+            continue;
+        }
+        adj[a][b] = true;
+        adj[b][a] = true;
+        net.connect(switches[a], switches[b], LinkSpec::new(link_mbps, delay_ns));
+        free[a] -= 1;
+        free[b] -= 1;
+        misses = 0;
+    }
+
+    let mut hosts = Vec::new();
+    for &s in &switches {
+        for _ in 0..hosts_per_switch {
+            let h = net.add_host(Box::new(NullApp));
+            net.connect(s, h, LinkSpec::new(host_mbps, delay_ns));
+            hosts.push(h);
+        }
+    }
+    Topology { net, hosts, switches }
+}
+
+fn build_edge_list(
+    edges: &[(u16, u16)],
+    hosts_per_switch: usize,
+    link_mbps: u64,
+    host_mbps: u64,
+    delay_ns: u64,
+    seed: u64,
+) -> Topology {
+    assert!(!edges.is_empty(), "edge list must name at least one edge");
+    let mut labels: Vec<u16> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    let index_of = |l: u16| labels.binary_search(&l).unwrap();
+    let n = labels.len();
+
+    let mut deg = vec![0usize; n];
+    let mut seen = std::collections::BTreeSet::new();
+    let mut wires: Vec<(usize, usize)> = Vec::new();
+    for &(a, b) in edges {
+        if a == b {
+            continue;
+        }
+        let (ia, ib) = (index_of(a), index_of(b));
+        if !seen.insert((ia.min(ib), ia.max(ib))) {
+            continue;
+        }
+        deg[ia] += 1;
+        deg[ib] += 1;
+        wires.push((ia, ib));
+    }
+
+    let mut net = Network::new(seed);
+    let switches: Vec<NodeId> = (0..n)
+        .map(|i| net.add_switch(switch_cfg(1 + i as u32, deg[i] + hosts_per_switch)))
+        .collect();
+    for &(a, b) in &wires {
+        net.connect(switches[a], switches[b], LinkSpec::new(link_mbps, delay_ns));
+    }
+    let mut hosts = Vec::new();
+    for &s in &switches {
+        for _ in 0..hosts_per_switch {
+            let h = net.add_host(Box::new(NullApp));
+            net.connect(s, h, LinkSpec::new(host_mbps, delay_ns));
+            hosts.push(h);
+        }
+    }
+    Topology { net, hosts, switches }
+}
+
+/// Parse a TopologyZoo-style edge list: one `a b` pair of numeric labels
+/// per line, `#` starting a comment. Returns a [`TopologySpec::EdgeList`].
+pub fn parse_edge_list(
+    name: &str,
+    text: &str,
+    hosts_per_switch: usize,
+) -> Result<TopologySpec, String> {
+    let mut edges = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (a, b) = (it.next(), it.next());
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                let a = a.parse::<u16>().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let b = b.parse::<u16>().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                edges.push((a, b));
+            }
+            _ => return Err(format!("line {}: expected two labels", lineno + 1)),
+        }
+    }
+    if edges.is_empty() {
+        return Err("edge list is empty".into());
+    }
+    Ok(TopologySpec::EdgeList { name: name.to_string(), edges, hosts_per_switch })
+}
+
+/// The Abilene (Internet2) backbone as a bundled TopologyZoo-style edge
+/// list: 11 switches, 14 links, `hosts_per_switch` hosts each.
+pub fn abilene(hosts_per_switch: usize) -> TopologySpec {
+    TopologySpec::EdgeList {
+        name: "abilene".to_string(),
+        edges: vec![
+            (0, 1),  // Seattle - Sunnyvale
+            (0, 2),  // Seattle - Denver
+            (1, 3),  // Sunnyvale - Los Angeles
+            (1, 2),  // Sunnyvale - Denver
+            (2, 5),  // Denver - Kansas City
+            (3, 4),  // Los Angeles - Houston
+            (4, 5),  // Houston - Kansas City
+            (4, 7),  // Houston - Atlanta
+            (5, 6),  // Kansas City - Indianapolis
+            (6, 7),  // Indianapolis - Atlanta
+            (6, 8),  // Indianapolis - Chicago
+            (7, 9),  // Atlanta - Washington DC
+            (8, 10), // Chicago - New York
+            (9, 10), // Washington DC - New York
+        ],
+        hosts_per_switch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connected(t: &Topology) -> bool {
+        let n = t.net.node_count();
+        let mut seen = vec![false; n];
+        let mut stack = vec![t.switches[0]];
+        seen[t.switches[0].0 as usize] = true;
+        let mut count = 1;
+        while let Some(node) = stack.pop() {
+            for (_, peer) in t.net.neighbors_iter(node) {
+                if !seen[peer.0 as usize] {
+                    seen[peer.0 as usize] = true;
+                    count += 1;
+                    stack.push(peer);
+                }
+            }
+        }
+        count == n
+    }
+
+    #[test]
+    fn jellyfish_is_connected_and_degree_bounded() {
+        for seed in [1u64, 7, 42] {
+            let t = TopologyBuilder::new(TopologySpec::Jellyfish {
+                switches: 12,
+                degree: 4,
+                hosts_per_switch: 1,
+            })
+            .seed(seed)
+            .build();
+            assert_eq!(t.switches.len(), 12);
+            assert_eq!(t.hosts.len(), 12);
+            assert!(connected(&t), "seed {seed}");
+            for &s in &t.switches {
+                let net_links =
+                    t.net.neighbors(s).iter().filter(|&&(_, p)| t.net.is_switch(p)).count();
+                assert!(net_links <= 4, "degree bound violated at seed {seed}");
+                assert!(net_links >= 2, "ring guarantees degree >= 2");
+            }
+        }
+    }
+
+    #[test]
+    fn jellyfish_same_seed_same_graph() {
+        let build = |seed| {
+            TopologyBuilder::new(TopologySpec::Jellyfish {
+                switches: 10,
+                degree: 3,
+                hosts_per_switch: 1,
+            })
+            .seed(seed)
+            .build()
+        };
+        let (a, b) = (build(5), build(5));
+        for (&sa, &sb) in a.switches.iter().zip(&b.switches) {
+            assert_eq!(a.net.neighbors(sa), b.net.neighbors(sb));
+        }
+    }
+
+    #[test]
+    fn oversub_fat_tree_slows_core_uplinks_only() {
+        let t = TopologyBuilder::new(TopologySpec::OversubFatTree { k: 4, oversub: 4 })
+            .link_mbps(1000)
+            .build();
+        let mut core_rates = Vec::new();
+        let mut edge_rates = Vec::new();
+        for (a, _pa, b, _pb, spec) in t.net.links_iter() {
+            if t.net.is_switch(a) && t.net.is_switch(b) {
+                let ids = (t.net.switch(a).cfg.switch_id, t.net.switch(b).cfg.switch_id);
+                if ids.0 >= 1000 || ids.1 >= 1000 {
+                    core_rates.push(spec.rate_mbps);
+                } else {
+                    edge_rates.push(spec.rate_mbps);
+                }
+            }
+        }
+        assert!(core_rates.iter().all(|&r| r == 250), "{core_rates:?}");
+        assert!(edge_rates.iter().all(|&r| r == 1000), "{edge_rates:?}");
+    }
+
+    #[test]
+    fn asym_fat_tree_halves_first_agg_uplinks() {
+        let t = TopologyBuilder::new(TopologySpec::AsymFatTree { k: 4 }).link_mbps(1000).build();
+        let mut slow = 0;
+        let mut fast = 0;
+        for (a, _pa, b, _pb, spec) in t.net.links_iter() {
+            if t.net.is_switch(a) && t.net.is_switch(b) {
+                let ids = (t.net.switch(a).cfg.switch_id, t.net.switch(b).cfg.switch_id);
+                if ids.0 >= 1000 || ids.1 >= 1000 {
+                    if spec.rate_mbps == 500 {
+                        slow += 1;
+                    } else {
+                        assert_eq!(spec.rate_mbps, 1000);
+                        fast += 1;
+                    }
+                }
+            }
+        }
+        // k=4: 2 aggs/pod x 2 core links each x 4 pods = 16 core links, half
+        // through agg 0 of each pod; links_iter yields both directions.
+        assert_eq!(slow, 16);
+        assert_eq!(fast, 16);
+    }
+
+    #[test]
+    fn abilene_imports_and_connects() {
+        let t = TopologyBuilder::new(abilene(1)).build();
+        assert_eq!(t.switches.len(), 11);
+        assert_eq!(t.hosts.len(), 11);
+        assert!(connected(&t));
+    }
+
+    #[test]
+    fn edge_list_parser_roundtrips() {
+        let spec = parse_edge_list("tiny", "0 1\n1 2 # ring\n2 0\n# done\n", 2).unwrap();
+        let label = spec.label();
+        assert_eq!(label, "edge_tiny");
+        let t = TopologyBuilder::new(spec).build();
+        assert_eq!(t.switches.len(), 3);
+        assert_eq!(t.hosts.len(), 6);
+        assert!(connected(&t));
+    }
+
+    #[test]
+    fn edge_list_parser_rejects_garbage() {
+        assert!(parse_edge_list("x", "0\n", 1).is_err());
+        assert!(parse_edge_list("x", "a b\n", 1).is_err());
+        assert!(parse_edge_list("x", "# nothing\n", 1).is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TopologySpec::FatTree { k: 8 }.label(), "fat_tree8");
+        assert_eq!(
+            TopologySpec::Jellyfish { switches: 16, degree: 4, hosts_per_switch: 1 }.label(),
+            "jellyfish16x4"
+        );
+        assert_eq!(
+            TopologySpec::OversubFatTree { k: 4, oversub: 4 }.label(),
+            "oversub_fat_tree4x4"
+        );
+    }
+}

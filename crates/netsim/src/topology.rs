@@ -1,14 +1,19 @@
-//! Topology builders and shortest-path (ECMP) route installation.
+//! The [`Topology`] type and shortest-path (ECMP) route installation.
 //!
-//! Each builder wires hosts (initially running `NullApp`) and switches,
-//! then installs host routes on every switch via BFS: where multiple
-//! equal-cost next hops exist, an ECMP group is installed, exactly like the
-//! multipath group tables of §2.4.
+//! Topology *construction* lives in [`crate::scenario`]: declare a
+//! [`TopologySpec`], tune rates/delay/seed on a [`TopologyBuilder`], and
+//! `build()`. Route installation is BFS per host: where multiple
+//! equal-cost next hops exist, an ECMP group is installed, exactly like
+//! the multipath group tables of §2.4. The free functions below (`star`,
+//! `dumbbell`, `line`, `leaf_spine`, `fat_tree`) are deprecated wrappers
+//! kept for source compatibility — they delegate to the builder and
+//! produce bit-identical networks.
 
 use std::collections::VecDeque;
 
-use crate::net::{LinkSpec, Network, NodeId, NullApp};
-use tpp_switch::{Action, SwitchConfig};
+use crate::net::{Network, NodeId};
+use crate::scenario::{TopologyBuilder, TopologySpec};
+use tpp_switch::Action;
 
 /// A dense map keyed by `NodeId.0` (node ids are compact, assigned from 0
 /// upward by the builders), replacing the tree/hash maps that used to sit
@@ -128,26 +133,25 @@ fn find_or_add_group(sw: &mut tpp_switch::Switch, ports: Vec<u8>) -> u16 {
     sw.add_group(ports)
 }
 
-/// Default switch config for topology builders.
-fn switch_cfg(id: u32, n_ports: usize) -> SwitchConfig {
-    SwitchConfig::new(id, n_ports)
-}
-
 /// One switch, `n` hosts (a star). Host link rate `host_mbps`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use scenario::TopologyBuilder with TopologySpec::Star instead"
+)]
 pub fn star(n: usize, host_mbps: u64, delay_ns: u64, seed: u64) -> Topology {
-    let mut net = Network::new(seed);
-    let sw = net.add_switch(switch_cfg(1, n));
-    let hosts: Vec<NodeId> = (0..n).map(|_| net.add_host(Box::new(NullApp))).collect();
-    for &h in &hosts {
-        net.connect(sw, h, LinkSpec::new(host_mbps, delay_ns));
-    }
-    let mut t = Topology { net, hosts, switches: vec![sw] };
-    t.install_routes();
-    t
+    TopologyBuilder::new(TopologySpec::Star { hosts: n })
+        .host_mbps(host_mbps)
+        .delay_ns(delay_ns)
+        .seed(seed)
+        .build()
 }
 
 /// The §2.1 micro-burst topology: two switches joined by a bottleneck, with
 /// `per_side` hosts on each (6 hosts total for `per_side = 3`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use scenario::TopologyBuilder with TopologySpec::Dumbbell instead"
+)]
 pub fn dumbbell(
     per_side: usize,
     host_mbps: u64,
@@ -155,26 +159,21 @@ pub fn dumbbell(
     delay_ns: u64,
     seed: u64,
 ) -> Topology {
-    let mut net = Network::new(seed);
-    let s0 = net.add_switch(switch_cfg(1, per_side + 1));
-    let s1 = net.add_switch(switch_cfg(2, per_side + 1));
-    net.connect(s0, s1, LinkSpec::new(bottleneck_mbps, delay_ns));
-    let mut hosts = Vec::new();
-    for side in [s0, s1] {
-        for _ in 0..per_side {
-            let h = net.add_host(Box::new(NullApp));
-            net.connect(side, h, LinkSpec::new(host_mbps, delay_ns));
-            hosts.push(h);
-        }
-    }
-    let mut t = Topology { net, hosts, switches: vec![s0, s1] };
-    t.install_routes();
-    t
+    TopologyBuilder::new(TopologySpec::Dumbbell { per_side })
+        .link_mbps(bottleneck_mbps)
+        .host_mbps(host_mbps)
+        .delay_ns(delay_ns)
+        .seed(seed)
+        .build()
 }
 
 /// A line of `n_switches` switches with `hosts_per_switch` hosts on each —
 /// the Figure 2 RCP topology is `line(3, 1)`-like: a flow traversing both
 /// inter-switch links shares each with a one-link flow.
+#[deprecated(
+    since = "0.2.0",
+    note = "use scenario::TopologyBuilder with TopologySpec::Line instead"
+)]
 pub fn line(
     n_switches: usize,
     hosts_per_switch: usize,
@@ -182,29 +181,20 @@ pub fn line(
     delay_ns: u64,
     seed: u64,
 ) -> Topology {
-    let mut net = Network::new(seed);
-    let switches: Vec<NodeId> = (0..n_switches)
-        .map(|i| net.add_switch(switch_cfg(i as u32 + 1, hosts_per_switch + 2)))
-        .collect();
-    for w in switches.windows(2) {
-        net.connect(w[0], w[1], LinkSpec::new(link_mbps, delay_ns));
-    }
-    let mut hosts = Vec::new();
-    for &s in &switches {
-        for _ in 0..hosts_per_switch {
-            let h = net.add_host(Box::new(NullApp));
-            net.connect(s, h, LinkSpec::new(link_mbps, delay_ns));
-            hosts.push(h);
-        }
-    }
-    let mut t = Topology { net, hosts, switches };
-    t.install_routes();
-    t
+    TopologyBuilder::new(TopologySpec::Line { switches: n_switches, hosts_per_switch })
+        .link_mbps(link_mbps)
+        .delay_ns(delay_ns)
+        .seed(seed)
+        .build()
 }
 
 /// A leaf-spine fabric (the Figure 4 CONGA topology is
 /// `leaf_spine(3, 2, 1, ...)`): every leaf connects to every spine.
 /// Returns hosts grouped leaf-major (`hosts[leaf * hosts_per_leaf + i]`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use scenario::TopologyBuilder with TopologySpec::LeafSpine instead"
+)]
 pub fn leaf_spine(
     n_leaf: usize,
     n_spine: usize,
@@ -214,87 +204,30 @@ pub fn leaf_spine(
     delay_ns: u64,
     seed: u64,
 ) -> Topology {
-    let mut net = Network::new(seed);
-    let spines: Vec<NodeId> =
-        (0..n_spine).map(|i| net.add_switch(switch_cfg(100 + i as u32, n_leaf))).collect();
-    let leaves: Vec<NodeId> = (0..n_leaf)
-        .map(|i| net.add_switch(switch_cfg(1 + i as u32, n_spine + hosts_per_leaf)))
-        .collect();
-    for &leaf in &leaves {
-        for &spine in &spines {
-            net.connect(leaf, spine, LinkSpec::new(fabric_mbps, delay_ns));
-        }
-    }
-    let mut hosts = Vec::new();
-    for &leaf in &leaves {
-        for _ in 0..hosts_per_leaf {
-            let h = net.add_host(Box::new(NullApp));
-            net.connect(leaf, h, LinkSpec::new(host_mbps, delay_ns));
-            hosts.push(h);
-        }
-    }
-    let mut switches = leaves.clone();
-    switches.extend_from_slice(&spines);
-    let mut t = Topology { net, hosts, switches };
-    t.install_routes();
-    t
+    TopologyBuilder::new(TopologySpec::LeafSpine {
+        leaves: n_leaf,
+        spines: n_spine,
+        hosts_per_leaf,
+    })
+    .link_mbps(fabric_mbps)
+    .host_mbps(host_mbps)
+    .delay_ns(delay_ns)
+    .seed(seed)
+    .build()
 }
 
 /// A k-ary fat-tree (§2.5 uses k = 64; tests use k = 4): k pods of k/2 edge
 /// and k/2 aggregation switches, (k/2)^2 cores, k^3/4 hosts.
+#[deprecated(
+    since = "0.2.0",
+    note = "use scenario::TopologyBuilder with TopologySpec::FatTree instead"
+)]
 pub fn fat_tree(k: usize, link_mbps: u64, delay_ns: u64, seed: u64) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
-    let half = k / 2;
-    let mut net = Network::new(seed);
-
-    let cores: Vec<NodeId> =
-        (0..half * half).map(|i| net.add_switch(switch_cfg(1000 + i as u32, k))).collect();
-    let mut aggs: Vec<Vec<NodeId>> = Vec::new();
-    let mut edges: Vec<Vec<NodeId>> = Vec::new();
-    for pod in 0..k {
-        aggs.push(
-            (0..half).map(|i| net.add_switch(switch_cfg((100 + pod * 10 + i) as u32, k))).collect(),
-        );
-        edges.push(
-            (0..half).map(|i| net.add_switch(switch_cfg((500 + pod * 10 + i) as u32, k))).collect(),
-        );
-    }
-    // Core <-> aggregation: core (i, j) connects to aggregation j of each pod.
-    for j in 0..half {
-        for i in 0..half {
-            let core = cores[j * half + i];
-            for pod_aggs in &aggs {
-                net.connect(pod_aggs[j], core, LinkSpec::new(link_mbps, delay_ns));
-            }
-        }
-    }
-    // Aggregation <-> edge within a pod (full bipartite).
-    for pod in 0..k {
-        for &a in &aggs[pod] {
-            for &e in &edges[pod] {
-                net.connect(a, e, LinkSpec::new(link_mbps, delay_ns));
-            }
-        }
-    }
-    // Hosts on edges.
-    let mut hosts = Vec::new();
-    for pod_edges in &edges {
-        for &e in pod_edges {
-            for _ in 0..half {
-                let h = net.add_host(Box::new(NullApp));
-                net.connect(e, h, LinkSpec::new(link_mbps, delay_ns));
-                hosts.push(h);
-            }
-        }
-    }
-    let mut switches = cores.clone();
-    for pod in 0..k {
-        switches.extend_from_slice(&aggs[pod]);
-        switches.extend_from_slice(&edges[pod]);
-    }
-    let mut t = Topology { net, hosts, switches };
-    t.install_routes();
-    t
+    TopologyBuilder::new(TopologySpec::FatTree { k })
+        .link_mbps(link_mbps)
+        .delay_ns(delay_ns)
+        .seed(seed)
+        .build()
 }
 
 /// Map from host node id to its index in `hosts` (handy for experiments):
@@ -376,41 +309,119 @@ mod tests {
         }
     }
 
+    fn fat_tree4() -> Topology {
+        TopologyBuilder::new(TopologySpec::FatTree { k: 4 }).build()
+    }
+
     #[test]
     fn star_connectivity() {
-        assert_all_pairs_connectivity(star(4, 1000, 1000, 1), "star");
+        let t = TopologyBuilder::new(TopologySpec::Star { hosts: 4 }).host_mbps(1000).build();
+        assert_all_pairs_connectivity(t, "star");
     }
 
     #[test]
     fn dumbbell_connectivity() {
-        assert_all_pairs_connectivity(dumbbell(3, 100, 100, 1000, 1), "dumbbell");
+        let t = TopologyBuilder::new(TopologySpec::Dumbbell { per_side: 3 })
+            .link_mbps(100)
+            .host_mbps(100)
+            .build();
+        assert_all_pairs_connectivity(t, "dumbbell");
     }
 
     #[test]
     fn line_connectivity() {
-        assert_all_pairs_connectivity(line(3, 2, 100, 1000, 1), "line");
+        let t = TopologyBuilder::new(TopologySpec::Line { switches: 3, hosts_per_switch: 2 })
+            .link_mbps(100)
+            .build();
+        assert_all_pairs_connectivity(t, "line");
     }
 
     #[test]
     fn leaf_spine_connectivity() {
-        assert_all_pairs_connectivity(leaf_spine(3, 2, 2, 100, 100, 1000, 1), "leaf-spine");
+        let t = TopologyBuilder::new(TopologySpec::LeafSpine {
+            leaves: 3,
+            spines: 2,
+            hosts_per_leaf: 2,
+        })
+        .link_mbps(100)
+        .host_mbps(100)
+        .build();
+        assert_all_pairs_connectivity(t, "leaf-spine");
     }
 
     #[test]
     fn fat_tree_structure() {
-        let t = fat_tree(4, 1000, 1000, 1);
+        let t = fat_tree4();
         assert_eq!(t.hosts.len(), 16);
         assert_eq!(t.switches.len(), 20); // 4 cores + 8 agg + 8 edge
     }
 
     #[test]
     fn fat_tree_connectivity() {
-        assert_all_pairs_connectivity(fat_tree(4, 1000, 1000, 1), "fat-tree");
+        assert_all_pairs_connectivity(fat_tree4(), "fat-tree");
+    }
+
+    /// The deprecated free functions must stay bit-identical to the
+    /// builder: same node ids, same link wiring, same installed routes.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        let pairs: Vec<(Topology, Topology)> = vec![
+            (
+                star(5, 1000, 2000, 9),
+                TopologyBuilder::new(TopologySpec::Star { hosts: 5 })
+                    .host_mbps(1000)
+                    .delay_ns(2000)
+                    .seed(9)
+                    .build(),
+            ),
+            (
+                dumbbell(2, 100, 50, 1000, 3),
+                TopologyBuilder::new(TopologySpec::Dumbbell { per_side: 2 })
+                    .link_mbps(50)
+                    .host_mbps(100)
+                    .delay_ns(1000)
+                    .seed(3)
+                    .build(),
+            ),
+            (
+                leaf_spine(3, 2, 1, 100, 1000, 10_000, 4),
+                TopologyBuilder::new(TopologySpec::LeafSpine {
+                    leaves: 3,
+                    spines: 2,
+                    hosts_per_leaf: 1,
+                })
+                .link_mbps(100)
+                .host_mbps(1000)
+                .delay_ns(10_000)
+                .seed(4)
+                .build(),
+            ),
+            (
+                fat_tree(4, 1000, 1000, 13),
+                TopologyBuilder::new(TopologySpec::FatTree { k: 4 })
+                    .link_mbps(1000)
+                    .delay_ns(1000)
+                    .seed(13)
+                    .build(),
+            ),
+        ];
+        for (a, b) in &pairs {
+            assert_eq!(a.hosts, b.hosts);
+            assert_eq!(a.switches, b.switches);
+            assert_eq!(a.net.node_count(), b.net.node_count());
+            for n in 0..a.net.node_count() as u32 {
+                assert_eq!(a.net.neighbors(NodeId(n)), b.net.neighbors(NodeId(n)));
+            }
+            let la: Vec<_> = a.net.links_iter().collect();
+            let lb: Vec<_> = b.net.links_iter().collect();
+            assert_eq!(la, lb, "link specs must match");
+        }
     }
 
     #[test]
     fn host_index_is_dense_and_complete() {
-        let t = fat_tree(4, 1000, 1000, 1);
+        let t = fat_tree4();
         let idx = host_index(&t);
         for (i, &h) in t.hosts.iter().enumerate() {
             assert_eq!(idx.get(h), Some(&i));
@@ -423,7 +434,15 @@ mod tests {
 
     #[test]
     fn ecmp_groups_installed_in_leaf_spine() {
-        let t = leaf_spine(2, 2, 1, 100, 100, 0, 1);
+        let t = TopologyBuilder::new(TopologySpec::LeafSpine {
+            leaves: 2,
+            spines: 2,
+            hosts_per_leaf: 1,
+        })
+        .link_mbps(100)
+        .host_mbps(100)
+        .delay_ns(0)
+        .build();
         // Each leaf should reach the remote host through a 2-way group.
         let leaf0 = t.switches[0];
         let remote_ip = t.net.host(t.hosts[1]).ip;
@@ -444,7 +463,7 @@ mod tests {
 
     #[test]
     fn fat_tree_cross_pod_uses_multipath() {
-        let t = fat_tree(4, 1000, 1000, 1);
+        let t = fat_tree4();
         // Edge switch routing to a remote pod must offer 2 uplinks.
         let edge0 = t.switches[4]; // first non-core is agg; layout: 4 cores then pods
         let _ = edge0;

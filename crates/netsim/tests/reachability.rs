@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use tpp_core::wire::{ethernet, ipv4, udp, EthernetAddress, EthernetRepr, Ipv4Address};
-use tpp_netsim::{topology, HostApp, HostCtx, NodeId, Topology, MILLIS};
+use tpp_netsim::{HostApp, HostCtx, NodeId, Topology, TopologySpec, MILLIS};
 
 /// Sends one frame to every other host at start; counts frames received.
 struct AllPairsApp {
@@ -96,18 +96,62 @@ fn assert_all_pairs_deliver(mut t: Topology, label: &str) {
 #[test]
 fn all_pairs_reach_on_fat_tree_4() {
     // 16 hosts, 240 ordered pairs, ECMP at edge and aggregation layers.
-    assert_all_pairs_deliver(topology::fat_tree(4, 1000, 1000, 1), "fat-tree k=4");
+    assert_all_pairs_deliver(
+        TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(1).build(),
+        "fat-tree k=4",
+    );
 }
 
 #[test]
 fn all_pairs_reach_on_leaf_spine() {
     // 12 hosts over 4 leaves x 2 spines: every leaf pair has a 2-way group.
-    assert_all_pairs_deliver(topology::leaf_spine(4, 2, 3, 1000, 1000, 1000, 2), "leaf-spine");
+    assert_all_pairs_deliver(
+        TopologySpec::LeafSpine { leaves: 4, spines: 2, hosts_per_leaf: 3 }
+            .builder()
+            .link_mbps(1000)
+            .host_mbps(1000)
+            .delay_ns(1000)
+            .seed(2)
+            .build(),
+        "leaf-spine",
+    );
 }
 
 #[test]
 fn all_pairs_reach_on_fat_tree_4_alternate_seed() {
     // A different seed shifts ECMP hashes onto different group members;
     // delivery must be invariant.
-    assert_all_pairs_deliver(topology::fat_tree(4, 1000, 1000, 99), "fat-tree k=4 seed 99");
+    assert_all_pairs_deliver(
+        TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(99).build(),
+        "fat-tree k=4 seed 99",
+    );
+}
+
+#[test]
+fn all_pairs_reach_on_jellyfish() {
+    // 20 hosts on a random-regular graph: routes come from plain BFS, so
+    // delivery exercises whatever diameters the matching produced.
+    assert_all_pairs_deliver(
+        TopologySpec::Jellyfish { switches: 10, degree: 4, hosts_per_switch: 2 }
+            .builder()
+            .link_mbps(1000)
+            .delay_ns(1000)
+            .seed(7)
+            .build(),
+        "jellyfish 10x4",
+    );
+}
+
+#[test]
+fn all_pairs_reach_on_oversubscribed_fat_tree() {
+    // Slower core uplinks change timing but must not change reachability.
+    assert_all_pairs_deliver(
+        TopologySpec::OversubFatTree { k: 4, oversub: 4 }
+            .builder()
+            .link_mbps(1000)
+            .delay_ns(1000)
+            .seed(3)
+            .build(),
+        "oversub fat-tree k=4",
+    );
 }

@@ -9,6 +9,11 @@
 //! Same-timestamp keyed ordering is the load-bearing property: the sharded
 //! fabric replays tie-breaks from keys alone, so a wheel that reordered a
 //! single equal-time pair would silently break digest determinism.
+//!
+//! Every property runs at three spill thresholds — 0 (pure wheel), 16 (the
+//! heap backend spills into the wheel mid-schedule), and the default — so
+//! the hybrid's backend switch is exercised under the same arbitrary
+//! schedules as the wheel itself.
 
 use proptest::prelude::*;
 use tpp_netsim::engine::{HeapQueue, Scheduler};
@@ -30,11 +35,12 @@ prop_compose! {
 proptest! {
     #[test]
     fn wheel_matches_heap_reference(ops in prop::collection::vec(arb_op(), 1..300)) {
-        let mut wheel = Scheduler::new();
+        for threshold in [0, 16, usize::MAX] {
+        let mut wheel = Scheduler::with_spill_threshold(threshold);
         let mut heap = HeapQueue::new();
         let mut next_id = 0u64;
         let mut batch: Vec<(u64, u64)> = Vec::new();
-        for (kind, delay, key) in ops {
+        for &(kind, delay, key) in &ops {
             match kind {
                 0 | 1 => {
                     let at = heap.now() + delay;
@@ -74,6 +80,7 @@ proptest! {
         }
         prop_assert_eq!(wheel.now(), heap.now());
         prop_assert!(wheel.is_empty());
+        }
     }
 
     /// Scheduling *at the current timestamp* while that timestamp's batch
@@ -83,7 +90,8 @@ proptest! {
         keys in prop::collection::vec(0u64..6, 2..40),
         late_keys in prop::collection::vec(0u64..6, 1..20),
     ) {
-        let mut wheel = Scheduler::new();
+        for threshold in [0, 16, usize::MAX] {
+        let mut wheel = Scheduler::with_spill_threshold(threshold);
         let mut heap = HeapQueue::new();
         for (i, &k) in keys.iter().enumerate() {
             wheel.schedule_keyed(50, k, i as u64);
@@ -103,6 +111,7 @@ proptest! {
             if w.is_none() {
                 break;
             }
+        }
         }
     }
 }

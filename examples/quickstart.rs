@@ -8,13 +8,19 @@
 
 use minions::core::probe::Probe;
 use minions::endhost::{Endhost, ExecutorConfig, Harness};
-use minions::netsim::{topology, MILLIS};
+use minions::netsim::MILLIS;
+use tpp_netsim::TopologySpec;
 
 type Rows = Vec<(u32, u32, u32)>;
 
 fn main() {
     // A 3-switch line; the probe traverses all three.
-    let mut topo = topology::line(3, 1, 1000, 10_000, 42);
+    let mut topo = TopologySpec::Line { switches: 3, hosts_per_switch: 1 }
+        .builder()
+        .link_mbps(1000)
+        .delay_ns(10_000)
+        .seed(42)
+        .build();
     let hosts = topo.hosts.clone();
     let dst = topo.net.host(hosts[2]).ip;
     topo.net.set_app(hosts[2], Box::new(minions::apps::common::Responder::new()));

@@ -12,8 +12,9 @@
 #                     (CI smoke mode; see vendor/criterion).
 #   BENCH_LABEL       label stored in the JSON (default: "current").
 #
-# Output: a JSON object mapping benchmark names to median ns/iter, e.g.
-#   {"schema":1,"label":"current","benches":{"switch_forward/tpp_packet":{"median_ns":257.1},...}}
+# Output: a JSON object mapping benchmark names to median ns/iter, plus one
+# evaluation-matrix cell (eval_matrix --cell) under "matrix_cell", e.g.
+#   {"schema":1,"label":"current","benches":{...},"matrix_cell":{...}}
 #
 # The committed per-PR baseline (e.g. BENCH_pr2.json) embeds two such runs
 # under "baseline" (pre-PR) and "current" (post-PR).
@@ -37,10 +38,16 @@ cargo bench -p tpp-bench --bench fabric_scale | tee -a "$RAW"
 # plus the batched end-to-end delivery loop (digest-pinned).
 cargo bench -p tpp-bench --bench engine_scale | tee -a "$RAW"
 
+# One evaluation-matrix cell through the Scenario API: the fat_tree4:uniform
+# workload at 2 shards (digest equality vs the single-threaded reference is
+# asserted inside eval_matrix for multi-shard cells run via the sweep; here
+# we record the cell JSON itself). The last stdout line is the cell object.
+CELL_JSON="$(cargo run -p tpp-bench --release --bin eval_matrix -- --cell fat_tree4:uniform:2 | tail -n 1)"
+
 # Lines look like:
 #   switch_forward/tpp_packet   time: [246.4 ns 268.2 ns 321.6 ns] thrpt: ...
 # Field layout after splitting: name time: [min min_unit median median_unit ...
-awk -v label="$LABEL" '
+awk -v label="$LABEL" -v cell="$CELL_JSON" '
 function to_ns(v, u) {
     if (u ~ /^ns/) return v;
     if (u ~ /^µs/ || u ~ /^us/) return v * 1e3;
@@ -65,7 +72,7 @@ END {
     for (i = 1; i <= n; i++) {
         printf "    \"%s\": {\"median_ns\": %s}%s\n", names[i], medians[i], (i < n ? "," : "");
     }
-    printf "  }\n}\n";
+    printf "  },\n  \"matrix_cell\": %s\n}\n", cell;
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT"

@@ -6,8 +6,9 @@ use minions::apps::netverify::{PathVerifier, PathVerifierApp};
 use minions::core::asm::TppBuilder;
 use minions::core::wire::Ipv4Address;
 use minions::endhost::{Executor, ExecutorConfig, ProbeOutcome, Shim};
-use minions::netsim::{topology, HostApp, HostCtx, NodeId, MILLIS};
+use minions::netsim::{HostApp, HostCtx, NodeId, MILLIS};
 use std::sync::{Arc, Mutex};
+use tpp_netsim::TopologySpec;
 
 /// A host that launches one reliable probe and records the outcome.
 struct OneProbe {
@@ -79,7 +80,8 @@ fn trace_tpp() -> minions::core::wire::Tpp {
 
 #[test]
 fn probe_traverses_fat_tree_and_reports_true_path() {
-    let mut topo = topology::fat_tree(4, 1000, 5_000, 3);
+    let mut topo =
+        TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(5_000).seed(3).build();
     let hosts = topo.hosts.clone();
     let src = hosts[0];
     let dst = *hosts.last().unwrap(); // different pod: 5-switch path
@@ -108,7 +110,12 @@ fn reliable_executor_survives_lossy_links() {
     // Seed chosen so the per-link fault streams actually drop probe frames
     // (some seeds let the very first probe through unscathed, which would
     // leave the retry machinery unexercised).
-    let mut topo = topology::line(2, 1, 1000, 10_000, 3);
+    let mut topo = TopologySpec::Line { switches: 2, hosts_per_switch: 1 }
+        .builder()
+        .link_mbps(1000)
+        .delay_ns(10_000)
+        .seed(3)
+        .build();
     let hosts = topo.hosts.clone();
     let dst_ip = topo.net.host(hosts[1]).ip;
     topo.net.set_app(hosts[1], Box::new(Responder::new()));
@@ -130,7 +137,12 @@ fn reliable_executor_survives_lossy_links() {
 fn corrupted_tpps_rejected_but_network_keeps_forwarding() {
     // Seed chosen so single-bit corruptions land inside the TPP section
     // (a flip in, say, a MAC byte is invisible to the TPP checksum).
-    let mut topo = topology::line(2, 1, 1000, 10_000, 7);
+    let mut topo = TopologySpec::Line { switches: 2, hosts_per_switch: 1 }
+        .builder()
+        .link_mbps(1000)
+        .delay_ns(10_000)
+        .seed(7)
+        .build();
     let hosts = topo.hosts.clone();
     let switches = topo.switches.clone();
     let dst_ip = topo.net.host(hosts[1]).ip;
@@ -149,7 +161,12 @@ fn corrupted_tpps_rejected_but_network_keeps_forwarding() {
 fn admin_write_disable_is_honored_network_wide() {
     // Defense in depth (§4.3): with writes disabled on switches, a CSTORE
     // probe comes back with CondFailed semantics and memory untouched.
-    let mut topo = topology::line(2, 1, 1000, 10_000, 8);
+    let mut topo = TopologySpec::Line { switches: 2, hosts_per_switch: 1 }
+        .builder()
+        .link_mbps(1000)
+        .delay_ns(10_000)
+        .seed(8)
+        .build();
     let switches = topo.switches.clone();
     for &s in &switches {
         topo.net.switch_mut(s).cfg.allow_writes = false;
@@ -228,7 +245,13 @@ fn concurrent_cstore_writers_serialize_by_version() {
 
 #[test]
 fn path_visibility_tracks_link_failure_and_recovery() {
-    let mut topo = topology::leaf_spine(2, 2, 1, 1000, 1000, 10_000, 4);
+    let mut topo = TopologySpec::LeafSpine { leaves: 2, spines: 2, hosts_per_leaf: 1 }
+        .builder()
+        .link_mbps(1000)
+        .host_mbps(1000)
+        .delay_ns(10_000)
+        .seed(4)
+        .build();
     let hosts = topo.hosts.clone();
     let switches = topo.switches.clone();
     let dst_ip = topo.net.host(hosts[1]).ip;
@@ -286,7 +309,8 @@ fn split_tpps_cover_a_long_path_end_to_end() {
     let splits = split_for_path(&[sid, q], 5, 6).unwrap(); // 3 hops per TPP
     assert_eq!(splits.len(), 2);
 
-    let mut topo = topology::fat_tree(4, 1000, 5_000, 9);
+    let mut topo =
+        TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(5_000).seed(9).build();
     let hosts = topo.hosts.clone();
     let src = hosts[0];
     let dst = *hosts.last().unwrap();
@@ -327,7 +351,13 @@ fn determinism_identical_runs_identical_results() {
 fn ecmp_probes_and_flows_share_fate_when_hash_excludes_dst_port() {
     // The CONGA* prerequisite: with dst-port hashing disabled, a probe with
     // the same source port as a flow takes the same spine.
-    let mut topo = topology::leaf_spine(2, 2, 1, 1000, 1000, 10_000, 2);
+    let mut topo = TopologySpec::LeafSpine { leaves: 2, spines: 2, hosts_per_leaf: 1 }
+        .builder()
+        .link_mbps(1000)
+        .host_mbps(1000)
+        .delay_ns(10_000)
+        .seed(2)
+        .build();
     let switches = topo.switches.clone();
     for &s in &switches {
         topo.net.switch_mut(s).cfg.ecmp_hash_dst_port = false;
