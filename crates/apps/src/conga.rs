@@ -215,7 +215,11 @@ impl CongaSender {
         };
         Harness::new(state)
             .shim_seed(cfg.seed ^ 0xC0C0)
-            .executor(ExecutorConfig { max_retries: 2, timeout_ns: 20_000_000 })
+            .executor(ExecutorConfig {
+                max_retries: 2,
+                timeout_ns: 20_000_000,
+                ..ExecutorConfig::default()
+            })
             .launch(conga_probe().app_id(cfg.app_id).hops(cfg.probe_hops), |s, io, c| {
                 if let Some(token) = c.token {
                     s.on_probe_done(io.ctx.now, token, &c.tpp);

@@ -17,6 +17,8 @@
 //!   (§6.2).
 //! * [`netverify`] — route-convergence verification and fault localization
 //!   (§2.6).
+//! * [`transient`] — transient-safety monitor for live churn: loops,
+//!   blackholes, and path-conformance violations from TPP path traces.
 //! * [`common`] — frame builders, rate meters, CDFs.
 
 pub mod common;
@@ -27,3 +29,4 @@ pub mod netverify;
 pub mod overhead;
 pub mod rcp;
 pub mod sketch;
+pub mod transient;

@@ -50,7 +50,11 @@ impl PathVerifier {
     pub fn new(dst: Ipv4Address, period_ns: Time) -> PathVerifierApp {
         let state = PathVerifier { dst, period_ns, observations: shared(Vec::new()) };
         Harness::new(state)
-            .executor(ExecutorConfig { max_retries: 1, timeout_ns: period_ns })
+            .executor(ExecutorConfig {
+                max_retries: 1,
+                timeout_ns: period_ns,
+                ..ExecutorConfig::default()
+            })
             .launch(trace_probe().hops(8), |s, io, c| {
                 // Stack of one word per hop; drop trailing zero slots (the
                 // executor's nonce word lies beyond the pushed prefix).

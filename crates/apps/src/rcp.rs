@@ -222,7 +222,11 @@ impl RcpSender {
             probes_completed: 0,
         };
         Harness::new(state)
-            .executor(ExecutorConfig { max_retries: 3, timeout_ns: 4 * cfg.period_ns })
+            .executor(ExecutorConfig {
+                max_retries: 3,
+                timeout_ns: 4 * cfg.period_ns,
+                ..ExecutorConfig::default()
+            })
             .launch(collect_probe().app_id(cfg.app_id).hops(cfg.probe_hops), |s, _io, c| {
                 let samples = parse_collect(&c.tpp);
                 for (h, sample) in samples.iter().enumerate() {

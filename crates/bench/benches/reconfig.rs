@@ -1,0 +1,127 @@
+//! Reconfiguration-event throughput: how fast the simulator applies
+//! scheduled runtime changes through the event queue.
+//!
+//! * `reconfig/apply_route` — a k=4 fat-tree with a plan of route
+//!   set/withdraw pairs on the edge switches, no traffic: measures the
+//!   pure cost of delivering and applying route reconfigurations
+//!   (flow-table update + version bump) through the scheduler.
+//! * `reconfig/apply_link` — same shape, link up/down + degrade + fault
+//!   toggles: the link-layer reconfiguration path (port table writes plus
+//!   switch memory-map mirroring).
+//! * `reconfig/flap_under_load` — a rerouting link-flap churn plan under
+//!   uniform traffic on the fat-tree, digest-pinned so the measured
+//!   workload can't silently drift.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use tpp_fabric::scenario::{Scenario, WorkloadSpec};
+use tpp_netsim::{ChurnSpec, ReconfigAction, Time, TopologySpec, MILLIS};
+
+const HORIZON: Time = 2 * MILLIS;
+
+fn route_plan_events() -> u64 {
+    let t = TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(8).build();
+    let mut net = t.net;
+    let mut n = 0u64;
+    // One withdraw + restore pair per host route on each edge switch,
+    // spaced across the horizon.
+    for (i, &sw) in t.switches.iter().enumerate() {
+        for &h in &t.hosts {
+            let dst = net.host(h).ip;
+            let Some(action) = net.switch(sw).host_route(dst) else { continue };
+            let at = 1000 + (n % 1000) * (HORIZON / 2000).max(1) + i as u64;
+            net.schedule_reconfig(at, ReconfigAction::RouteWithdraw { switch: sw, dst });
+            net.schedule_reconfig(at + 500, ReconfigAction::RouteSet { switch: sw, dst, action });
+            n += 2;
+        }
+    }
+    net.run_until(HORIZON);
+    assert_eq!(net.stats.reconfigs_applied, n, "every planned reconfig applied");
+    n
+}
+
+fn link_plan_events() -> u64 {
+    let t = TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(8).build();
+    let mut net = t.net;
+    let links: Vec<_> = net
+        .links_iter()
+        .filter(|&(a, _, b, _, _)| a < b && net.is_switch(a) && net.is_switch(b))
+        .map(|(a, pa, _, _, _)| (a, pa))
+        .collect();
+    let mut n = 0u64;
+    for (i, &(node, port)) in links.iter().enumerate() {
+        let at = 1000 + i as u64 * 7;
+        net.schedule_reconfig(at, ReconfigAction::LinkUp { node, port, up: false });
+        net.schedule_reconfig(
+            at + 100_000,
+            ReconfigAction::LinkDegrade { node, port, rate_mbps: 500, delay_ns: 2000 },
+        );
+        net.schedule_reconfig(
+            at + 200_000,
+            ReconfigAction::LinkFaults { node, port, drop_prob: 0.01, corrupt_prob: 0.0 },
+        );
+        net.schedule_reconfig(at + 300_000, ReconfigAction::LinkUp { node, port, up: true });
+        n += 4;
+    }
+    net.run_until(HORIZON);
+    assert_eq!(net.stats.reconfigs_applied, n, "every planned reconfig applied");
+    n
+}
+
+fn flap_under_load() -> (u64, u64) {
+    let cell = Scenario::new(
+        TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(5),
+        WorkloadSpec::uniform(),
+    )
+    .churn(ChurnSpec::LinkFlap {
+        fraction: 0.3,
+        period_ns: 500_000,
+        down_ns: 100_000,
+        seed: 7,
+        reroute: true,
+    })
+    .duration_ns(HORIZON)
+    .run();
+    (cell.digest, cell.stats.reconfigs_applied)
+}
+
+fn bench_reconfig(c: &mut Criterion) {
+    let routes = route_plan_events();
+    let links = link_plan_events();
+    let (digest, applied) = flap_under_load();
+    assert_eq!(flap_under_load(), (digest, applied), "churn workload must be deterministic");
+    assert!(applied > 0);
+
+    let mut g = c.benchmark_group("reconfig");
+    g.throughput(Throughput::Elements(routes));
+    g.bench_function("apply_route", |b| b.iter(|| black_box(route_plan_events())));
+    g.finish();
+
+    let mut g = c.benchmark_group("reconfig");
+    g.throughput(Throughput::Elements(links));
+    g.bench_function("apply_link", |b| b.iter(|| black_box(link_plan_events())));
+    g.finish();
+
+    let mut g = c.benchmark_group("reconfig");
+    g.throughput(Throughput::Elements(applied));
+    g.bench_function("flap_under_load", |b| {
+        b.iter(|| {
+            let got = flap_under_load();
+            assert_eq!(got.0, digest, "churned digest drifted");
+            black_box(got)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_reconfig
+}
+criterion_main!(benches);

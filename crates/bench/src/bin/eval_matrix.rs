@@ -7,7 +7,9 @@
 //! and asserting at every multi-shard cell that the `NetStats` digest is
 //! bit-identical to the cell's single-threaded reference — the matrix is
 //! only meaningful because every parallel run is provably the same
-//! simulation.
+//! simulation. A churn column (fat-tree × uniform × rerouting link flap)
+//! runs at every shard count with the same digest assertion: chaos under
+//! churn replays bit-for-bit too.
 //!
 //! ```text
 //! eval_matrix [--smoke] [--speedup N] [--out DIR] [--cell T:W:S]
@@ -23,7 +25,7 @@
 use std::collections::HashMap;
 
 use tpp_fabric::scenario::{Cell, Scenario, WorkloadSpec};
-use tpp_netsim::{TopologySpec, MILLIS};
+use tpp_netsim::{ChurnSpec, TopologySpec, MILLIS};
 
 /// The topology axis: the classic fabrics plus the builder's new families.
 fn topologies(smoke: bool) -> Vec<TopologySpec> {
@@ -117,7 +119,9 @@ fn emit(cell: &Cell, out: &Option<String>) {
     let json = cell.to_json();
     println!("{json}");
     if let Some(dir) = out {
-        let path = format!("{dir}/{}_{}_x{}.json", cell.topology, cell.workload, cell.shards);
+        let churn = if cell.churn == "none" { String::new() } else { format!("_{}", cell.churn) };
+        let path =
+            format!("{dir}/{}_{}{churn}_x{}.json", cell.topology, cell.workload, cell.shards);
         std::fs::create_dir_all(dir).expect("create --out dir");
         std::fs::write(&path, format!("{json}\n")).expect("write cell json");
     }
@@ -175,8 +179,36 @@ fn main() {
             }
         }
     }
+    // The chaos column: one churned cell per shard count — fat-tree ×
+    // uniform × rerouting link flap — digest-asserted against its own
+    // single-threaded reference, exactly like the clean cells. Churn is a
+    // reconfiguration *plan* carried through `Network::split`, so the
+    // flapping fabric must replay bit-for-bit too.
+    let churn = ChurnSpec::LinkFlap {
+        fraction: 0.3,
+        period_ns: 500_000,
+        down_ns: 100_000,
+        seed: 7,
+        reroute: true,
+    };
+    let mut churn_ref: Option<u64> = None;
+    for &shards in shard_counts(args.smoke) {
+        let cell = scenario(&TopologySpec::FatTree { k: 4 }, &WorkloadSpec::uniform(), shards)
+            .churn(churn.clone())
+            .run();
+        emit(&cell, &args.out);
+        cells += 1;
+        match churn_ref {
+            None => churn_ref = Some(cell.digest),
+            Some(want) => assert_eq!(
+                cell.digest, want,
+                "churn digest diverged: {}:{}:{} at {} shards",
+                cell.topology, cell.workload, cell.churn, shards
+            ),
+        }
+    }
     eprintln!(
-        "eval_matrix: {cells} cells, every multi-shard digest matched its \
-         single-threaded reference"
+        "eval_matrix: {cells} cells (incl. churn), every multi-shard digest \
+         matched its single-threaded reference"
     );
 }

@@ -25,13 +25,32 @@ use crate::shim::{mac_of_ip, CompletedTpp};
 #[derive(Clone, Copy, Debug)]
 pub struct ExecutorConfig {
     pub max_retries: u32,
+    /// Base timeout: the first deadline is `send time + timeout_ns`.
     pub timeout_ns: u64,
+    /// Exponential backoff cap: retry `k` waits `timeout_ns << min(k,
+    /// max_backoff_exp)` (plus jitter). 0 disables backoff entirely.
+    pub max_backoff_exp: u32,
+    /// Jitter divisor: each backoff wait adds a deterministic pseudo-random
+    /// jitter in `0..=wait/jitter_div`, keyed by `(token, attempt)` so
+    /// synchronized probes (scatter-gather fan-outs, fleet-wide monitors)
+    /// don't retransmit in lockstep. 0 disables jitter.
+    pub jitter_div: u64,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        ExecutorConfig { max_retries: 3, timeout_ns: 10_000_000 }
+        ExecutorConfig { max_retries: 3, timeout_ns: 10_000_000, max_backoff_exp: 3, jitter_div: 8 }
     }
+}
+
+/// SplitMix64 finalizer — the jitter hash. Deterministic and stateless:
+/// the retry schedule of a probe depends only on its token and attempt
+/// number, never on interleaving with other probes.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Why a probe finished.
@@ -175,12 +194,25 @@ impl Executor {
                 done.push(ProbeOutcome::Failed { token });
             } else {
                 p.retries_left -= 1;
-                p.deadline = now + self.cfg.timeout_ns;
+                let attempt = self.cfg.max_retries - p.retries_left; // 1st retry = 1
+                p.deadline = now + Self::backoff_ns(&self.cfg, token, attempt);
                 self.retransmitted += 1;
                 resend.push(p.frame.clone());
             }
         }
         (resend, done)
+    }
+
+    /// The wait before retry `attempt` (1-based) of probe `token`:
+    /// exponential backoff capped at `max_backoff_exp` doublings, plus a
+    /// deterministic jitter keyed by `(token, attempt)`.
+    fn backoff_ns(cfg: &ExecutorConfig, token: u32, attempt: u32) -> u64 {
+        let exp = attempt.min(cfg.max_backoff_exp);
+        let base = cfg.timeout_ns << exp;
+        let jitter = base
+            .checked_div(cfg.jitter_div)
+            .map_or(0, |bound| splitmix64(((token as u64) << 32) | attempt as u64) % (bound + 1));
+        base + jitter
     }
 
     /// Earliest pending timeout.
@@ -394,21 +426,49 @@ mod tests {
     #[test]
     fn retry_then_fail() {
         let mut e = exec();
-        e.cfg = ExecutorConfig { max_retries: 2, timeout_ns: 1000 };
+        // Jitter off: the backoff schedule is exactly 1000, 2000, 4000.
+        e.cfg =
+            ExecutorConfig { max_retries: 2, timeout_ns: 1000, max_backoff_exp: 3, jitter_div: 0 };
         let (token, _) = e.send(0, Ipv4Address::from_host_id(2), probe());
-        // First timeout: retransmit.
+        assert_eq!(e.next_deadline(), Some(1000));
+        // First timeout: retransmit, next wait doubles.
         let (resend, done) = e.poll(1000);
         assert_eq!(resend.len(), 1);
         assert!(done.is_empty());
-        // Second: retransmit again.
-        let (resend, _) = e.poll(2000);
+        assert_eq!(e.next_deadline(), Some(3000), "1000 + 1000<<1");
+        // Second: retransmit again, wait doubles again.
+        let (resend, _) = e.poll(3000);
         assert_eq!(resend.len(), 1);
+        assert_eq!(e.next_deadline(), Some(7000), "3000 + 1000<<2");
         // Third: out of retries.
-        let (resend, done) = e.poll(3000);
+        let (resend, done) = e.poll(7000);
         assert!(resend.is_empty());
         assert_eq!(done, vec![ProbeOutcome::Failed { token }]);
         assert_eq!(e.failed, 1);
         assert_eq!(e.retransmitted, 2);
+    }
+
+    #[test]
+    fn backoff_caps_and_jitters_deterministically() {
+        let cfg =
+            ExecutorConfig { max_retries: 8, timeout_ns: 1000, max_backoff_exp: 2, jitter_div: 4 };
+        // The exponent caps at 2: attempts 2, 3, 9 share the same base.
+        for attempt in [2u32, 3, 9] {
+            let base = 1000u64 << 2;
+            let expected = base + splitmix64(((7u64) << 32) | attempt as u64) % (base / 4 + 1);
+            assert_eq!(Executor::backoff_ns(&cfg, 7, attempt), expected);
+            assert!(Executor::backoff_ns(&cfg, 7, attempt) >= base);
+            assert!(Executor::backoff_ns(&cfg, 7, attempt) <= base + base / 4);
+        }
+        // Different tokens de-synchronize: some pair of 16 tokens must
+        // disagree (they all share attempt 1).
+        let waits: Vec<u64> = (0..16).map(|t| Executor::backoff_ns(&cfg, t, 1)).collect();
+        assert!(waits.windows(2).any(|w| w[0] != w[1]), "{waits:?}");
+        // Jitter off means pure exponential.
+        let plain = ExecutorConfig { jitter_div: 0, ..cfg };
+        assert_eq!(Executor::backoff_ns(&plain, 7, 1), 2000);
+        assert_eq!(Executor::backoff_ns(&plain, 7, 2), 4000);
+        assert_eq!(Executor::backoff_ns(&plain, 7, 3), 4000);
     }
 
     #[test]

@@ -523,6 +523,12 @@ impl<S> Endhost<S> {
         self.core.shim.as_ref()
     }
 
+    /// The reliable-execution engine with its retry/completion counters
+    /// (None when the harness was built without [`Harness::executor`]).
+    pub fn executor(&self) -> Option<&Executor> {
+        self.core.exec.as_ref()
+    }
+
     fn dispatch_completion(&mut self, ctx: &mut HostCtx<'_>, done: CompletedTpp) {
         // Executor-tracked first: a launched probe's completion must consume
         // its pending entry exactly once.

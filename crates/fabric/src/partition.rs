@@ -13,7 +13,7 @@
 //! 3. **Balance.** Components are bin-packed onto shards greedily by
 //!    weight (switches cost more to simulate than hosts).
 
-use tpp_netsim::{Network, NodeId, Time};
+use tpp_netsim::{Network, NodeId, ReconfigAction, Time};
 
 /// How nodes are grouped before bin-packing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -132,11 +132,26 @@ pub fn partition(net: &Network, n_shards: usize, strategy: PartitionStrategy) ->
 /// propagation delay over links whose endpoints live on different shards.
 /// `None` when nothing crosses (a single shard, or disconnected shards) —
 /// the runtime then needs no synchronization at all.
+///
+/// The network's reconfiguration plan is folded in up front: a scheduled
+/// [`ReconfigAction::LinkDegrade`] that will lower a cross-shard delay
+/// mid-run would otherwise let a frame arrive inside an epoch window the
+/// runtime already considered settled. Taking the minimum over current
+/// *and* planned delays keeps the window conservative for the whole run.
 pub fn lookahead(net: &Network, assignment: &[usize]) -> Option<Time> {
-    net.links_iter()
-        .filter(|(a, _, b, _, _)| assignment[a.0 as usize] != assignment[b.0 as usize])
-        .map(|(_, _, _, _, spec)| spec.delay_ns)
-        .min()
+    let crosses = |a: NodeId, b: NodeId| assignment[a.0 as usize] != assignment[b.0 as usize];
+    let current = net
+        .links_iter()
+        .filter(|&(a, _, b, _, _)| crosses(a, b))
+        .map(|(_, _, _, _, spec)| spec.delay_ns);
+    let planned = net.reconfig_plan().iter().filter_map(|(_, action)| match *action {
+        ReconfigAction::LinkDegrade { node, port, delay_ns, .. } => {
+            let peer = net.neighbors_iter(node).find(|&(p, _)| p == port).map(|(_, n)| n)?;
+            crosses(node, peer).then_some(delay_ns)
+        }
+        _ => None,
+    });
+    current.chain(planned).min()
 }
 
 #[cfg(test)]
@@ -189,6 +204,41 @@ mod tests {
         used.dedup();
         assert_eq!(used.len(), 2, "star must actually split");
         assert_eq!(lookahead(&t.net, &a), Some(500));
+    }
+
+    #[test]
+    fn lookahead_folds_planned_link_degrades() {
+        let mut t =
+            TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(1).build();
+        let a = partition(&t.net, 4, PartitionStrategy::Locality);
+        assert_eq!(lookahead(&t.net, &a), Some(1000));
+        // Schedule a mid-run degrade of a cross-shard link to 400ns: the
+        // lookahead must shrink to it *before* the run starts.
+        let (node, port) = t
+            .net
+            .links_iter()
+            .find(|&(x, _, y, _, _)| a[x.0 as usize] != a[y.0 as usize])
+            .map(|(x, px, _, _, _)| (x, px))
+            .unwrap();
+        t.net.schedule_reconfig(
+            1_000_000,
+            ReconfigAction::LinkDegrade { node, port, rate_mbps: 100, delay_ns: 400 },
+        );
+        assert_eq!(lookahead(&t.net, &a), Some(400));
+        // A degrade on a shard-local link leaves the lookahead alone.
+        let mut t2 =
+            TopologySpec::FatTree { k: 4 }.builder().link_mbps(1000).delay_ns(1000).seed(1).build();
+        let (h, hp) = t2
+            .net
+            .links_iter()
+            .find(|&(x, _, y, _, _)| a[x.0 as usize] == a[y.0 as usize])
+            .map(|(x, px, _, _, _)| (x, px))
+            .unwrap();
+        t2.net.schedule_reconfig(
+            1_000_000,
+            ReconfigAction::LinkDegrade { node: h, port: hp, rate_mbps: 100, delay_ns: 1 },
+        );
+        assert_eq!(lookahead(&t2.net, &a), Some(1000));
     }
 
     #[test]

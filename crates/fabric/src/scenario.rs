@@ -40,7 +40,7 @@
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
-use tpp_netsim::{NetStats, Time, TopologyBuilder, MILLIS};
+use tpp_netsim::{ChurnSpec, NetStats, Time, TopologyBuilder, MILLIS};
 
 use crate::partition::PartitionStrategy;
 use crate::runtime::{ExecMode, Fabric};
@@ -132,6 +132,9 @@ pub struct Scenario {
     pub duration_ns: Time,
     /// Fidelity knob: divide the horizon by this factor (≥ 1).
     pub speedup: u64,
+    /// Runtime churn: compiled against the built network and installed
+    /// before the runtime starts, for every shard count alike.
+    pub churn: ChurnSpec,
 }
 
 impl Scenario {
@@ -146,6 +149,7 @@ impl Scenario {
             mode: ExecMode::Auto,
             duration_ns: 8 * MILLIS,
             speedup: 1,
+            churn: ChurnSpec::None,
         }
     }
 
@@ -179,6 +183,16 @@ impl Scenario {
         self
     }
 
+    /// Runtime churn for the cell. The spec is compiled once against the
+    /// built network and installed as a reconfiguration plan *before* the
+    /// runtime starts, so the exact same plan rides through
+    /// [`tpp_netsim::Network::split`] at every shard count — churned cells
+    /// stay digest-comparable across shard counts.
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = churn;
+        self
+    }
+
     /// The horizon actually simulated: `duration_ns / speedup`.
     pub fn effective_duration(&self) -> Time {
         self.duration_ns / self.speedup.max(1)
@@ -203,6 +217,9 @@ impl Scenario {
         // stop_at (e.g. the golden-digest 6 ms cutoff) is respected.
         cfg.stop_at = cfg.stop_at.min(horizon);
         let delivered = install_traffic(&mut t.net, &hosts, &cfg);
+        for (at, action) in self.churn.compile(&t.net, horizon) {
+            t.net.schedule_reconfig(at, action);
+        }
         let stats = if self.shards <= 1 {
             t.net.run_until(horizon);
             t.net.stats
@@ -215,6 +232,7 @@ impl Scenario {
         Cell {
             topology: self.topo.label(),
             workload: self.workload.name.clone(),
+            churn: self.churn.label().to_string(),
             shards: self.shards,
             speedup: self.speedup.max(1),
             duration_ns: horizon,
@@ -236,6 +254,8 @@ pub struct Cell {
     pub topology: String,
     /// Workload label (e.g. `heavy_tailed`).
     pub workload: String,
+    /// Churn label (`none`, `plan`, `link_flap`).
+    pub churn: String,
     /// Shard count the cell ran at.
     pub shards: usize,
     /// Fidelity divisor the cell ran at.
@@ -264,14 +284,17 @@ impl Cell {
         format!(
             concat!(
                 "{{\"schema\":1,\"topology\":\"{}\",\"workload\":\"{}\",",
+                "\"churn\":\"{}\",",
                 "\"shards\":{},\"speedup\":{},\"duration_ns\":{},",
                 "\"hosts\":{},\"switches\":{},\"frames_delivered\":{},",
                 "\"frames_dropped\":{},\"frames_corrupted\":{},",
+                "\"reconfigs\":{},\"violations\":{},",
                 "\"events\":{},\"trace\":\"{:#018x}\",\"digest\":\"{:#018x}\",",
                 "\"wall_ms\":{}}}"
             ),
             self.topology,
             self.workload,
+            self.churn,
             self.shards,
             self.speedup,
             self.duration_ns,
@@ -280,6 +303,8 @@ impl Cell {
             self.stats.frames_delivered,
             self.stats.frames_dropped_in_flight,
             self.stats.frames_corrupted,
+            self.stats.reconfigs_applied,
+            self.stats.violations(),
             self.stats.events_processed,
             self.stats.trace,
             self.digest,

@@ -15,9 +15,14 @@
 //!   loop (and the shard kernel of `tpp-fabric`).
 //! * [`scenario`] — declarative topology construction: a [`TopologySpec`]
 //!   (star, dumbbell, line, leaf-spine, fat-trees plain/oversubscribed/
-//!   asymmetric, jellyfish, edge-list import) built by [`TopologyBuilder`].
+//!   asymmetric, jellyfish, edge-list import) built by [`TopologyBuilder`],
+//!   plus [`ChurnSpec`] compiling timed or seeded-random churn into a
+//!   reconfiguration plan.
 //! * [`topology`] — the [`Topology`] type plus BFS shortest-path route
 //!   installation with ECMP groups on ties.
+//! * [`reconfig`] — runtime reconfiguration: scheduled route/link changes
+//!   ([`ReconfigAction`]) and the dependency-ordered update scheduler
+//!   ([`order_route_updates`]).
 //!
 //! Every packet is a real Ethernet frame; switches execute TPPs on real
 //! bytes at every hop.
@@ -26,6 +31,7 @@ pub mod engine;
 pub mod link;
 pub mod net;
 pub mod nodes;
+pub mod reconfig;
 pub mod scenario;
 pub mod topology;
 
@@ -33,7 +39,11 @@ pub use engine::{Scheduler, Time, MILLIS, SECONDS};
 pub use link::LinkFabric;
 pub use net::{
     FramePool, Host, HostApp, HostCtx, LinkSpec, NetStats, Network, NodeId, NullApp, RemoteFrame,
+    ViolationKind,
 };
 pub use nodes::NodeStore;
-pub use scenario::{TopologyBuilder, TopologySpec};
+pub use reconfig::{
+    order_route_updates, plan_route_updates, ReconfigAction, ReconfigPlan, RouteUpdate,
+};
+pub use scenario::{ChurnSpec, TopologyBuilder, TopologySpec};
 pub use topology::Topology;

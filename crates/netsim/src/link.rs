@@ -161,6 +161,30 @@ impl LinkFabric {
         (peer, peer_port)
     }
 
+    /// Change the rate/delay of a link (both directions); returns the peer
+    /// endpoint so the coordinator can mirror the speed into switch memory
+    /// maps. A frame already serializing keeps its scheduled completion;
+    /// the new profile applies from the next transmit on.
+    pub(crate) fn set_profile(
+        &mut self,
+        a: NodeId,
+        port_a: u8,
+        rate_mbps: u64,
+        delay_ns: Time,
+    ) -> (NodeId, u8) {
+        assert!(rate_mbps > 0, "link rate must be positive");
+        let (peer, peer_port) = {
+            let p = &mut self.ports[a.0 as usize][port_a as usize];
+            p.spec.rate_mbps = rate_mbps;
+            p.spec.delay_ns = delay_ns;
+            p.peer
+        };
+        let back = &mut self.ports[peer.0 as usize][peer_port as usize];
+        back.spec.rate_mbps = rate_mbps;
+        back.spec.delay_ns = delay_ns;
+        (peer, peer_port)
+    }
+
     /// Commit one frame of `frame_len` bytes to the transmitter at
     /// `(node, port)`: mark it busy, compute serialization and propagation
     /// delay, draw drop/corruption from the port's own fault stream, and

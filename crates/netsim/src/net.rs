@@ -60,8 +60,9 @@
 use crate::engine::{Scheduler, Time, MILLIS};
 use crate::link::LinkFabric;
 use crate::nodes::{NodeKind, NodeStore};
+use crate::reconfig::{ReconfigAction, ReconfigPlan};
 use tpp_core::wire::{EthernetAddress, Ipv4Address};
-use tpp_switch::{ReceiveOutcome, Switch, SwitchConfig};
+use tpp_switch::{DropReason, ReceiveOutcome, Switch, SwitchConfig};
 
 pub use crate::link::LinkSpec;
 pub use crate::nodes::{FramePool, Host};
@@ -129,6 +130,22 @@ pub struct HostCtx<'a> {
 enum Effect {
     Send(Vec<u8>),
     Timer { at: Time, token: u64 },
+    Violation(ViolationKind),
+}
+
+/// What a transient-safety monitor observed going wrong during a
+/// convergence window (see `tpp_apps::transient`). Recorded into
+/// [`NetStats`] via [`HostCtx::record_violation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A probe's packet history visited the same switch twice: a transient
+    /// forwarding loop (terminated by the TTL guard in the switch path).
+    Loop,
+    /// A probe was lost after all retries: traffic blackholed, e.g. by a
+    /// withdrawn route.
+    Blackhole,
+    /// A probe completed over a path outside the allowed set.
+    PathConformance,
 }
 
 impl HostCtx<'_> {
@@ -152,6 +169,13 @@ impl HostCtx<'_> {
     /// Hand a fully consumed frame back to the simulation's frame pool.
     pub fn recycle(&mut self, frame: Vec<u8>) {
         self.pool.put(frame);
+    }
+    /// Count one transient-safety violation into the run's [`NetStats`].
+    /// The full per-violation record stays with the monitoring app; the
+    /// aggregate counters make violations visible to scenario drivers and
+    /// differential tests without downcasting app state.
+    pub fn record_violation(&mut self, kind: ViolationKind) {
+        self.effects.push(Effect::Violation(kind));
     }
 }
 
@@ -177,6 +201,10 @@ enum Ev {
         token: u64,
     },
     UtilTick,
+    /// Apply entry `idx` of the reconfiguration plan.
+    Reconfig {
+        idx: u32,
+    },
 }
 
 /// Deterministic same-timestamp ordering key (see
@@ -193,6 +221,11 @@ fn ev_key(ev: &Ev) -> u64 {
     }
     match *ev {
         Ev::UtilTick => 0,
+        // Reconfigurations share the utilization tick's kind space: at a
+        // boundary they apply after the tick but before any frame arrival,
+        // in plan order — the same position on every shard, since the plan
+        // is replicated data.
+        Ev::Reconfig { idx } => (idx as u64 + 1) & 0x03FF_FFFF,
         Ev::Arrive { node, port } => pack(1, node.0, port as u64),
         Ev::TxDone { node, port } => pack(2, node.0, port as u64),
         Ev::Kick { node, port } => pack(3, node.0, port as u64),
@@ -228,6 +261,31 @@ pub struct NetStats {
     /// Frame-pool occupancy (buffers retained for reuse) as of the last
     /// `run_until` return; summed across shards by [`NetStats::merge`].
     pub pool_retained: u64,
+    /// Reconfiguration-plan entries applied. Route entries apply once (on
+    /// the owning shard); link entries apply on every shard (each holds the
+    /// full port table), so like `events_processed` this is bookkeeping
+    /// that varies with the partitioning and stays out of the digest.
+    pub reconfigs_applied: u64,
+    /// Switch guard drops by cause (behavior, not bookkeeping: the merged
+    /// counts are partitioning-invariant, asserted by the churn
+    /// differential suite). Transient loops terminated by the TTL guard.
+    pub drops_ttl_expired: u64,
+    /// Blackhole drops: no route for the destination (e.g. withdrawn).
+    pub drops_no_route: u64,
+    /// Drop-tail queue overflow.
+    pub drops_queue_full: u64,
+    /// Unparseable frames (e.g. fault-corrupted beyond recognition).
+    pub drops_malformed: u64,
+    /// Explicit drop actions (policy).
+    pub drops_policy: u64,
+    /// Transient-monitor violations recorded via
+    /// [`HostCtx::record_violation`]: forwarding loops observed in packet
+    /// histories.
+    pub violations_loop: u64,
+    /// Probes lost after all retries (blackholed traffic).
+    pub violations_blackhole: u64,
+    /// Probes completing over paths outside the allowed set.
+    pub violations_path: u64,
     /// Order-independent trace accumulator: a wrapping sum of one strong
     /// mix per frame arrival, folding in the arrival time, the receiving
     /// `(node, port)`, and an FNV-1a hash of the full frame bytes. Because
@@ -251,11 +309,13 @@ impl NetStats {
 
     /// Digest of the run for differential testing: covers delivery, drop,
     /// and corruption counts plus the [`trace`](NetStats::trace)
-    /// accumulator. `events_processed` and `pool_retained` are deliberately
-    /// excluded — they count per-queue and per-pool bookkeeping (each shard
-    /// schedules its own utilization ticks and recycles its own buffers),
-    /// which differs across partitionings without any difference in
-    /// simulated behavior.
+    /// accumulator. `events_processed`, `pool_retained`, and
+    /// `reconfigs_applied` are deliberately excluded — they count
+    /// per-queue, per-pool, and per-shard bookkeeping, which differs
+    /// across partitionings without any difference in simulated behavior.
+    /// The per-cause drop and violation counters are also excluded to keep
+    /// historical golden digests valid; they *are* partitioning-invariant,
+    /// and the churn differential suite asserts them equal directly.
     pub fn digest(&self) -> u64 {
         let mut h = 0x9AE1_6A3B_2F90_404Fu64;
         for v in [
@@ -276,7 +336,50 @@ impl NetStats {
         self.frames_corrupted += other.frames_corrupted;
         self.events_processed += other.events_processed;
         self.pool_retained += other.pool_retained;
+        self.reconfigs_applied += other.reconfigs_applied;
+        self.drops_ttl_expired += other.drops_ttl_expired;
+        self.drops_no_route += other.drops_no_route;
+        self.drops_queue_full += other.drops_queue_full;
+        self.drops_malformed += other.drops_malformed;
+        self.drops_policy += other.drops_policy;
+        self.violations_loop += other.violations_loop;
+        self.violations_blackhole += other.violations_blackhole;
+        self.violations_path += other.violations_path;
         self.trace = self.trace.wrapping_add(other.trace);
+    }
+
+    /// Attribute one switch guard drop to its cause counter.
+    fn count_switch_drop(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::TtlExpired => self.drops_ttl_expired += 1,
+            DropReason::NoRoute => self.drops_no_route += 1,
+            DropReason::QueueFull => self.drops_queue_full += 1,
+            DropReason::Malformed => self.drops_malformed += 1,
+            DropReason::Policy => self.drops_policy += 1,
+        }
+    }
+
+    /// Attribute one monitor violation to its kind counter.
+    fn count_violation(&mut self, kind: ViolationKind) {
+        match kind {
+            ViolationKind::Loop => self.violations_loop += 1,
+            ViolationKind::Blackhole => self.violations_blackhole += 1,
+            ViolationKind::PathConformance => self.violations_path += 1,
+        }
+    }
+
+    /// Total switch guard drops across all causes.
+    pub fn switch_drops(&self) -> u64 {
+        self.drops_ttl_expired
+            + self.drops_no_route
+            + self.drops_queue_full
+            + self.drops_malformed
+            + self.drops_policy
+    }
+
+    /// Total transient-monitor violations across all kinds.
+    pub fn violations(&self) -> u64 {
+        self.violations_loop + self.violations_blackhole + self.violations_path
     }
 }
 
@@ -299,6 +402,12 @@ pub struct Network {
     util_interval: Time,
     util_tick_scheduled: bool,
     hosts_started: bool,
+    /// The reconfiguration plan: timed route/link changes carried as data
+    /// (cloned into every shard by [`Network::split`]) and scheduled as
+    /// events when the run starts.
+    reconfig_plan: ReconfigPlan,
+    /// Plan entries already turned into scheduled events.
+    reconfigs_scheduled: usize,
     /// Reusable buffers for the batched delivery loop.
     batch: Vec<(u64, Ev)>,
     rx_frames: Vec<(u8, Vec<u8>)>,
@@ -318,6 +427,8 @@ impl Network {
             util_interval: MILLIS,
             util_tick_scheduled: false,
             hosts_started: false,
+            reconfig_plan: Vec::new(),
+            reconfigs_scheduled: 0,
             batch: Vec::new(),
             rx_frames: Vec::new(),
             rx_outcomes: Vec::new(),
@@ -451,11 +562,88 @@ impl Network {
         }
     }
 
+    /// Change the rate/delay of a link (both directions), mirroring the new
+    /// speed into the endpoint switches' memory maps. A frame already on
+    /// the wire keeps its scheduled timing; the profile applies from the
+    /// next transmit.
+    pub fn set_link_profile(&mut self, a: NodeId, port_a: u8, rate_mbps: u64, delay_ns: Time) {
+        let (peer, peer_port) = self.links.set_profile(a, port_a, rate_mbps, delay_ns);
+        if let NodeKind::Switch(sw) = self.nodes.kind_mut(a) {
+            sw.set_link_speed(port_a, rate_mbps as u32);
+        }
+        if let NodeKind::Switch(sw) = self.nodes.kind_mut(peer) {
+            sw.set_link_speed(peer_port, rate_mbps as u32);
+        }
+    }
+
+    /// Schedule a reconfiguration to apply at absolute time `at` (clamped
+    /// to the clock if in the past). The plan is data until the run starts:
+    /// [`Network::split`] clones it into every shard, each of which
+    /// schedules the entries it must apply — route changes on the shard
+    /// owning the switch, link changes everywhere (every shard carries the
+    /// full port table). At a time boundary reconfigurations apply after
+    /// the utilization tick and before any frame arrival, in plan order,
+    /// on every shard alike — which is what keeps churn scenarios
+    /// digest-equal across shard counts.
+    pub fn schedule_reconfig(&mut self, at: Time, action: ReconfigAction) {
+        self.reconfig_plan.push((at, action));
+    }
+
+    /// The installed reconfiguration plan (the fabric folds planned
+    /// cross-shard delay reductions into its conservative lookahead).
+    pub fn reconfig_plan(&self) -> &[(Time, ReconfigAction)] {
+        &self.reconfig_plan
+    }
+
+    /// Whether this kernel must schedule plan entry `action` (see
+    /// [`Network::schedule_reconfig`]).
+    fn reconfig_is_local(&self, action: &ReconfigAction) -> bool {
+        match *action {
+            ReconfigAction::RouteSet { switch, .. }
+            | ReconfigAction::RouteWithdraw { switch, .. } => self.nodes.is_local(switch),
+            ReconfigAction::LinkUp { .. }
+            | ReconfigAction::LinkDegrade { .. }
+            | ReconfigAction::LinkFaults { .. } => true,
+        }
+    }
+
+    /// Apply plan entry `idx` now.
+    fn handle_reconfig(&mut self, idx: u32) {
+        let (_, action) = self.reconfig_plan[idx as usize].clone();
+        match action {
+            ReconfigAction::RouteSet { switch, dst, action } => {
+                self.nodes.switch_mut(switch).add_host_route(dst, action);
+            }
+            ReconfigAction::RouteWithdraw { switch, dst } => {
+                self.nodes.switch_mut(switch).remove_host_route(dst);
+            }
+            ReconfigAction::LinkUp { node, port, up } => self.set_link_up(node, port, up),
+            ReconfigAction::LinkDegrade { node, port, rate_mbps, delay_ns } => {
+                self.set_link_profile(node, port, rate_mbps, delay_ns);
+            }
+            ReconfigAction::LinkFaults { node, port, drop_prob, corrupt_prob } => {
+                self.set_link_faults(node, port, drop_prob, corrupt_prob);
+            }
+        }
+        self.stats.reconfigs_applied += 1;
+    }
+
     fn ensure_started(&mut self) {
         if !self.util_tick_scheduled {
             self.util_tick_scheduled = true;
             let at = self.scheduler.now() + self.util_interval;
             self.schedule_ev(at, Ev::UtilTick);
+        }
+        // Turn any plan entries added since the last run into events (this
+        // kernel's slice only; see `schedule_reconfig`).
+        while self.reconfigs_scheduled < self.reconfig_plan.len() {
+            let idx = self.reconfigs_scheduled;
+            self.reconfigs_scheduled += 1;
+            let (at, ref action) = self.reconfig_plan[idx];
+            if self.reconfig_is_local(action) {
+                let at = at.max(self.scheduler.now());
+                self.schedule_ev(at, Ev::Reconfig { idx: idx as u32 });
+            }
         }
         if self.hosts_started {
             return;
@@ -493,6 +681,7 @@ impl Network {
             match e {
                 Effect::Send(frame) => self.host_enqueue(node, frame),
                 Effect::Timer { at, token } => self.schedule_ev(at, Ev::HostTimer { node, token }),
+                Effect::Violation(kind) => self.stats.count_violation(kind),
             }
         }
     }
@@ -601,7 +790,8 @@ impl Network {
                         // eligible for transmission.
                         self.schedule_ev(now + proc_latency_ns, Ev::Kick { node, port: out });
                     }
-                    ReceiveOutcome::Dropped(_) => {
+                    ReceiveOutcome::Dropped(reason) => {
+                        self.stats.count_switch_drop(reason);
                         // The switch parks dropped frame buffers; reclaim
                         // them into the shared pool.
                         while let Some(buf) = sw.take_retired() {
@@ -647,6 +837,7 @@ impl Network {
             }
             Ev::Kick { node, port } => self.try_start_tx(node, port),
             Ev::HostTimer { node, token } => self.handle_timer(node, token),
+            Ev::Reconfig { idx } => self.handle_reconfig(idx),
             Ev::UtilTick => {
                 let now = self.scheduler.now();
                 for n in &mut self.nodes.nodes {
@@ -686,7 +877,10 @@ impl Network {
                 ReceiveOutcome::Enqueued { port: out, proc_latency_ns, .. } => {
                     self.schedule_ev(t + proc_latency_ns, Ev::Kick { node, port: out });
                 }
-                ReceiveOutcome::Dropped(_) => any_drop = true,
+                ReceiveOutcome::Dropped(reason) => {
+                    self.stats.count_switch_drop(reason);
+                    any_drop = true;
+                }
             }
         }
         if any_drop {
@@ -911,12 +1105,16 @@ impl Network {
                 && !self.util_tick_scheduled,
             "split() must happen before the simulation runs"
         );
+        debug_assert_eq!(self.reconfigs_scheduled, 0, "plan entries scheduled before split");
         let mut shards: Vec<Network> = (0..n_shards)
             .map(|_| {
                 let mut n = Network::new(self.links.seed());
                 n.links = self.links.split_clone();
                 n.util_interval = self.util_interval;
                 n.nodes.pool.set_high_water(self.nodes.pool.high_water());
+                // The full plan travels to every shard; each schedules only
+                // the entries it must apply (see `schedule_reconfig`).
+                n.reconfig_plan = self.reconfig_plan.clone();
                 n
             })
             .collect();

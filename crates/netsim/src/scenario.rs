@@ -41,9 +41,12 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::engine::Time;
 use crate::net::{LinkSpec, Network, NodeId, NullApp};
+use crate::reconfig::{ReconfigAction, ReconfigPlan};
 use crate::topology::Topology;
-use tpp_switch::SwitchConfig;
+use tpp_core::wire::Ipv4Address;
+use tpp_switch::{Action, SwitchConfig};
 
 /// A topology family plus its shape parameters. Physical knobs (rates,
 /// delay, seed) live on [`TopologyBuilder`].
@@ -582,6 +585,140 @@ pub fn abilene(hosts_per_switch: usize) -> TopologySpec {
     }
 }
 
+/// Declarative churn: *what* should change while the network runs,
+/// compiled against a built network into a concrete [`ReconfigPlan`].
+///
+/// Churn composes with every [`TopologySpec`] × workload cell: the
+/// scenario layer (`tpp_fabric::scenario`) compiles the spec once against
+/// the freshly built network and installs the plan *before* any sharding,
+/// so single-shard and partitioned runs of the same churned scenario stay
+/// digest-equal.
+#[derive(Clone, Debug, Default)]
+pub enum ChurnSpec {
+    /// No churn (the default): compiles to an empty plan.
+    #[default]
+    None,
+    /// An explicit timed plan, used verbatim.
+    Plan(ReconfigPlan),
+    /// Seeded random link flapping: each switch–switch link flaps with
+    /// probability `fraction`; a flapping link goes down for `down_ns`
+    /// once per `period_ns` at a per-link random phase drawn from `seed`.
+    LinkFlap {
+        /// Probability a given switch–switch link flaps at all.
+        fraction: f64,
+        /// Flap period; one down/up cycle per period per flapping link.
+        period_ns: Time,
+        /// How long the link stays down each cycle (must be < `period_ns`).
+        down_ns: Time,
+        /// Seed for flap selection and phases (decoupled from the
+        /// network's fault/topology seeds).
+        seed: u64,
+        /// Also detour `/32` routes around the downed link while it is
+        /// down (and restore them when it comes back). Detours are
+        /// computed against the pre-churn tables, best effort: entries
+        /// with no loop-free alternate are left to blackhole — which is
+        /// exactly what the transient monitor exists to catch.
+        reroute: bool,
+    },
+}
+
+impl ChurnSpec {
+    /// Short name for evaluation-cell labels (`none`, `plan`, `link_flap`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChurnSpec::None => "none",
+            ChurnSpec::Plan(_) => "plan",
+            ChurnSpec::LinkFlap { .. } => "link_flap",
+        }
+    }
+
+    /// Compile the spec against a built network into a timed plan covering
+    /// `[0, horizon)`. Deterministic: depends only on the spec (including
+    /// its seed) and the network's link enumeration order.
+    pub fn compile(&self, net: &Network, horizon: Time) -> ReconfigPlan {
+        match self {
+            ChurnSpec::None => Vec::new(),
+            ChurnSpec::Plan(p) => p.clone(),
+            ChurnSpec::LinkFlap { fraction, period_ns, down_ns, seed, reroute } => {
+                assert!(*period_ns > 0, "flap period must be positive");
+                assert!(down_ns < period_ns, "down time must be shorter than the period");
+                let mut rng = StdRng::seed_from_u64(*seed);
+                // Unique switch–switch links, in deterministic id order.
+                let links: Vec<(NodeId, u8, NodeId, u8)> = net
+                    .links_iter()
+                    .filter(|&(a, _, b, _, _)| a < b && net.is_switch(a) && net.is_switch(b))
+                    .map(|(a, pa, b, pb, _)| (a, pa, b, pb))
+                    .collect();
+                let mut plan = ReconfigPlan::new();
+                for (a, pa, b, pb) in links {
+                    if rng.random::<f64>() >= *fraction {
+                        continue;
+                    }
+                    let phase: Time = rng.random_range(0..*period_ns);
+                    let mut t = phase;
+                    while t + *down_ns <= horizon {
+                        plan.push((t, ReconfigAction::LinkUp { node: a, port: pa, up: false }));
+                        if *reroute {
+                            for (sw, port) in [(a, pa), (b, pb)] {
+                                for (dst, old, detour) in detours(net, sw, port) {
+                                    plan.push((
+                                        t,
+                                        ReconfigAction::RouteSet {
+                                            switch: sw,
+                                            dst,
+                                            action: detour,
+                                        },
+                                    ));
+                                    plan.push((
+                                        t + *down_ns,
+                                        ReconfigAction::RouteSet { switch: sw, dst, action: old },
+                                    ));
+                                }
+                            }
+                        }
+                        plan.push((
+                            t + *down_ns,
+                            ReconfigAction::LinkUp { node: a, port: pa, up: true },
+                        ));
+                        t += *period_ns;
+                    }
+                }
+                plan
+            }
+        }
+    }
+}
+
+/// Detours for the `/32` entries on `sw` that exit through `port`:
+/// `(dst, original action, detour action)` per entry with a usable
+/// alternate. The alternate is the first other switch port whose peer has
+/// a route for `dst` that does not point straight back at `sw` (one-hop
+/// loop avoidance; multi-hop loops are the transient monitor's job).
+fn detours(net: &Network, sw: NodeId, port: u8) -> Vec<(Ipv4Address, Action, Action)> {
+    let mut out = Vec::new();
+    for e in net.switch(sw).table.entries() {
+        if e.prefix.1 != 32 || e.action != Action::Output(port) {
+            continue;
+        }
+        let dst = e.prefix.0;
+        let alt = net.neighbors_iter(sw).find(|&(p, peer)| {
+            p != port
+                && net.is_switch(peer)
+                && match net.switch(peer).host_route(dst) {
+                    Some(Action::Output(pp)) => {
+                        net.neighbors_iter(peer).find(|&(q, _)| q == pp).map(|(_, n)| n) != Some(sw)
+                    }
+                    Some(_) => true,
+                    None => false,
+                }
+        });
+        if let Some((p, _)) = alt {
+            out.push((dst, e.action, Action::Output(p)));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,5 +862,83 @@ mod tests {
             TopologySpec::OversubFatTree { k: 4, oversub: 4 }.label(),
             "oversub_fat_tree4x4"
         );
+    }
+
+    #[test]
+    fn link_flap_compiles_deterministically() {
+        let t = TopologyBuilder::new(TopologySpec::FatTree { k: 4 }).build();
+        let spec = ChurnSpec::LinkFlap {
+            fraction: 0.5,
+            period_ns: 1_000_000,
+            down_ns: 200_000,
+            seed: 9,
+            reroute: false,
+        };
+        let horizon = 4_000_000;
+        let a = spec.compile(&t.net, horizon);
+        let b = spec.compile(&t.net, horizon);
+        assert_eq!(a, b, "same spec, same network, same plan");
+        assert!(!a.is_empty(), "half the fat-tree links should flap");
+        // Every action is a LinkUp on a switch–switch link, inside horizon,
+        // and downs/ups pair off exactly.
+        let (mut downs, mut ups) = (0usize, 0usize);
+        for (at, action) in &a {
+            let ReconfigAction::LinkUp { node, up, .. } = action else {
+                panic!("non-flap action {action:?}");
+            };
+            assert!(t.net.is_switch(*node));
+            assert!(*at <= horizon);
+            if *up {
+                ups += 1;
+            } else {
+                downs += 1;
+            }
+        }
+        assert_eq!(downs, ups);
+    }
+
+    #[test]
+    fn link_flap_reroute_emits_paired_route_sets() {
+        let t = TopologyBuilder::new(TopologySpec::LeafSpine {
+            leaves: 4,
+            spines: 2,
+            hosts_per_leaf: 2,
+        })
+        .build();
+        let spec = ChurnSpec::LinkFlap {
+            fraction: 1.0,
+            period_ns: 2_000_000,
+            down_ns: 500_000,
+            seed: 3,
+            reroute: true,
+        };
+        let plan = spec.compile(&t.net, 2_000_000);
+        let sets: Vec<_> =
+            plan.iter().filter(|(_, a)| matches!(a, ReconfigAction::RouteSet { .. })).collect();
+        assert!(!sets.is_empty(), "leaf-spine always has an alternate spine");
+        // Detour and restore come in pairs: equal counts at down and up
+        // times for each (switch, dst).
+        let mut per_key: std::collections::BTreeMap<(NodeId, Ipv4Address), usize> =
+            std::collections::BTreeMap::new();
+        for (_, a) in &plan {
+            if let ReconfigAction::RouteSet { switch, dst, .. } = a {
+                *per_key.entry((*switch, *dst)).or_default() += 1;
+            }
+        }
+        assert!(per_key.values().all(|&c| c % 2 == 0), "{per_key:?}");
+    }
+
+    #[test]
+    fn churn_labels_are_stable() {
+        assert_eq!(ChurnSpec::None.label(), "none");
+        assert_eq!(ChurnSpec::Plan(Vec::new()).label(), "plan");
+        let flap = ChurnSpec::LinkFlap {
+            fraction: 0.1,
+            period_ns: 1,
+            down_ns: 0,
+            seed: 0,
+            reroute: false,
+        };
+        assert_eq!(flap.label(), "link_flap");
     }
 }

@@ -186,6 +186,26 @@ impl Switch {
         self.add_route((dst, 32), action)
     }
 
+    /// Control-plane route withdrawal: remove the `/32` entry for `dst`.
+    /// Returns whether an entry existed. Bumps flow-table and switch
+    /// versions on removal, so batch-scoped lookup hints self-invalidate
+    /// and subsequent packets toward `dst` drop with `NoRoute`.
+    pub fn remove_host_route(&mut self, dst: Ipv4Address) -> bool {
+        let id = self.table.entries().iter().find(|e| e.prefix == (dst, 32)).map(|e| e.entry_id);
+        let Some(id) = id else { return false };
+        let removed = self.table.remove(id);
+        if removed {
+            self.sync_table_meta();
+        }
+        removed
+    }
+
+    /// The `/32` action currently installed for `dst`, if any (control-plane
+    /// read used by the dependency-ordered update scheduler).
+    pub fn host_route(&self, dst: Ipv4Address) -> Option<Action> {
+        self.table.entries().iter().find(|e| e.prefix == (dst, 32)).map(|e| e.action)
+    }
+
     pub fn add_group(&mut self, ports: Vec<u8>) -> u16 {
         self.groups.add(ports)
     }

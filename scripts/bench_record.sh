@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Record the criterion micro-bench numbers that track the TPP fast path —
 # switch_forward/{plain,tpp}_packet plus the tcpu_exec groups (reference
-# interpreter, in-place executor, staged pipeline) — and the fabric_scale
-# sweep (single-threaded Network vs sharded tpp-fabric on a k=8 fat-tree).
+# interpreter, in-place executor, staged pipeline) — the fabric_scale
+# sweep (single-threaded Network vs sharded tpp-fabric on a k=8 fat-tree),
+# the engine_scale scheduler arms, and the reconfig group (runtime
+# reconfiguration-event throughput plus a digest-pinned churn cell).
 #
 # Usage:
 #   scripts/bench_record.sh [OUTPUT.json]        # default: bench_run.json
@@ -37,6 +39,10 @@ cargo bench -p tpp-bench --bench fabric_scale | tee -a "$RAW"
 # Scheduler core: timing wheel vs legacy BinaryHeap at 1k/10k/100k events,
 # plus the batched end-to-end delivery loop (digest-pinned).
 cargo bench -p tpp-bench --bench engine_scale | tee -a "$RAW"
+# Runtime reconfiguration throughput: route and link reconfig events
+# through the scheduler, plus a rerouting link-flap churn cell under load
+# (digest-pinned).
+cargo bench -p tpp-bench --bench reconfig | tee -a "$RAW"
 
 # One evaluation-matrix cell through the Scenario API: the fat_tree4:uniform
 # workload at 2 shards (digest equality vs the single-threaded reference is

@@ -37,7 +37,7 @@ impl HostApp for OneProbe {
         self.exec = Some(Executor::new(
             ctx.ip,
             ctx.mac,
-            ExecutorConfig { max_retries: 10, timeout_ns: 5 * MILLIS },
+            ExecutorConfig { max_retries: 10, timeout_ns: 5 * MILLIS, ..ExecutorConfig::default() },
         ));
         let (_, frame) = self.exec.as_mut().unwrap().send(ctx.now, self.dst, self.tpp.clone());
         ctx.send(frame);
