@@ -513,7 +513,7 @@ pub fn run_conga_fig4(mode: Balancer, metric: Metric, duration: Time, seed: u64)
 }
 
 /// All leaf-uplink and spine ports (fabric links) of a leaf-spine topology
-/// built by `topology::leaf_spine`.
+/// built from [`tpp_netsim::TopologySpec::LeafSpine`].
 fn fabric_ports(topo: &tpp_netsim::Topology) -> Vec<(tpp_netsim::NodeId, u8)> {
     let mut out = Vec::new();
     for &s in &topo.switches {

@@ -19,6 +19,9 @@
 //!   (§2.6).
 //! * [`transient`] — transient-safety monitor for live churn: loops,
 //!   blackholes, and path-conformance violations from TPP path traces.
+//! * [`wan`] — WAN domains beyond the paper: coordinated video fan-out
+//!   with branch-switch rate installation, and inter-DC RCP* over
+//!   heterogeneous-RTT multi-ms links.
 //! * [`common`] — frame builders, rate meters, CDFs.
 
 pub mod common;
@@ -30,3 +33,4 @@ pub mod overhead;
 pub mod rcp;
 pub mod sketch;
 pub mod transient;
+pub mod wan;

@@ -11,6 +11,11 @@
 //!   runs.
 //! * `heap/{n}` — the identical schedule through [`HeapQueue`], drained one
 //!   pop at a time (the pre-refactor engine's only mode).
+//! * `pure_ns/{n}` / `mixed_ns_ms/{n}` — the WAN-mix pair: the same
+//!   default-scheduler drain with delays confined to the ns–µs leaf levels
+//!   vs. half the events pushed out to 1–10 ms, where WAN propagation
+//!   lands (wheel levels 3–4, not the overflow heap). The ratio between
+//!   the two is the scheduler's multi-site tax; it must stay within 10%.
 //! * `delivery/batched` — one simulated window of heavy traffic on a k=4
 //!   fat-tree through the batched `Network` loop (`receive_batch` /
 //!   `dequeue_batch` under the wheel), digest-pinned so the workload can't
@@ -51,6 +56,42 @@ fn drive_hybrid(n: u64) -> u64 {
     let mut batch = Vec::new();
     for i in 0..n {
         q.schedule_keyed(q.now() + delay_for(i), i % 7, i);
+    }
+    while q.pop_batch(&mut batch).is_some() {
+        popped += batch.len() as u64;
+        batch.clear();
+    }
+    popped
+}
+
+/// Intra-site-only delays: everything within the leaf and low wheel
+/// levels, the profile of a single-DC simulation.
+fn delay_pure_ns(i: u64) -> u64 {
+    const DELAYS: [u64; 4] = [3, 900, 5_000, 70_000];
+    DELAYS[(i.wrapping_mul(0x9E37_79B9)) as usize % DELAYS.len()] + (i % 50)
+}
+
+/// WAN-mix delays: every other event jumps 1–10 ms ahead — the profile of
+/// a MultiSite scenario, where WAN propagation lands deep in the wheel
+/// (levels 3–4) while intra-site events churn the leaf levels.
+fn delay_mixed(i: u64) -> u64 {
+    const MS: [u64; 4] = [1_000_000, 2_000_000, 5_000_000, 10_000_000];
+    if i.is_multiple_of(2) {
+        delay_pure_ns(i)
+    } else {
+        MS[(i.wrapping_mul(0x9E37_79B9)) as usize % MS.len()] + (i % 50)
+    }
+}
+
+/// Schedule/drain through the default scheduler with an arbitrary delay
+/// profile (the WAN-mix arms share this driver so only the profile
+/// differs).
+fn drive_profile(n: u64, delay: fn(u64) -> u64) -> u64 {
+    let mut q = Scheduler::new();
+    let mut popped = 0u64;
+    let mut batch = Vec::new();
+    for i in 0..n {
+        q.schedule_keyed(q.now() + delay(i), i % 7, i);
     }
     while q.pop_batch(&mut batch).is_some() {
         popped += batch.len() as u64;
@@ -101,11 +142,19 @@ fn bench_engine(c: &mut Criterion) {
         assert_eq!(drive_wheel(n), n, "wheel must pop every scheduled event");
         assert_eq!(drive_hybrid(n), n, "hybrid must pop every scheduled event");
         assert_eq!(drive_heap(n), n, "heap must pop every scheduled event");
+        assert_eq!(drive_profile(n, delay_pure_ns), n, "pure-ns must pop every event");
+        assert_eq!(drive_profile(n, delay_mixed), n, "mixed ns/ms must pop every event");
         let mut g = c.benchmark_group("engine_scale");
         g.throughput(Throughput::Elements(n));
         g.bench_function(format!("wheel/{label}"), |b| b.iter(|| black_box(drive_wheel(n))));
         g.bench_function(format!("hybrid/{label}"), |b| b.iter(|| black_box(drive_hybrid(n))));
         g.bench_function(format!("heap/{label}"), |b| b.iter(|| black_box(drive_heap(n))));
+        g.bench_function(format!("pure_ns/{label}"), |b| {
+            b.iter(|| black_box(drive_profile(n, delay_pure_ns)))
+        });
+        g.bench_function(format!("mixed_ns_ms/{label}"), |b| {
+            b.iter(|| black_box(drive_profile(n, delay_mixed)))
+        });
         g.finish();
     }
 

@@ -9,7 +9,11 @@
 //! only meaningful because every parallel run is provably the same
 //! simulation. A churn column (fat-tree × uniform × rerouting link flap)
 //! runs at every shard count with the same digest assertion: chaos under
-//! churn replays bit-for-bit too.
+//! churn replays bit-for-bit too. A WAN column (two-site MultiSite ×
+//! {fan-out, inter-DC} patterns, every frame crossing a 250 µs WAN link)
+//! runs at every shard count — including smoke — with the same
+//! assertion; since the locality partitioner glues each site into one
+//! shard, these cells also exercise the large-lookahead epoch schedule.
 //!
 //! ```text
 //! eval_matrix [--smoke] [--speedup N] [--out DIR] [--cell T:W:S]
@@ -57,6 +61,26 @@ fn workloads(smoke: bool) -> Vec<WorkloadSpec> {
     } else {
         all
     }
+}
+
+/// The WAN column's fabric: two sites whose border switches are joined
+/// by 250 µs links — multi-ms-class relative to the 1 µs intra-site
+/// links, so the cells mix both timescales in one event schedule.
+fn wan_topology() -> TopologySpec {
+    TopologySpec::MultiSite {
+        sites: 2,
+        site_k: 4,
+        wan_delay_ns: 250_000,
+        wan_delay_step_ns: 0,
+        wan_mbps: 400,
+        wan_site_mbps: Vec::new(),
+        wan_queue_bytes: 0,
+    }
+}
+
+/// The WAN column's patterns: both cross sites on every frame.
+fn wan_workloads() -> Vec<WorkloadSpec> {
+    vec![WorkloadSpec::fan_out(), WorkloadSpec::inter_dc(2)]
 }
 
 fn shard_counts(smoke: bool) -> &'static [usize] {
@@ -141,13 +165,17 @@ fn main() {
     if let Some((topo_label, w_label, shards)) = &args.cell {
         let spec = topologies(args.smoke)
             .into_iter()
+            .chain([wan_topology()])
             .find(|t| &t.label() == topo_label)
             .unwrap_or_else(|| {
                 eprintln!("unknown topology {topo_label:?} (try e.g. fat_tree4)");
                 std::process::exit(2);
             });
-        let w =
-            workloads(args.smoke).into_iter().find(|w| &w.name == w_label).unwrap_or_else(|| {
+        let w = workloads(args.smoke)
+            .into_iter()
+            .chain(wan_workloads())
+            .find(|w| &w.name == w_label)
+            .unwrap_or_else(|| {
                 eprintln!("unknown workload {w_label:?} (try e.g. uniform)");
                 std::process::exit(2);
             });
@@ -207,8 +235,29 @@ fn main() {
             ),
         }
     }
+    // The WAN column: cross-site cells on the two-site fabric — patterns
+    // whose every frame crosses a 250 µs WAN link — digest-asserted per
+    // shard count like the rest. The locality partitioner glues each site
+    // into one shard, so the multi-shard cells cut only at WAN links and
+    // run the epoch schedule at the large WAN lookahead.
+    for w in wan_workloads() {
+        let mut wan_ref: Option<u64> = None;
+        for &shards in shard_counts(args.smoke) {
+            let cell = scenario(&wan_topology(), &w, shards).run();
+            emit(&cell, &args.out);
+            cells += 1;
+            match wan_ref {
+                None => wan_ref = Some(cell.digest),
+                Some(want) => assert_eq!(
+                    cell.digest, want,
+                    "WAN digest diverged: {}:{} at {} shards",
+                    cell.topology, cell.workload, shards
+                ),
+            }
+        }
+    }
     eprintln!(
-        "eval_matrix: {cells} cells (incl. churn), every multi-shard digest \
-         matched its single-threaded reference"
+        "eval_matrix: {cells} cells (incl. churn + WAN), every multi-shard \
+         digest matched its single-threaded reference"
     );
 }

@@ -12,7 +12,12 @@
 //!   anything joined by a zero-delay link (such links admit no lookahead,
 //!   so they can never cross a shard boundary), optionally pulls hosts onto
 //!   their edge switch for locality, then bin-packs the resulting
-//!   components across shards.
+//!   components across shards. On fabrics with two delay scales — a
+//!   multi-site WAN topology with microsecond intra-site links and
+//!   millisecond WAN links — locality partitioning additionally glues
+//!   every component whose link delays sit within 16× of each other, so
+//!   only the slow WAN links are cut and the lookahead below equals the
+//!   full WAN delay.
 //! * **Lookahead epochs** ([`Fabric::run_until`]) — the minimum propagation
 //!   delay `L` over cross-shard links bounds how far any shard can run
 //!   ahead without risking a causality violation: a frame transmitted at

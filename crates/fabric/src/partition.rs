@@ -9,7 +9,12 @@
 //!    glues such endpoints into one component unconditionally.
 //! 2. **Locality (optional).** Hosts generate and sink most frames at
 //!    their edge switch; co-locating a host with its switch keeps that
-//!    traffic off the cross-shard channels.
+//!    traffic off the cross-shard channels. And when the topology mixes
+//!    link-delay scales — a multi-site fabric with ~µs intra-site links
+//!    and ~ms WAN links — the low-delay mesh is glued together so only
+//!    the high-delay links remain as cut candidates: cutting at WAN
+//!    links makes the conservative lookahead the WAN delay, orders of
+//!    magnitude more simulation per synchronization barrier.
 //! 3. **Balance.** Components are bin-packed onto shards greedily by
 //!    weight (switches cost more to simulate than hosts).
 
@@ -77,11 +82,22 @@ pub fn partition(net: &Network, n_shards: usize, strategy: PartitionStrategy) ->
         }
     }
 
-    // 2. Locality: hosts follow their first switch neighbor.
+    // 2. Locality: hosts follow their first switch neighbor, and when the
+    //    delay distribution is clearly two-scale, the low-delay mesh is
+    //    glued so only the high-delay (WAN-class) links can be cut. The
+    //    spread factor keeps uniform-delay fabrics (every link within 16×
+    //    of the max) partitioning exactly as before.
     if strategy == PartitionStrategy::Locality {
         for h in net.host_ids() {
             if let Some((_, peer)) = net.neighbors_iter(h).next() {
                 uf.union(h.0 as usize, peer.0 as usize);
+            }
+        }
+        const DELAY_SPREAD: Time = 16;
+        let max_delay = net.links_iter().map(|(_, _, _, _, spec)| spec.delay_ns).max().unwrap_or(0);
+        for (a, _pa, b, _pb, spec) in net.links_iter() {
+            if spec.delay_ns.saturating_mul(DELAY_SPREAD) <= max_delay {
+                uf.union(a.0 as usize, b.0 as usize);
             }
         }
     }
@@ -239,6 +255,38 @@ mod tests {
             ReconfigAction::LinkDegrade { node: h, port: hp, rate_mbps: 100, delay_ns: 1 },
         );
         assert_eq!(lookahead(&t2.net, &a), Some(1000));
+    }
+
+    #[test]
+    fn locality_glues_low_delay_meshes_on_two_scale_fabrics() {
+        // Two sites at 1 µs intra / 250 µs WAN: each site must collapse
+        // into one component, so the only cross-shard links are WAN links.
+        let t = TopologySpec::MultiSite {
+            sites: 2,
+            site_k: 4,
+            wan_delay_ns: 250_000,
+            wan_delay_step_ns: 0,
+            wan_mbps: 400,
+            wan_site_mbps: Vec::new(),
+            wan_queue_bytes: 0,
+        }
+        .builder()
+        .link_mbps(1000)
+        .delay_ns(1000)
+        .seed(1)
+        .build();
+        let a = partition(&t.net, 2, PartitionStrategy::Locality);
+        for (x, _, y, _, spec) in t.net.links_iter() {
+            if a[x.0 as usize] != a[y.0 as usize] {
+                assert_eq!(spec.delay_ns, 250_000, "only WAN links may cross shards");
+            }
+        }
+        assert_eq!(lookahead(&t.net, &a), Some(250_000));
+        // Both shards still get a whole site's worth of work.
+        let mut used: Vec<usize> = a.clone();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), 2);
     }
 
     #[test]

@@ -93,6 +93,27 @@ impl WorkloadSpec {
         }
     }
 
+    /// One-to-many fan-out: host 0 streams round-robin to every other
+    /// host — the WAN video-multicast traffic shape.
+    pub fn fan_out() -> Self {
+        WorkloadSpec {
+            name: "fan_out".into(),
+            cfg: TrafficConfig { pattern: TrafficPattern::FanOut, ..TrafficConfig::default() },
+        }
+    }
+
+    /// Cross-site transfers on a `MultiSite` fabric: every frame crosses
+    /// a WAN link (see [`TrafficPattern::InterDcTransfer`]).
+    pub fn inter_dc(sites: usize) -> Self {
+        WorkloadSpec {
+            name: format!("inter_dc{sites}"),
+            cfg: TrafficConfig {
+                pattern: TrafficPattern::InterDcTransfer { sites },
+                ..TrafficConfig::default()
+            },
+        }
+    }
+
     /// A fully custom workload under your own label.
     pub fn custom(name: impl Into<String>, cfg: TrafficConfig) -> Self {
         WorkloadSpec { name: name.into(), cfg }

@@ -43,6 +43,21 @@ pub enum TrafficPattern {
     /// All-to-all shuffle: host `i` walks the peer list round-robin
     /// starting at `i + 1`, like a MapReduce shuffle stage.
     Shuffle,
+    /// One-to-many fan-out: the first host in peer-list order streams to
+    /// every other host round-robin; everyone else only receives. The
+    /// traffic shape of the coordinated video multicast in
+    /// `tpp_apps::wan` (no RNG draws — purely positional).
+    FanOut,
+    /// Cross-site transfers on a [`tpp_netsim::TopologySpec::MultiSite`]
+    /// fabric: with site-major hosts split into `sites` equal groups, host
+    /// `i` of site `s` targets host `i` of each *remote* site in turn,
+    /// cycling through sites round-robin. Every frame crosses a WAN link
+    /// (no RNG draws — purely positional).
+    InterDcTransfer {
+        /// Site count — must divide the host count (as MultiSite
+        /// guarantees).
+        sites: usize,
+    },
 }
 
 /// Workload knobs.
@@ -177,16 +192,36 @@ impl TrafficGen {
                 }
                 dst
             }
+            TrafficPattern::FanOut => {
+                // Only peer 0 sends (passive hosts never reach here):
+                // round-robin over everyone else.
+                let len = self.peers.len();
+                let dst = self.peers[1 + self.rr % (len - 1)];
+                self.rr = (self.rr + 1) % (len - 1);
+                dst
+            }
+            TrafficPattern::InterDcTransfer { sites } => {
+                let sites = sites.clamp(2, self.peers.len());
+                let per_site = (self.peers.len() / sites).max(1);
+                let (my_site, slot) = (self.my_index / per_site, self.my_index % per_site);
+                // Cycle over the remote sites only: the whole point is
+                // that every frame crosses a WAN link.
+                let target_site = (my_site + 1 + self.rr % (sites - 1)) % sites;
+                self.rr = (self.rr + 1) % (sites - 1);
+                self.peers[(target_site * per_site + slot) % self.peers.len()]
+            }
         }
     }
 
-    /// Under [`TrafficPattern::Incast`], the first `sinks` peers never
-    /// send.
-    fn is_incast_sink(&self) -> bool {
+    /// Hosts that never send under the configured pattern: the first
+    /// `sinks` peers of [`TrafficPattern::Incast`], everyone but peer 0
+    /// under [`TrafficPattern::FanOut`].
+    fn is_passive(&self) -> bool {
         match self.cfg.pattern {
             TrafficPattern::Incast { sinks } => {
                 self.my_index < sinks.clamp(1, self.peers.len() - 1)
             }
+            TrafficPattern::FanOut => self.my_index != 0,
             _ => false,
         }
     }
@@ -222,7 +257,7 @@ impl HostApp for TrafficGen {
         self.rng = Some(StdRng::seed_from_u64(self.cfg.seed ^ ((ctx.node.0 as u64) << 20)));
         self.my_index =
             self.peers.iter().position(|&p| p == ctx.node.0).expect("host is in the peer list");
-        if self.is_incast_sink() {
+        if self.is_passive() {
             return; // receive-only: no timer, no RNG draws
         }
         // Stagger first ticks across hosts to avoid a thundering herd.

@@ -5,8 +5,9 @@
 //! cover. Plus the contract details of the cell output itself (JSON
 //! shape, speedup semantics).
 
+use tpp_fabric::partition::lookahead;
 use tpp_fabric::scenario::{Cell, Scenario, WorkloadSpec};
-use tpp_fabric::PartitionStrategy;
+use tpp_fabric::{partition, PartitionStrategy};
 use tpp_netsim::{TopologySpec, MILLIS};
 
 fn run(w: WorkloadSpec, shards: usize) -> Cell {
@@ -50,6 +51,76 @@ fn incast_scenario_matches_across_shard_counts() {
 #[test]
 fn shuffle_scenario_matches_across_shard_counts() {
     assert_pattern_shards_match(WorkloadSpec::shuffle());
+}
+
+/// A two-site WAN fabric for the cross-site cells: 250 µs WAN delay is
+/// multi-ms-class relative to the 2 ms test horizon, so frames actually
+/// cross during the run.
+fn multi_site() -> TopologySpec {
+    TopologySpec::MultiSite {
+        sites: 2,
+        site_k: 4,
+        wan_delay_ns: 250_000,
+        wan_delay_step_ns: 0,
+        wan_mbps: 400,
+        wan_site_mbps: Vec::new(),
+        wan_queue_bytes: 0,
+    }
+}
+
+fn run_wan(w: WorkloadSpec, shards: usize) -> Cell {
+    Scenario::new(multi_site().builder().link_mbps(1000).delay_ns(1000).seed(5), w)
+        .shards(shards)
+        .duration_ns(2 * MILLIS)
+        .run()
+}
+
+fn assert_wan_shards_match(w: WorkloadSpec) {
+    let reference = run_wan(w.clone(), 1);
+    assert!(reference.stats.frames_delivered > 0, "{}: workload must deliver", w.name);
+    for shards in [2usize, 4] {
+        let got = run_wan(w.clone(), shards);
+        assert_eq!(
+            got.digest, reference.digest,
+            "{}: WAN digest diverged at {shards} shards",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn fan_out_scenario_matches_across_shard_counts() {
+    assert_wan_shards_match(WorkloadSpec::fan_out());
+}
+
+#[test]
+fn inter_dc_scenario_matches_across_shard_counts() {
+    assert_wan_shards_match(WorkloadSpec::inter_dc(2));
+}
+
+#[test]
+fn wan_links_are_natural_shard_cuts_with_large_lookahead() {
+    // Locality partitioning at 2 shards on a 2-site fabric must cut at
+    // the WAN links — and the conservative lookahead must then be the
+    // WAN delay, orders of magnitude above the intra-site 1 µs links.
+    let t = multi_site().builder().link_mbps(1000).delay_ns(1000).seed(5).build();
+    let assignment = partition(&t.net, 2, PartitionStrategy::Locality);
+    let mut cut_delays = Vec::new();
+    for (a, _, b, _, spec) in t.net.links_iter() {
+        if assignment[a.0 as usize] != assignment[b.0 as usize] {
+            cut_delays.push(spec.delay_ns);
+        }
+    }
+    assert!(!cut_delays.is_empty(), "two shards must cut somewhere");
+    assert!(
+        cut_delays.iter().all(|&d| d == 250_000),
+        "locality partitioning should cut only WAN links, cut delays: {cut_delays:?}"
+    );
+    assert_eq!(
+        lookahead(&t.net, &assignment),
+        Some(250_000),
+        "the sharded runtime's lookahead window must be the WAN delay"
+    );
 }
 
 #[test]

@@ -135,6 +135,14 @@ pub struct Scheduler<E> {
     occupied: [u64; LEVELS],
     /// Per-slot minimum `(time, key)` so `peek` is exact without draining.
     slot_min: Vec<(Time, u64)>,
+    /// Per-slot maximum timestamp. Together with `slot_min` this detects
+    /// *clustered* slots — every entry mapping to one destination slot —
+    /// which cascade as a wholesale `Vec` move instead of entry-by-entry
+    /// re-insertion. That is the WAN profile: a burst of frames scheduled
+    /// milliseconds ahead within a few µs of each other lands thousands
+    /// of entries in one coarse slot, and without the move each would pay
+    /// a re-bucketing per level on the way down.
+    slot_max: Vec<Time>,
     /// Deadlines beyond the wheel span, earliest first.
     overflow: BinaryHeap<Entry<E>>,
     /// The staged batch: every not-yet-popped event of timestamp
@@ -142,9 +150,14 @@ pub struct Scheduler<E> {
     /// timestamp merge in by key, preserving the heap ordering contract.
     ready: VecDeque<Entry<E>>,
     ready_time: Time,
-    /// Recycled slot storage: draining a slot swaps its `Vec` for this one
-    /// instead of dropping it, so cascades don't churn the allocator.
-    spare: Vec<Entry<E>>,
+    /// Recycled slot storage: draining a slot parks its `Vec` here, and
+    /// both cascade *destinations* and drained slots draw replacements
+    /// from the pool. A single spare is not enough once events cluster —
+    /// a WAN-delay batch cascading down the levels lands thousands of
+    /// entries in one destination slot per level, and without recycled
+    /// capacity every transition re-grows that slot from zero (realloc +
+    /// memcpy each doubling). Bounded so idle capacity can't accumulate.
+    spare_pool: Vec<Vec<Entry<E>>>,
     /// Count of inserts that landed exactly at the current clock value.
     /// Batch consumers snapshot this to learn whether a handler scheduled
     /// new work at the timestamp being drained (the only case where a
@@ -176,10 +189,11 @@ impl<E> Default for Scheduler<E> {
             slots: Vec::new(),
             occupied: [0; LEVELS],
             slot_min: Vec::new(),
+            slot_max: Vec::new(),
             overflow: BinaryHeap::new(),
             ready: VecDeque::new(),
             ready_time: 0,
-            spare: Vec::new(),
+            spare_pool: Vec::new(),
             now_inserts: 0,
             heap: BinaryHeap::new(),
             spill_threshold: SPILL_THRESHOLD,
@@ -260,6 +274,7 @@ impl<E> Scheduler<E> {
         if self.slots.is_empty() {
             self.slots = (0..LEVELS * SLOTS).map(|_| Vec::new()).collect();
             self.slot_min = vec![(Time::MAX, u64::MAX); LEVELS * SLOTS];
+            self.slot_max = vec![0; LEVELS * SLOTS];
         }
         for entry in std::mem::take(&mut self.heap) {
             self.insert_wheel(entry);
@@ -271,6 +286,10 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now + delay, event);
     }
 
+    /// Pool bound: far above the number of slots live at once on any real
+    /// schedule, far below anything that could pin real memory.
+    const SPARE_POOL_CAP: usize = 32;
+
     fn insert_wheel(&mut self, entry: Entry<E>) {
         match level_slot(self.now, entry.time) {
             Some((level, slot)) => {
@@ -279,10 +298,27 @@ impl<E> Scheduler<E> {
                 if (entry.time, entry.key) < *min {
                     *min = (entry.time, entry.key);
                 }
-                self.slots[idx].push(entry);
+                if entry.time > self.slot_max[idx] {
+                    self.slot_max[idx] = entry.time;
+                }
+                let bucket = &mut self.slots[idx];
+                if bucket.capacity() == 0 {
+                    if let Some(recycled) = self.spare_pool.pop() {
+                        *bucket = recycled;
+                    }
+                }
+                bucket.push(entry);
                 self.occupied[level] |= 1 << slot;
             }
             None => self.overflow.push(entry),
+        }
+    }
+
+    /// Park a drained slot's storage for reuse (dropped when full).
+    fn recycle(&mut self, mut storage: Vec<Entry<E>>) {
+        if self.spare_pool.len() < Self::SPARE_POOL_CAP {
+            storage.clear();
+            self.spare_pool.push(storage);
         }
     }
 
@@ -344,12 +380,12 @@ impl<E> Scheduler<E> {
                 let idx = slot; // level 0
                 self.occupied[0] &= !(1 << slot);
                 self.slot_min[idx] = (Time::MAX, u64::MAX);
-                let mut batch =
-                    std::mem::replace(&mut self.slots[idx], std::mem::take(&mut self.spare));
+                self.slot_max[idx] = 0;
+                let mut batch = std::mem::take(&mut self.slots[idx]);
                 batch.sort_unstable_by_key(|e| (e.key, e.seq));
                 debug_assert!(batch.iter().all(|e| e.time == deadline));
                 self.ready.extend(batch.drain(..));
-                self.spare = batch;
+                self.recycle(batch);
                 self.ready_time = deadline;
                 return true;
             }
@@ -362,16 +398,46 @@ impl<E> Scheduler<E> {
             self.now = deadline;
             let idx = level * SLOTS + slot;
             self.occupied[level] &= !(1 << slot);
+            let lo = self.slot_min[idx];
+            let hi = self.slot_max[idx];
             self.slot_min[idx] = (Time::MAX, u64::MAX);
+            self.slot_max[idx] = 0;
+            // Clustered fast path: when the earliest and latest deadlines
+            // in the slot map to the same destination, every entry does —
+            // move the storage wholesale (see the `slot_max` field docs).
+            if let (Some(dst_lo), Some(dst_hi)) =
+                (level_slot(self.now, lo.0), level_slot(self.now, hi))
+            {
+                if dst_lo == dst_hi {
+                    let (l2, s2) = dst_lo;
+                    debug_assert!(l2 < level);
+                    let dst = l2 * SLOTS + s2;
+                    let mut moved = std::mem::take(&mut self.slots[idx]);
+                    if self.slots[dst].is_empty() {
+                        let old = std::mem::replace(&mut self.slots[dst], moved);
+                        self.recycle(old);
+                    } else {
+                        self.slots[dst].append(&mut moved);
+                        self.recycle(moved);
+                    }
+                    if lo < self.slot_min[dst] {
+                        self.slot_min[dst] = lo;
+                    }
+                    if hi > self.slot_max[dst] {
+                        self.slot_max[dst] = hi;
+                    }
+                    self.occupied[l2] |= 1 << s2;
+                    continue;
+                }
+            }
             // Cascade targets are strictly lower levels, so the drained
             // slot is never pushed to while `cascading` holds its storage.
-            let mut cascading =
-                std::mem::replace(&mut self.slots[idx], std::mem::take(&mut self.spare));
+            let mut cascading = std::mem::take(&mut self.slots[idx]);
             for e in cascading.drain(..) {
                 debug_assert!(level_slot(self.now, e.time).is_some_and(|(l, _)| l < level));
                 self.insert_wheel(e);
             }
-            self.spare = cascading;
+            self.recycle(cascading);
         }
     }
 

@@ -45,5 +45,5 @@ pub use nodes::NodeStore;
 pub use reconfig::{
     order_route_updates, plan_route_updates, ReconfigAction, ReconfigPlan, RouteUpdate,
 };
-pub use scenario::{ChurnSpec, TopologyBuilder, TopologySpec};
+pub use scenario::{viewer_fanout, ChurnSpec, TopologyBuilder, TopologySpec};
 pub use topology::Topology;

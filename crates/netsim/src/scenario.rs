@@ -3,11 +3,10 @@
 //! [`TopologySpec`] names a topology family and its shape parameters;
 //! [`TopologyBuilder`] adds the physical knobs (link rate, host rate,
 //! propagation delay, seed) and produces a routed [`Topology`]. The five
-//! classic shapes the free functions in [`crate::topology`] used to build
-//! (star, dumbbell, line, leaf-tree, fat-tree) are reproduced *exactly* —
-//! same node-id assignment order, same switch-config numbering, same link
-//! creation order — so a builder-built network is bit-identical (digests
-//! and all) to one built by the deprecated wrappers.
+//! classic shapes (star, dumbbell, line, leaf-spine, fat-tree) keep the
+//! node-id assignment order, switch-config numbering, and link creation
+//! order of the original free-function builders, so historical digests
+//! stay valid.
 //!
 //! Beyond the classics, the spec covers the topologies the evaluation
 //! matrix sweeps:
@@ -126,6 +125,41 @@ pub enum TopologySpec {
         /// Hosts on every switch.
         hosts_per_switch: usize,
     },
+    /// An inter-datacenter fabric: `sites` identical `site_k`-ary
+    /// fat-trees, each fronted by one border switch wired to all of the
+    /// site's core switches, with the borders joined in a full mesh of
+    /// WAN links. WAN links are orders of magnitude slower and longer
+    /// than the intra-site links, which makes them natural shard cut
+    /// points for the fabric partitioner (their propagation delay is the
+    /// conservative lookahead).
+    ///
+    /// Hosts are site-major: `hosts[site * (site_k³/4) + i]` is host `i`
+    /// of `site`.
+    MultiSite {
+        /// Number of datacenter sites (≥ 2).
+        sites: usize,
+        /// Fat-tree arity inside every site (even).
+        site_k: usize,
+        /// One-way propagation delay of the shortest WAN link, in
+        /// nanoseconds (multi-ms for realistic WANs).
+        wan_delay_ns: u64,
+        /// Extra delay per unit of site distance: the border `i` ↔ `j`
+        /// link has delay `wan_delay_ns + wan_delay_step_ns * (|i-j|-1)`,
+        /// giving heterogeneous RTTs across site pairs (0 = uniform).
+        wan_delay_step_ns: u64,
+        /// WAN link rate in Mb/s (intra-site links use the builder rate).
+        wan_mbps: u64,
+        /// Per-site WAN rate override: the border `i` ↔ `j` link runs at
+        /// `min(rate(i), rate(j))` where `rate(s)` is `wan_site_mbps[s]`
+        /// (or `wan_mbps` beyond the vector). Empty = uniform. The viewer
+        /// fan-out preset uses this to give every subtree a distinct
+        /// bottleneck.
+        wan_site_mbps: Vec<u64>,
+        /// Drop-tail buffer depth of the border switches, in bytes
+        /// (0 = switch default). The shallow-vs-deep buffer knob of the
+        /// inter-DC congestion-control experiments.
+        wan_queue_bytes: u32,
+    },
 }
 
 impl TopologySpec {
@@ -150,6 +184,9 @@ impl TopologySpec {
                 format!("jellyfish{switches}x{degree}")
             }
             TopologySpec::EdgeList { name, .. } => format!("edge_{name}"),
+            TopologySpec::MultiSite { sites, site_k, .. } => {
+                format!("multi_site{sites}x{site_k}")
+            }
         }
     }
 
@@ -246,6 +283,28 @@ impl TopologyBuilder {
             TopologySpec::EdgeList { edges, hosts_per_switch, .. } => {
                 build_edge_list(&edges, hosts_per_switch, link, host_mbps, delay, seed)
             }
+            TopologySpec::MultiSite {
+                sites,
+                site_k,
+                wan_delay_ns,
+                wan_delay_step_ns,
+                wan_mbps,
+                wan_site_mbps,
+                wan_queue_bytes,
+            } => build_multi_site(
+                sites,
+                site_k,
+                link,
+                delay,
+                seed,
+                &WanKnobs {
+                    delay_ns: wan_delay_ns,
+                    delay_step_ns: wan_delay_step_ns,
+                    mbps: wan_mbps,
+                    site_mbps: wan_site_mbps,
+                    queue_bytes: wan_queue_bytes,
+                },
+            ),
         };
         t.install_routes();
         t
@@ -528,6 +587,144 @@ fn build_edge_list(
         }
     }
     Topology { net, hosts, switches }
+}
+
+/// The WAN half of a [`TopologySpec::MultiSite`], bundled so the builder
+/// dispatch stays readable.
+struct WanKnobs {
+    delay_ns: u64,
+    delay_step_ns: u64,
+    mbps: u64,
+    site_mbps: Vec<u64>,
+    queue_bytes: u32,
+}
+
+impl WanKnobs {
+    fn site_rate(&self, s: usize) -> u64 {
+        self.site_mbps.get(s).copied().unwrap_or(self.mbps).max(1)
+    }
+
+    /// Rate/delay of the WAN link between borders `i < j`.
+    fn link(&self, i: usize, j: usize) -> LinkSpec {
+        let rate = self.site_rate(i).min(self.site_rate(j));
+        let delay = self.delay_ns + self.delay_step_ns * (j - i - 1) as u64;
+        LinkSpec::new(rate, delay)
+    }
+}
+
+fn build_multi_site(
+    sites: usize,
+    site_k: usize,
+    link_mbps: u64,
+    delay_ns: u64,
+    seed: u64,
+    wan: &WanKnobs,
+) -> Topology {
+    assert!(sites >= 2, "a multi-site fabric needs at least 2 sites");
+    assert!(site_k >= 2 && site_k.is_multiple_of(2), "site fat-tree arity must be even");
+    let half = site_k / 2;
+    let mut net = Network::new(seed);
+    let mut hosts = Vec::new();
+    let mut switches = Vec::new();
+    let mut borders = Vec::new();
+
+    // Each site replays the fat-tree wiring order of `build_fat_tree`,
+    // switch ids offset by `(site + 1) * 10_000` so `Switch:SwitchID`
+    // reads locate a hop's site at a glance; the border switch is
+    // `offset + 9000`.
+    for site in 0..sites {
+        let offset = ((site + 1) * 10_000) as u32;
+        // One port per pod below plus the border uplink.
+        let cores: Vec<NodeId> = (0..half * half)
+            .map(|i| net.add_switch(switch_cfg(offset + 1000 + i as u32, site_k + 1)))
+            .collect();
+        let mut aggs: Vec<Vec<NodeId>> = Vec::new();
+        let mut edges: Vec<Vec<NodeId>> = Vec::new();
+        for pod in 0..site_k {
+            aggs.push(
+                (0..half)
+                    .map(|i| {
+                        net.add_switch(switch_cfg(offset + (100 + pod * 10 + i) as u32, site_k))
+                    })
+                    .collect(),
+            );
+            edges.push(
+                (0..half)
+                    .map(|i| {
+                        net.add_switch(switch_cfg(offset + (500 + pod * 10 + i) as u32, site_k))
+                    })
+                    .collect(),
+            );
+        }
+        // The border: one port per core below, one per remote site above.
+        let mut border_cfg = switch_cfg(offset + 9000, half * half + sites - 1);
+        if wan.queue_bytes > 0 {
+            border_cfg.queue_limit_bytes = wan.queue_bytes;
+        }
+        let border = net.add_switch(border_cfg);
+        for j in 0..half {
+            for i in 0..half {
+                let core = cores[j * half + i];
+                for pod_aggs in aggs.iter() {
+                    net.connect(pod_aggs[j], core, LinkSpec::new(link_mbps, delay_ns));
+                }
+            }
+        }
+        for pod in 0..site_k {
+            for &a in &aggs[pod] {
+                for &e in &edges[pod] {
+                    net.connect(a, e, LinkSpec::new(link_mbps, delay_ns));
+                }
+            }
+        }
+        for &core in &cores {
+            net.connect(core, border, LinkSpec::new(link_mbps, delay_ns));
+        }
+        for pod_edges in &edges {
+            for &e in pod_edges {
+                for _ in 0..half {
+                    let h = net.add_host(Box::new(NullApp));
+                    net.connect(e, h, LinkSpec::new(link_mbps, delay_ns));
+                    hosts.push(h);
+                }
+            }
+        }
+        switches.extend_from_slice(&cores);
+        for pod in 0..site_k {
+            switches.extend_from_slice(&aggs[pod]);
+            switches.extend_from_slice(&edges[pod]);
+        }
+        switches.push(border);
+        borders.push(border);
+    }
+    // The WAN mesh: every border pair, heterogeneous delays by distance.
+    for i in 0..sites {
+        for j in (i + 1)..sites {
+            net.connect(borders[i], borders[j], wan.link(i, j));
+        }
+    }
+    Topology { net, hosts, switches }
+}
+
+/// The coordinated-fan-out preset: a [`TopologySpec::MultiSite`] whose
+/// site-0 fat-tree hosts the video source and every other site a viewer
+/// group, with each viewer site `j ≥ 1` reached over a WAN link throttled
+/// to `wan_mbps / (j + 1)` — so every fan-out subtree has a *distinct*
+/// bottleneck bandwidth for the rate-adaptation loop to discover. WAN
+/// delays start at 2 ms and grow 1 ms per site of distance
+/// (heterogeneous RTTs).
+pub fn viewer_fanout(sites: usize, site_k: usize, wan_mbps: u64) -> TopologySpec {
+    let wan_site_mbps =
+        (0..sites).map(|j| if j == 0 { wan_mbps } else { wan_mbps / (j as u64 + 1) }).collect();
+    TopologySpec::MultiSite {
+        sites,
+        site_k,
+        wan_delay_ns: 2_000_000,
+        wan_delay_step_ns: 1_000_000,
+        wan_mbps,
+        wan_site_mbps,
+        wan_queue_bytes: 0,
+    }
 }
 
 /// Parse a TopologyZoo-style edge list: one `a b` pair of numeric labels
@@ -926,6 +1123,115 @@ mod tests {
             }
         }
         assert!(per_key.values().all(|&c| c % 2 == 0), "{per_key:?}");
+    }
+
+    #[test]
+    fn multi_site_is_connected_with_border_mesh() {
+        let t = TopologyBuilder::new(TopologySpec::MultiSite {
+            sites: 3,
+            site_k: 4,
+            wan_delay_ns: 2_000_000,
+            wan_delay_step_ns: 1_000_000,
+            wan_mbps: 400,
+            wan_site_mbps: Vec::new(),
+            wan_queue_bytes: 0,
+        })
+        .build();
+        // Per site: 4 cores + 4 pods x (2 agg + 2 edge) + 1 border = 21
+        // switches and 16 hosts (site-major).
+        assert_eq!(t.switches.len(), 3 * 21);
+        assert_eq!(t.hosts.len(), 3 * 16);
+        assert!(connected(&t));
+        // Borders (id offset + 9000) pair into a full WAN mesh with
+        // distance-proportional delays.
+        let border_ids: Vec<u32> = (0..3).map(|s| (s + 1) as u32 * 10_000 + 9000).collect();
+        let mut wan = 0;
+        for (a, _pa, b, _pb, spec) in t.net.links_iter() {
+            if !(t.net.is_switch(a) && t.net.is_switch(b)) {
+                continue;
+            }
+            let ia = t.net.switch(a).cfg.switch_id;
+            let ib = t.net.switch(b).cfg.switch_id;
+            if border_ids.contains(&ia) && border_ids.contains(&ib) {
+                wan += 1;
+                let (si, sj) = (ia / 10_000 - 1, ib / 10_000 - 1);
+                let dist = si.abs_diff(sj) as u64;
+                assert_eq!(spec.delay_ns, 2_000_000 + 1_000_000 * (dist - 1));
+                assert_eq!(spec.rate_mbps, 400);
+            }
+        }
+        // links_iter yields both directions: C(3,2) pairs x 2.
+        assert_eq!(wan, 6);
+    }
+
+    #[test]
+    fn multi_site_queue_override_hits_borders_only() {
+        let t = TopologyBuilder::new(TopologySpec::MultiSite {
+            sites: 2,
+            site_k: 4,
+            wan_delay_ns: 1_000_000,
+            wan_delay_step_ns: 0,
+            wan_mbps: 100,
+            wan_site_mbps: Vec::new(),
+            wan_queue_bytes: 30_000,
+        })
+        .build();
+        for &s in &t.switches {
+            let cfg = &t.net.switch(s).cfg;
+            if cfg.switch_id % 10_000 == 9000 {
+                assert_eq!(cfg.queue_limit_bytes, 30_000, "shallow border buffer");
+            } else {
+                assert_ne!(cfg.queue_limit_bytes, 30_000, "intra-site untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn viewer_fanout_throttles_each_viewer_site() {
+        let spec = viewer_fanout(4, 4, 600);
+        assert_eq!(spec.label(), "multi_site4x4");
+        let TopologySpec::MultiSite { ref wan_site_mbps, .. } = spec else {
+            panic!("viewer_fanout must be MultiSite");
+        };
+        assert_eq!(wan_site_mbps, &[600, 300, 200, 150]);
+        let t = TopologyBuilder::new(spec).build();
+        assert!(connected(&t));
+        // The source-side border (site 0) sees each viewer link at the
+        // viewer site's throttled rate: min(600, 600/(j+1)).
+        let is_border =
+            |n: NodeId| t.net.is_switch(n) && t.net.switch(n).cfg.switch_id % 10_000 == 9000;
+        let mut rates: Vec<u64> = t
+            .net
+            .links_iter()
+            .filter(|&(a, _, b, _, _)| {
+                is_border(a) && is_border(b) && t.net.switch(a).cfg.switch_id == 19_000
+            })
+            .map(|(_, _, _, _, spec)| spec.rate_mbps)
+            .collect();
+        rates.sort_unstable();
+        assert_eq!(rates, vec![150, 200, 300]);
+    }
+
+    #[test]
+    fn multi_site_hosts_are_site_major_and_routed() {
+        let t = TopologyBuilder::new(TopologySpec::MultiSite {
+            sites: 2,
+            site_k: 4,
+            wan_delay_ns: 250_000,
+            wan_delay_step_ns: 0,
+            wan_mbps: 1000,
+            wan_site_mbps: Vec::new(),
+            wan_queue_bytes: 0,
+        })
+        .build();
+        let per_site = t.hosts.len() / 2;
+        assert_eq!(per_site, 16);
+        // A cross-site route exists: host 0 (site 0) to the first host of
+        // site 1, resolvable at host 0's edge switch.
+        let dst = t.net.host(t.hosts[per_site]).ip;
+        let (_, edge) = t.net.neighbors(t.hosts[0])[0];
+        assert!(t.net.is_switch(edge));
+        assert!(t.net.switch(edge).host_route(dst).is_some(), "no WAN route");
     }
 
     #[test]

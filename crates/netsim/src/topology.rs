@@ -1,18 +1,15 @@
 //! The [`Topology`] type and shortest-path (ECMP) route installation.
 //!
 //! Topology *construction* lives in [`crate::scenario`]: declare a
-//! [`TopologySpec`], tune rates/delay/seed on a [`TopologyBuilder`], and
+//! [`crate::scenario::TopologySpec`], tune rates/delay/seed on a
+//! [`crate::scenario::TopologyBuilder`], and
 //! `build()`. Route installation is BFS per host: where multiple
 //! equal-cost next hops exist, an ECMP group is installed, exactly like
-//! the multipath group tables of §2.4. The free functions below (`star`,
-//! `dumbbell`, `line`, `leaf_spine`, `fat_tree`) are deprecated wrappers
-//! kept for source compatibility — they delegate to the builder and
-//! produce bit-identical networks.
+//! the multipath group tables of §2.4.
 
 use std::collections::VecDeque;
 
 use crate::net::{Network, NodeId};
-use crate::scenario::{TopologyBuilder, TopologySpec};
 use tpp_switch::Action;
 
 /// A dense map keyed by `NodeId.0` (node ids are compact, assigned from 0
@@ -133,103 +130,6 @@ fn find_or_add_group(sw: &mut tpp_switch::Switch, ports: Vec<u8>) -> u16 {
     sw.add_group(ports)
 }
 
-/// One switch, `n` hosts (a star). Host link rate `host_mbps`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use scenario::TopologyBuilder with TopologySpec::Star instead"
-)]
-pub fn star(n: usize, host_mbps: u64, delay_ns: u64, seed: u64) -> Topology {
-    TopologyBuilder::new(TopologySpec::Star { hosts: n })
-        .host_mbps(host_mbps)
-        .delay_ns(delay_ns)
-        .seed(seed)
-        .build()
-}
-
-/// The §2.1 micro-burst topology: two switches joined by a bottleneck, with
-/// `per_side` hosts on each (6 hosts total for `per_side = 3`).
-#[deprecated(
-    since = "0.2.0",
-    note = "use scenario::TopologyBuilder with TopologySpec::Dumbbell instead"
-)]
-pub fn dumbbell(
-    per_side: usize,
-    host_mbps: u64,
-    bottleneck_mbps: u64,
-    delay_ns: u64,
-    seed: u64,
-) -> Topology {
-    TopologyBuilder::new(TopologySpec::Dumbbell { per_side })
-        .link_mbps(bottleneck_mbps)
-        .host_mbps(host_mbps)
-        .delay_ns(delay_ns)
-        .seed(seed)
-        .build()
-}
-
-/// A line of `n_switches` switches with `hosts_per_switch` hosts on each —
-/// the Figure 2 RCP topology is `line(3, 1)`-like: a flow traversing both
-/// inter-switch links shares each with a one-link flow.
-#[deprecated(
-    since = "0.2.0",
-    note = "use scenario::TopologyBuilder with TopologySpec::Line instead"
-)]
-pub fn line(
-    n_switches: usize,
-    hosts_per_switch: usize,
-    link_mbps: u64,
-    delay_ns: u64,
-    seed: u64,
-) -> Topology {
-    TopologyBuilder::new(TopologySpec::Line { switches: n_switches, hosts_per_switch })
-        .link_mbps(link_mbps)
-        .delay_ns(delay_ns)
-        .seed(seed)
-        .build()
-}
-
-/// A leaf-spine fabric (the Figure 4 CONGA topology is
-/// `leaf_spine(3, 2, 1, ...)`): every leaf connects to every spine.
-/// Returns hosts grouped leaf-major (`hosts[leaf * hosts_per_leaf + i]`).
-#[deprecated(
-    since = "0.2.0",
-    note = "use scenario::TopologyBuilder with TopologySpec::LeafSpine instead"
-)]
-pub fn leaf_spine(
-    n_leaf: usize,
-    n_spine: usize,
-    hosts_per_leaf: usize,
-    fabric_mbps: u64,
-    host_mbps: u64,
-    delay_ns: u64,
-    seed: u64,
-) -> Topology {
-    TopologyBuilder::new(TopologySpec::LeafSpine {
-        leaves: n_leaf,
-        spines: n_spine,
-        hosts_per_leaf,
-    })
-    .link_mbps(fabric_mbps)
-    .host_mbps(host_mbps)
-    .delay_ns(delay_ns)
-    .seed(seed)
-    .build()
-}
-
-/// A k-ary fat-tree (§2.5 uses k = 64; tests use k = 4): k pods of k/2 edge
-/// and k/2 aggregation switches, (k/2)^2 cores, k^3/4 hosts.
-#[deprecated(
-    since = "0.2.0",
-    note = "use scenario::TopologyBuilder with TopologySpec::FatTree instead"
-)]
-pub fn fat_tree(k: usize, link_mbps: u64, delay_ns: u64, seed: u64) -> Topology {
-    TopologyBuilder::new(TopologySpec::FatTree { k })
-        .link_mbps(link_mbps)
-        .delay_ns(delay_ns)
-        .seed(seed)
-        .build()
-}
-
 /// Map from host node id to its index in `hosts` (handy for experiments):
 /// a dense [`NodeMap`] keyed by `NodeId.0`, not a tree.
 pub fn host_index(t: &Topology) -> NodeMap<usize> {
@@ -245,6 +145,7 @@ mod tests {
     use super::*;
     use crate::engine::MILLIS;
     use crate::net::{HostApp, HostCtx};
+    use crate::scenario::{TopologyBuilder, TopologySpec};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     use tpp_core::wire::{ethernet, ipv4, udp, EthernetAddress, EthernetRepr, Ipv4Address};
@@ -359,64 +260,6 @@ mod tests {
     #[test]
     fn fat_tree_connectivity() {
         assert_all_pairs_connectivity(fat_tree4(), "fat-tree");
-    }
-
-    /// The deprecated free functions must stay bit-identical to the
-    /// builder: same node ids, same link wiring, same installed routes.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_builder() {
-        let pairs: Vec<(Topology, Topology)> = vec![
-            (
-                star(5, 1000, 2000, 9),
-                TopologyBuilder::new(TopologySpec::Star { hosts: 5 })
-                    .host_mbps(1000)
-                    .delay_ns(2000)
-                    .seed(9)
-                    .build(),
-            ),
-            (
-                dumbbell(2, 100, 50, 1000, 3),
-                TopologyBuilder::new(TopologySpec::Dumbbell { per_side: 2 })
-                    .link_mbps(50)
-                    .host_mbps(100)
-                    .delay_ns(1000)
-                    .seed(3)
-                    .build(),
-            ),
-            (
-                leaf_spine(3, 2, 1, 100, 1000, 10_000, 4),
-                TopologyBuilder::new(TopologySpec::LeafSpine {
-                    leaves: 3,
-                    spines: 2,
-                    hosts_per_leaf: 1,
-                })
-                .link_mbps(100)
-                .host_mbps(1000)
-                .delay_ns(10_000)
-                .seed(4)
-                .build(),
-            ),
-            (
-                fat_tree(4, 1000, 1000, 13),
-                TopologyBuilder::new(TopologySpec::FatTree { k: 4 })
-                    .link_mbps(1000)
-                    .delay_ns(1000)
-                    .seed(13)
-                    .build(),
-            ),
-        ];
-        for (a, b) in &pairs {
-            assert_eq!(a.hosts, b.hosts);
-            assert_eq!(a.switches, b.switches);
-            assert_eq!(a.net.node_count(), b.net.node_count());
-            for n in 0..a.net.node_count() as u32 {
-                assert_eq!(a.net.neighbors(NodeId(n)), b.net.neighbors(NodeId(n)));
-            }
-            let la: Vec<_> = a.net.links_iter().collect();
-            let lb: Vec<_> = b.net.links_iter().collect();
-            assert_eq!(la, lb, "link specs must match");
-        }
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //!
 //! Both structures are driven with identical arbitrary schedules — delays
 //! clustered around every wheel-level boundary (0/1, 63/64, 4095/4096,
-//! 262143/262144, and past the 64^6 overflow horizon), arbitrary order
-//! keys, interleaved single pops and whole-timestamp batch drains — and
-//! must agree on every pop, every peek, and every length along the way.
+//! 262143/262144, and past the 64^6 overflow horizon) plus
+//! millisecond-scale horizons (1ms and the 64^4 boundary, the WAN event
+//! mix that exercises multi-level cascades and the clustered-slot
+//! wholesale move), arbitrary order keys, interleaved single pops and
+//! whole-timestamp batch drains — and must agree on every pop, every
+//! peek, and every length along the way.
 //! Same-timestamp keyed ordering is the load-bearing property: the sharded
 //! fabric replays tie-breaks from keys alone, so a wheel that reordered a
 //! single equal-time pair would silently break digest determinism.
@@ -23,11 +26,16 @@ prop_compose! {
     /// the mix toward insertion), 2 pops, 3 batch-drains.
     fn arb_op()(
         kind in 0u8..4,
-        delay_class in 0usize..10,
+        delay_class in 0usize..12,
         fine in 0u64..128,
         key in 0u64..4,
     ) -> (u8, u64, u64) {
-        const BASES: [u64; 10] = [0, 0, 1, 63, 64, 4095, 4096, 262_143, 262_144, 1 << 36];
+        const BASES: [u64; 12] = [
+            0, 0, 1, 63, 64, 4095, 4096, 262_143, 262_144,
+            1_000_000,   // 1 ms — a WAN-delay event among ns events
+            16_777_216,  // 64^4: the level boundary ms horizons cascade through
+            1 << 36,
+        ];
         (kind, BASES[delay_class].saturating_add(fine), key)
     }
 }

@@ -1,0 +1,28 @@
+//! WAN coordinated fan-out: one source, per-site relay subtrees, each
+//! adapting its rate to its own WAN bottleneck discovered by CSTORE/CEXEC
+//! probes executing at the branch switches.
+//!
+//! ```text
+//! cargo run --release --example wan_fanout
+//! ```
+
+use minions::apps::wan::run_fanout;
+use minions::netsim::MILLIS;
+
+fn main() {
+    let sites = 3;
+    let wan_mbps = 24;
+    println!("source in site 0 fans out to {sites} viewer sites;");
+    println!("site s reaches the WAN at {wan_mbps}/(s+1) Mb/s.\n");
+    let r = run_fanout(sites, 4, wan_mbps, 800 * MILLIS, 11);
+    println!("  site  bottleneck  adapted   relay goodput");
+    for s in &r.subtrees {
+        println!(
+            "  {:>4}  {:>7.2}    {:>7.2}   {:>7.2} Mb/s",
+            s.site, s.bottleneck_mbps, s.adapted_mbps, s.relay_goodput_mbps
+        );
+    }
+    println!("\ncontrol overhead: {:.1}% of data bytes", 100.0 * r.control_overhead_fraction);
+    println!("each subtree converged on its own bottleneck — discovered inside");
+    println!("the network by the probes, not inferred from end-to-end loss.");
+}

@@ -3,8 +3,14 @@
 # switch_forward/{plain,tpp}_packet plus the tcpu_exec groups (reference
 # interpreter, in-place executor, staged pipeline) — the fabric_scale
 # sweep (single-threaded Network vs sharded tpp-fabric on a k=8 fat-tree),
-# the engine_scale scheduler arms, and the reconfig group (runtime
-# reconfiguration-event throughput plus a digest-pinned churn cell).
+# the engine_scale scheduler arms (including the pure_ns/mixed_ns_ms WAN
+# pair), and the reconfig group (runtime reconfiguration-event throughput
+# plus a digest-pinned churn cell).
+#
+# scripts/bench_gate.py diffs a run of this script against the committed
+# per-PR baseline on the hot paths (switch_forward/tpp_packet, the
+# engine_scale/hybrid arms, matrix_cell wall_ms) and fails on a >25%
+# regression; CI runs it in override (warn-only) mode on smoke medians.
 #
 # Usage:
 #   scripts/bench_record.sh [OUTPUT.json]        # default: bench_run.json
