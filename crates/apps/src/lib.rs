@@ -24,6 +24,8 @@
 //!   heterogeneous-RTT multi-ms links.
 //! * [`common`] — frame builders, rate meters, CDFs.
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod conga;
 pub mod microburst;

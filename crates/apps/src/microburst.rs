@@ -126,7 +126,7 @@ impl BurstHost {
         // from the packets arriving there.
         let h = if instrument {
             h.stamp_with(probe, Filter::udp(), 1, Aggregator::Local, |s, io, c| {
-                s.record(io.ctx.now, &c)
+                s.record(io.ctx.now, &c);
             })
         } else {
             h.listen(probe, |s, io, c| s.record(io.ctx.now, &c)).aggregate_local(app_id)

@@ -1,6 +1,6 @@
-//! NetSight refactored onto TPPs (paper §2.3, Figure 3).
+//! `NetSight` refactored onto TPPs (paper §2.3, Figure 3).
 //!
-//! NetSight's core construct is the *packet history*: "a record of the
+//! `NetSight`'s core construct is the *packet history*: "a record of the
 //! packet's path through the network and the switch forwarding state
 //! applied to the packet". Instead of having switches generate truncated
 //! packet copies, every end-host inserts
@@ -65,7 +65,7 @@ impl PacketHistory {
     }
 }
 
-/// The TPP application ID the NetSight deployment runs under: the traced
+/// The TPP application ID the `NetSight` deployment runs under: the traced
 /// hosts stamp it and the collector listens for it — both sides must agree
 /// for completions to route.
 pub const NETSIGHT_APP_ID: u16 = 3;
@@ -312,7 +312,7 @@ pub fn last_seen_switch(
         .and_then(|h| h.hops.last().map(|hop| hop.switch_id))
 }
 
-/// Drive a NetSight deployment on a line topology; returns the collector's
+/// Drive a `NetSight` deployment on a line topology; returns the collector's
 /// store and the hosts used.
 pub struct NetsightRun {
     pub histories: Vec<PacketHistory>,
@@ -459,7 +459,7 @@ mod tests {
             vec![hist(1, flow(1, 2), &[1]), hist(2, flow(1, 2), &[1]), hist(3, flow(2, 1), &[1])];
         let flows = netshark_flows(&store);
         assert_eq!(flows.len(), 2);
-        assert_eq!(flows.values().map(|v| v.len()).max(), Some(2));
+        assert_eq!(flows.values().map(Vec::len).max(), Some(2));
     }
 
     #[test]

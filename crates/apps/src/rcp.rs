@@ -390,7 +390,7 @@ pub fn run_rcp_fig2(alpha: f64, duration: Time, seed: u64) -> RcpResult {
             let sink = topo.net.app_mut::<RcpSinkApp>(h[dst]);
             let meters = sink.meters.borrow();
             let m = meters.get(&(src_ip, sport));
-            series.push((name.to_string(), m.map(|m| m.series_mbps()).unwrap_or_default()));
+            series.push((name.to_string(), m.map(RateMeter::series_mbps).unwrap_or_default()));
             steady.push((name.to_string(), m.map(|m| m.avg_mbps(half, end)).unwrap_or(0.0)));
         }
         let sender = topo.net.app_mut::<RcpSenderApp>(h[src]);

@@ -1,7 +1,7 @@
-//! Low-overhead measurement: the OpenSketch bitmap sketch refactored onto
+//! Low-overhead measurement: the `OpenSketch` bitmap sketch refactored onto
 //! TPPs (paper §2.5, Figure 5).
 //!
-//! OpenSketch needs line-rate hash units inside switches. The TPP
+//! `OpenSketch` needs line-rate hash units inside switches. The TPP
 //! refactoring observes that end-hosts can hash cheaply in software; the
 //! only thing they lack is the packet's *routing context*, which this TPP
 //! provides:
@@ -233,7 +233,7 @@ pub fn run_sketch(
         let app = topo.net.app_mut::<SketchApp>(h);
         packets_sent += app.packets_sent;
         let maps = app.bitmaps.borrow();
-        mem_per_host = mem_per_host.max(maps.values().map(|m| m.size_bytes()).sum());
+        mem_per_host = mem_per_host.max(maps.values().map(BitmapSketch::size_bytes).sum());
         for (k, m) in maps.iter() {
             agg.entry(*k).or_insert_with(|| BitmapSketch::new(bitmap_bits)).merge(m);
         }
@@ -244,7 +244,7 @@ pub fn run_sketch(
     let mut links = Vec::new();
     let mut err_sum = 0.0;
     for (k, sketch) in &agg {
-        let t = truth.get(k).map(|s| s.len()).unwrap_or(0);
+        let t = truth.get(k).map(std::collections::BTreeSet::len).unwrap_or(0);
         let e = sketch.estimate();
         if t > 0 && e.is_finite() {
             err_sum += (e - t as f64).abs() / t as f64;

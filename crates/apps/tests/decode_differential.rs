@@ -55,7 +55,7 @@ fn recorder(
         .expect("static wiring")
 }
 
-/// A raw-TPP collector for remotely aggregated completions (NetSight).
+/// A raw-TPP collector for remotely aggregated completions (`NetSight`).
 struct RawCollector {
     recorded: Shared<Vec<Tpp>>,
 }

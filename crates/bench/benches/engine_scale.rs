@@ -72,7 +72,7 @@ fn delay_pure_ns(i: u64) -> u64 {
 }
 
 /// WAN-mix delays: every other event jumps 1–10 ms ahead — the profile of
-/// a MultiSite scenario, where WAN propagation lands deep in the wheel
+/// a `MultiSite` scenario, where WAN propagation lands deep in the wheel
 /// (levels 3–4) while intra-site events churn the leaf levels.
 fn delay_mixed(i: u64) -> u64 {
     const MS: [u64; 4] = [1_000_000, 2_000_000, 5_000_000, 10_000_000];
@@ -150,10 +150,10 @@ fn bench_engine(c: &mut Criterion) {
         g.bench_function(format!("hybrid/{label}"), |b| b.iter(|| black_box(drive_hybrid(n))));
         g.bench_function(format!("heap/{label}"), |b| b.iter(|| black_box(drive_heap(n))));
         g.bench_function(format!("pure_ns/{label}"), |b| {
-            b.iter(|| black_box(drive_profile(n, delay_pure_ns)))
+            b.iter(|| black_box(drive_profile(n, delay_pure_ns)));
         });
         g.bench_function(format!("mixed_ns_ms/{label}"), |b| {
-            b.iter(|| black_box(drive_profile(n, delay_mixed)))
+            b.iter(|| black_box(drive_profile(n, delay_mixed)));
         });
         g.finish();
     }
@@ -169,7 +169,7 @@ fn bench_engine(c: &mut Criterion) {
             let got = run_delivery();
             assert_eq!(got.0, digest, "batched delivery digest drifted");
             black_box(got)
-        })
+        });
     });
     g.finish();
 }

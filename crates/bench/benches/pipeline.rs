@@ -39,7 +39,7 @@ fn bench_switch(c: &mut Criterion) {
             now += 1000;
             sw.receive(now, 0, plain.clone());
             black_box(sw.dequeue(now, 2));
-        })
+        });
     });
     g.bench_function("tpp_packet", |b| {
         let mut sw = make_switch();
@@ -48,7 +48,7 @@ fn bench_switch(c: &mut Criterion) {
             now += 1000;
             sw.receive(now, 0, stamped.clone());
             black_box(sw.dequeue(now, 2));
-        })
+        });
     });
     g.finish();
 }

@@ -111,7 +111,7 @@ fn bench_reconfig(c: &mut Criterion) {
             let got = flap_under_load();
             assert_eq!(got.0, digest, "churned digest drifted");
             black_box(got)
-        })
+        });
     });
     g.finish();
 }

@@ -43,7 +43,7 @@ fn bench_filters(c: &mut Criterion) {
             );
             g.throughput(Throughput::Bytes(frame.len() as u64));
             g.bench_with_input(BenchmarkId::new(scenario, n), &frame, |b, frame| {
-                b.iter(|| black_box(shim.outgoing(frame.clone())))
+                b.iter(|| black_box(shim.outgoing(frame.clone())));
             });
         }
     }

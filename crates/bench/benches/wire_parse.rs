@@ -38,7 +38,7 @@ fn bench_wire(c: &mut Criterion) {
     g.bench_function("locate_tpp", |b| b.iter(|| black_box(locate_tpp(&stamped))));
     g.bench_function("extract_tpp", |b| b.iter(|| black_box(extract_tpp(&stamped))));
     g.bench_function("insert_transparent", |b| {
-        b.iter(|| black_box(insert_transparent(&inner, &tpp)))
+        b.iter(|| black_box(insert_transparent(&inner, &tpp)));
     });
     g.bench_function("strip_transparent", |b| b.iter(|| black_box(strip_transparent(&stamped))));
     g.finish();

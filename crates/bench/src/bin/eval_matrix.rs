@@ -1,4 +1,4 @@
-//! eval_matrix: the evaluation matrix — scenario × topology × shard count
+//! `eval_matrix`: the evaluation matrix — scenario × topology × shard count
 //! from one binary.
 //!
 //! Sweeps every topology family in the matrix against every traffic
@@ -9,7 +9,7 @@
 //! only meaningful because every parallel run is provably the same
 //! simulation. A churn column (fat-tree × uniform × rerouting link flap)
 //! runs at every shard count with the same digest assertion: chaos under
-//! churn replays bit-for-bit too. A WAN column (two-site MultiSite ×
+//! churn replays bit-for-bit too. A WAN column (two-site `MultiSite` ×
 //! {fan-out, inter-DC} patterns, every frame crossing a 250 µs WAN link)
 //! runs at every shard count — including smoke — with the same
 //! assertion; since the locality partitioner glues each site into one
@@ -23,7 +23,7 @@
 //!   --cell T:W:S  run exactly one cell, e.g. fat_tree4:uniform:2
 //! ```
 //!
-//! `TPP_BENCH_ITERS` below 10_000_000 forces `--smoke`, mirroring the
+//! `TPP_BENCH_ITERS` below `10_000_000` forces `--smoke`, mirroring the
 //! other bench bins.
 
 use std::collections::HashMap;

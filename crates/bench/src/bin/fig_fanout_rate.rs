@@ -1,4 +1,4 @@
-//! fig_fanout_rate: per-subtree rate convergence of the coordinated WAN
+//! `fig_fanout_rate`: per-subtree rate convergence of the coordinated WAN
 //! fan-out (`tpp_apps::wan`) on the viewer preset.
 //!
 //! One source in site 0 streams to a relay in every viewer site; each
@@ -8,7 +8,7 @@
 //! 1 Mb/s starting rate and flattens just under its subtree's bottleneck,
 //! without building a standing WAN queue.
 //!
-//! `TPP_BENCH_ITERS` below 10_000_000 switches to smoke mode (fewer
+//! `TPP_BENCH_ITERS` below `10_000_000` switches to smoke mode (fewer
 //! sites, shorter horizon) for CI; the convergence assertions always run.
 
 use tpp_apps::wan::run_fanout;

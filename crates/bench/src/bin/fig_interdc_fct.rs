@@ -1,4 +1,4 @@
-//! fig_interdc_fct: inter-DC transfer completion under RCP* over
+//! `fig_interdc_fct`: inter-DC transfer completion under RCP* over
 //! heterogeneous-RTT WAN paths (`tpp_apps::wan`), shallow vs deep border
 //! buffers.
 //!
@@ -9,7 +9,7 @@
 //! shallow — flow completion must survive both buffer profiles, with the
 //! longer-RTT path always finishing later.
 //!
-//! `TPP_BENCH_ITERS` below 10_000_000 switches to smoke mode (two sites,
+//! `TPP_BENCH_ITERS` below `10_000_000` switches to smoke mode (two sites,
 //! shorter horizon) for CI; the completion assertions always run.
 
 use tpp_apps::wan::run_interdc;

@@ -1,4 +1,4 @@
-//! fig_scale: wall-clock scaling of the sharded fabric runtime.
+//! `fig_scale`: wall-clock scaling of the sharded fabric runtime.
 //!
 //! Sweeps k ∈ {4, 8} fat-trees × {1, 2, 4} shards over an identical
 //! timer-driven all-hosts traffic workload (a quarter of the frames carry
@@ -7,7 +7,7 @@
 //! bit-identical to the single-threaded reference — the scaling numbers
 //! are only meaningful because the runs are provably the same simulation.
 //!
-//! `TPP_BENCH_ITERS` below 10_000_000 switches to smoke mode (k = 4 only,
+//! `TPP_BENCH_ITERS` below `10_000_000` switches to smoke mode (k = 4 only,
 //! short horizon) for CI; the digest-equality assertions always run.
 
 use tpp_fabric::scenario::{Cell, Scenario, WorkloadSpec};
@@ -89,5 +89,5 @@ fn main() {
 }
 
 fn cores() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
 }

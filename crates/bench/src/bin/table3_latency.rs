@@ -1,4 +1,4 @@
-//! Table 3: per-stage hardware latency costs, for the NetFPGA and ASIC
+//! Table 3: per-stage hardware latency costs, for the `NetFPGA` and ASIC
 //! profiles, plus measured software-execution costs of our TCPU.
 
 use std::time::Instant;

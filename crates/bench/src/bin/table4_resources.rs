@@ -1,7 +1,7 @@
 //! Table 4: hardware resource costs of TPP support.
 //!
 //! Synthesis is impossible without the FPGA toolchain, so this prints (a)
-//! the paper's published NetFPGA synthesis numbers, and (b) our resource
+//! the paper's published `NetFPGA` synthesis numbers, and (b) our resource
 //! *model*: the execution-unit / crossbar / state accounting the design
 //! implies, with the paper's 0.32% ASIC area estimate reproduced.
 

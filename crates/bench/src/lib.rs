@@ -15,6 +15,8 @@
 //! cargo bench -p tpp-bench
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// Render a simple fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")

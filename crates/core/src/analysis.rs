@@ -156,10 +156,10 @@ pub fn find_hazards(instrs: &[Instruction]) -> Vec<Hazard> {
             }
             match (acci.is_write(), accj.is_write()) {
                 (true, true) => {
-                    hazards.push(Hazard::WriteAfterWrite { first: i, second: j, addr: ai })
+                    hazards.push(Hazard::WriteAfterWrite { first: i, second: j, addr: ai });
                 }
                 (true, false) => {
-                    hazards.push(Hazard::ReadAfterWrite { write: i, read: j, addr: ai })
+                    hazards.push(Hazard::ReadAfterWrite { write: i, read: j, addr: ai });
                 }
                 _ => {}
             }

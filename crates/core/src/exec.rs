@@ -21,6 +21,7 @@
 
 use crate::addr::{Address, Word};
 use crate::isa::{Instruction, Opcode, MAX_INSTRUCTIONS};
+use crate::verify::Verified;
 use crate::wire::tpp::Tpp;
 use crate::wire::view::TppViewMut;
 
@@ -424,6 +425,160 @@ pub fn execute_in_place(
     InPlaceOutcome { status, wrote, rejected: false }
 }
 
+/// Execute a **verified** TPP in place, skipping the per-instruction
+/// packet-memory bounds checks the [`Verified`] token proves redundant.
+///
+/// The token is the proof object [`verify`](crate::verify::verify) returns
+/// for a passing program: within its hop/SP window, no PUSH can overflow, no
+/// POP can underflow, and no hop-addressed access can leave packet memory —
+/// so this path replaces every `Option`-returning word access with a direct
+/// one and drops the stack-limit branches. One `covers` check per packet
+/// replaces them all; a packet outside the verified window (e.g. past the
+/// proven hop range) falls back to the fully checked [`execute_in_place`].
+///
+/// Bus semantics are unchanged: unmapped operands still skip gracefully and
+/// the administrative write switch still applies — the proof is about
+/// *packet memory*, not the switch's address map. Observational equivalence
+/// with [`execute_in_place`] for verified programs is property-tested in
+/// `tests/verify_soundness.rs`.
+pub fn execute_in_place_verified(
+    view: &mut TppViewMut<'_>,
+    bus: &mut dyn MemoryBus,
+    opts: &ExecOptions,
+    token: &Verified,
+) -> InPlaceOutcome {
+    if !token.covers(view.hop(), view.sp()) {
+        return execute_in_place(view, bus, opts);
+    }
+    let n = view.n_instr();
+    if n > opts.max_instructions || n > MAX_INSTRUCTIONS {
+        return InPlaceOutcome { status: StatusVec::default(), wrote: false, rejected: true };
+    }
+    let mut status = StatusVec::default();
+    let mut wrote = false;
+    let mut live = true;
+
+    for idx in 0..n {
+        let ins = view.instr(idx);
+        if !live {
+            // Suppressed PUSH/POP still moves the parse-time SP; the token
+            // proves the clamp conditions can never trigger.
+            match ins.opcode {
+                Opcode::Push => {
+                    let sp = view.sp();
+                    view.set_sp(sp + 1);
+                }
+                Opcode::Pop => {
+                    let sp = view.sp();
+                    view.set_sp(sp - 1);
+                }
+                _ => {}
+            }
+            status.push(InstrStatus::Suppressed);
+            continue;
+        }
+        let st = step_in_place_trusted(view, bus, &ins, opts, &mut wrote, &mut live);
+        status.push(st);
+    }
+    if wrote {
+        view.set_wrote(true);
+    }
+    if opts.increment_hop {
+        let hop = view.hop();
+        view.set_hop(hop.wrapping_add(1));
+    }
+    InPlaceOutcome { status, wrote, rejected: false }
+}
+
+/// [`step_in_place`] minus the packet-memory bounds checks — every word
+/// access here is covered by the caller's [`Verified`] token.
+fn step_in_place_trusted(
+    view: &mut TppViewMut<'_>,
+    bus: &mut dyn MemoryBus,
+    ins: &Instruction,
+    opts: &ExecOptions,
+    wrote: &mut bool,
+    live: &mut bool,
+) -> InstrStatus {
+    match ins.opcode {
+        Opcode::Push => {
+            let sp = view.sp() as usize;
+            view.set_sp(sp as u8 + 1);
+            let Some(v) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+            view.write_word_trusted(sp, v);
+            InstrStatus::Executed
+        }
+        Opcode::Pop => {
+            let sp = view.sp() - 1;
+            view.set_sp(sp);
+            let v = view.read_word_trusted(sp as usize);
+            if !opts.allow_writes {
+                return InstrStatus::Skipped;
+            }
+            match bus.write(ins.addr, v) {
+                WriteOutcome::Ok => {
+                    *wrote = true;
+                    InstrStatus::Executed
+                }
+                _ => InstrStatus::Skipped,
+            }
+        }
+        Opcode::Load => {
+            let Some(v) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+            view.write_hop_word_trusted(ins.op1, v);
+            InstrStatus::Executed
+        }
+        Opcode::Store => {
+            let v = view.read_hop_word_trusted(ins.op1);
+            if !opts.allow_writes {
+                return InstrStatus::Skipped;
+            }
+            match bus.write(ins.addr, v) {
+                WriteOutcome::Ok => {
+                    *wrote = true;
+                    InstrStatus::Executed
+                }
+                _ => InstrStatus::Skipped,
+            }
+        }
+        Opcode::Cstore => {
+            let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+            let pre = view.read_hop_word_trusted(ins.op1);
+            let post = view.read_hop_word_trusted(ins.op2);
+            let mut observed = x;
+            let mut succeeded = false;
+            if x == pre && opts.allow_writes {
+                match bus.write(ins.addr, post) {
+                    WriteOutcome::Ok => {
+                        *wrote = true;
+                        succeeded = true;
+                        observed = post;
+                    }
+                    WriteOutcome::Denied | WriteOutcome::Unmapped => {}
+                }
+            }
+            view.write_hop_word_trusted(ins.op1, observed);
+            if succeeded {
+                InstrStatus::Executed
+            } else {
+                *live = false;
+                InstrStatus::CondFailed
+            }
+        }
+        Opcode::Cexec => {
+            let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+            let mask = view.read_hop_word_trusted(ins.op1);
+            let value = view.read_hop_word_trusted(ins.op2);
+            if x & mask == value {
+                InstrStatus::Executed
+            } else {
+                *live = false;
+                InstrStatus::PredicateFalse
+            }
+        }
+    }
+}
+
 fn step_in_place(
     view: &mut TppViewMut<'_>,
     bus: &mut dyn MemoryBus,
@@ -809,5 +964,56 @@ mod tests {
         // Over budget: rejected, bytes untouched.
         let tpp = stack_tpp(vec![Instruction::push(sid); 6], 64);
         assert_paths_agree(&tpp, &MapBus::with(&[(sid, 1)]), &ExecOptions::default());
+    }
+
+    #[test]
+    fn verified_path_matches_checked_path_within_token_window() {
+        let qsize = a("Queue:QueueOccupancy");
+        let sid = a("Switch:SwitchID");
+        // 2 pushes per hop into 8 words: the token covers hops 0..4.
+        let tpp = stack_tpp(vec![Instruction::push(sid), Instruction::push(qsize)], 32);
+        let verdict = crate::verify::verify(&tpp, crate::verify::VerifyOptions::default());
+        let token = verdict.token().expect("clean collect probe earns a token");
+
+        let opts = ExecOptions::default();
+        let mut frame_a = tpp.serialize();
+        let mut frame_b = frame_a.clone();
+        let mut bus_a = MapBus::with(&[(sid, 7), (qsize, 99)]);
+        let mut bus_b = MapBus::with(&[(sid, 7), (qsize, 99)]);
+        for _ in 0..4 {
+            let (mut va, _) = TppViewMut::parse(&mut frame_a).unwrap();
+            let out_a = execute_in_place(&mut va, &mut bus_a, &opts);
+            let (mut vb, _) = TppViewMut::parse(&mut frame_b).unwrap();
+            let out_b = execute_in_place_verified(&mut vb, &mut bus_b, &opts, &token);
+            assert_eq!(out_a.status.as_slice(), out_b.status.as_slice());
+            assert_eq!(out_a.wrote, out_b.wrote);
+        }
+        assert_eq!(frame_a, frame_b, "trusted path diverged from checked path");
+    }
+
+    #[test]
+    fn verified_path_falls_back_outside_token_window() {
+        let sid = a("Switch:SwitchID");
+        // One push into one word: token covers exactly hop 0.
+        let tpp = stack_tpp(vec![Instruction::push(sid)], 4);
+        let verdict = crate::verify::verify(&tpp, crate::verify::VerifyOptions::default());
+        let token = verdict.token().unwrap();
+        assert!(token.covers(0, 0));
+        assert!(!token.covers(1, 1));
+
+        let mut frame = tpp.serialize();
+        let mut bus = MapBus::with(&[(sid, 5)]);
+        let opts = ExecOptions::default();
+        // Hop 0: trusted. Hop 1: outside the window — must fall back to the
+        // checked interpreter and skip the overflowing push gracefully.
+        for expect in [InstrStatus::Executed, InstrStatus::Skipped] {
+            let (mut view, _) = TppViewMut::parse(&mut frame).unwrap();
+            let out = execute_in_place_verified(&mut view, &mut bus, &opts, &token);
+            assert_eq!(out.status.as_slice(), &[expect]);
+        }
+        let (t, _) = crate::wire::Tpp::parse(&frame).unwrap();
+        assert_eq!(t.read_word(0), Some(5));
+        assert_eq!(t.hop, 2);
+        assert_eq!(t.sp, 1, "overflowing push skips with no SP side effect");
     }
 }

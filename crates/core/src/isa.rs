@@ -216,19 +216,39 @@ pub fn encode_program(instrs: &[Instruction]) -> Vec<u8> {
 pub enum ProgramError {
     /// The byte length is not a multiple of [`INSTR_BYTES`].
     TrailingBytes,
-    /// The first unknown opcode encountered, in program order.
-    BadOpcode(u8),
+    /// The first unknown opcode encountered, in program order, with the
+    /// byte offset it was found at.
+    BadOpcode { opcode: u8, offset: usize },
 }
 
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::TrailingBytes => {
+                write!(f, "program length is not a multiple of {INSTR_BYTES} bytes")
+            }
+            ProgramError::BadOpcode { opcode, offset } => {
+                write!(f, "unknown opcode {opcode:#04x} at byte offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
 /// Decode a program from bytes. Fails on trailing bytes or unknown opcodes,
-/// reporting the offending opcode directly.
+/// reporting the offending opcode and its byte offset directly.
 pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instruction>, ProgramError> {
     if !bytes.len().is_multiple_of(INSTR_BYTES) {
         return Err(ProgramError::TrailingBytes);
     }
     bytes
         .chunks_exact(INSTR_BYTES)
-        .map(|c| Instruction::decode([c[0], c[1], c[2], c[3]]).ok_or(ProgramError::BadOpcode(c[0])))
+        .enumerate()
+        .map(|(i, c)| {
+            Instruction::decode([c[0], c[1], c[2], c[3]])
+                .ok_or(ProgramError::BadOpcode { opcode: c[0], offset: i * INSTR_BYTES })
+        })
         .collect()
 }
 
@@ -238,9 +258,9 @@ pub fn validate_program(bytes: &[u8]) -> Result<(), ProgramError> {
     if !bytes.len().is_multiple_of(INSTR_BYTES) {
         return Err(ProgramError::TrailingBytes);
     }
-    for c in bytes.chunks_exact(INSTR_BYTES) {
+    for (i, c) in bytes.chunks_exact(INSTR_BYTES).enumerate() {
         if Opcode::from_u8(c[0]).is_none() {
-            return Err(ProgramError::BadOpcode(c[0]));
+            return Err(ProgramError::BadOpcode { opcode: c[0], offset: i * INSTR_BYTES });
         }
     }
     Ok(())
@@ -301,11 +321,13 @@ mod tests {
     }
 
     #[test]
-    fn bad_opcode_reported_directly() {
+    fn bad_opcode_reported_with_offset() {
         let mut bytes = encode_program(&[Instruction::push(qsize()), Instruction::pop(qsize())]);
         bytes[4] = 0x7F; // corrupt the second opcode
-        assert_eq!(decode_program(&bytes), Err(ProgramError::BadOpcode(0x7F)));
-        assert_eq!(validate_program(&bytes), Err(ProgramError::BadOpcode(0x7F)));
+        let err = ProgramError::BadOpcode { opcode: 0x7F, offset: 4 };
+        assert_eq!(decode_program(&bytes), Err(err));
+        assert_eq!(validate_program(&bytes), Err(err));
+        assert_eq!(err.to_string(), "unknown opcode 0x7f at byte offset 4");
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //! * [`analysis`] — static analysis (§3.5, §4.3): access sets, segment
 //!   (GDT-like) permission checks, hazard detection, and the PUSH→LOAD
 //!   serialization pass.
+//! * [`mod@verify`] — the abstract-interpretation verifier: prove a program's
+//!   packet-memory and permission safety once at load time
+//!   ([`verify::Verdict`]), then run the unchecked fast path with the
+//!   resulting [`verify::Verified`] token
+//!   ([`exec::execute_in_place_verified`]).
 //!
 //! ## Quickstart
 //!
@@ -56,20 +61,24 @@
 //! assert_eq!(tpp.hop, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod analysis;
 pub mod asm;
 pub mod exec;
 pub mod isa;
 pub mod probe;
+pub mod verify;
 pub mod wire;
 
 pub use addr::{Address, Namespace, Word};
 pub use asm::{assemble, disassemble, TppBuilder};
 pub use exec::{
-    execute, execute_in_place, ExecOptions, ExecOutcome, InPlaceOutcome, MemoryBus, StatusVec,
-    WriteOutcome,
+    execute, execute_in_place, execute_in_place_verified, ExecOptions, ExecOutcome, InPlaceOutcome,
+    MemoryBus, StatusVec, WriteOutcome,
 };
 pub use isa::{Instruction, Opcode};
 pub use probe::{HopRecord, Probe, ProbeError, Records, TppData};
+pub use verify::{verify, Diagnostic, Severity, Verdict, Verified, VerifyOptions};
 pub use wire::{max_hops, Tpp, TppError, TppView, TppViewMut, MAX_MEMORY_BYTES};

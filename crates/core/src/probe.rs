@@ -80,6 +80,9 @@ pub enum ProbeError {
     /// An underlying assembler/builder error (should be pre-empted by the
     /// checks above; kept for totality).
     Asm(String),
+    /// The compiled program was rejected by the static verifier
+    /// ([`crate::verify::verify`]); carries the deny-class diagnostics.
+    Verify(Vec<crate::verify::Diagnostic>),
 }
 
 impl fmt::Display for ProbeError {
@@ -109,6 +112,16 @@ impl fmt::Display for ProbeError {
                 write!(f, "field {n} takes {want} value(s), got {got}")
             }
             ProbeError::Asm(e) => write!(f, "assembly failed: {e}"),
+            ProbeError::Verify(diags) => {
+                write!(f, "verifier rejected the probe: ")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -406,7 +419,21 @@ impl Probe {
             }
             None => b.hops(hops),
         };
-        b.build().map_err(|e: AsmError| ProbeError::Asm(e.to_string()))
+        let tpp = b.build().map_err(|e: AsmError| ProbeError::Asm(e.to_string()))?;
+
+        // Every compiled probe carries a load-time proof: the abstract
+        // interpreter must accept the program for the declared hop budget
+        // (or, with `pad_section_to`, for whatever hop count the padded
+        // memory supports).
+        let opts = crate::verify::VerifyOptions {
+            hops: if self.pad_to.is_none() { Some(hops) } else { None },
+            segments: None,
+        };
+        let verdict = crate::verify::verify(&tpp, opts);
+        if !verdict.passed() {
+            return Err(ProbeError::Verify(verdict.denials().cloned().collect()));
+        }
+        Ok(tpp)
     }
 
     /// Fill the argument slot(s) of write field `name` for `hop`.

@@ -37,7 +37,7 @@ impl fmt::Display for EthernetAddress {
     }
 }
 
-/// EtherType values understood by the parse graph (Figure 7a).
+/// `EtherType` values understood by the parse graph (Figure 7a).
 pub mod ethertype {
     /// A TPP in transparent (piggy-backed) mode.
     pub const TPP: u16 = 0x6666;

@@ -266,7 +266,7 @@ impl Tpp {
         }
         let instrs = isa::decode_program(&bytes[HEADER_LEN..HEADER_LEN + n_instr * INSTR_BYTES])
             .map_err(|e| match e {
-                isa::ProgramError::BadOpcode(op) => TppError::BadInstruction(op),
+                isa::ProgramError::BadOpcode { opcode, .. } => TppError::BadInstruction(opcode),
                 // Unreachable: the slice length is n_instr * INSTR_BYTES.
                 isa::ProgramError::TrailingBytes => TppError::Truncated,
             })?;

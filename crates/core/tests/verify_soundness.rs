@@ -1,0 +1,215 @@
+//! Differential soundness suite for the static verifier.
+//!
+//! The verifier's contract is eBPF-shaped: a program it accepts for `h`
+//! hops must execute those hops with **zero** packet-memory bounds faults
+//! and zero permission faults — so the switch may run the unchecked fast
+//! path. These tests pit [`verify`] against the reference interpreter on
+//! random programs, memory layouts and hop counts:
+//!
+//! * accepted ⇒ no runtime `Skipped` on a fully-mapped bus (soundness);
+//! * any runtime fault ⇒ the verifier rejected (the contrapositive,
+//!   stated directly over the fault trace);
+//! * [`execute_in_place_verified`] is observationally equivalent to
+//!   [`execute_in_place`] whenever a token exists, for arbitrary
+//!   (partially mapped, partially read-only) buses.
+
+use proptest::prelude::*;
+
+use tpp_core::addr::{is_architecturally_writable, resolve_mnemonic, Address};
+use tpp_core::exec::{
+    execute_in_place, execute_in_place_verified, ExecOptions, InstrStatus, MapBus,
+};
+use tpp_core::isa::{Instruction, Opcode};
+use tpp_core::verify::{verify, verify_for_hops, VerifyOptions};
+use tpp_core::wire::{AddrMode, Tpp, TppViewMut};
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    prop_oneof![
+        Just(Opcode::Load),
+        Just(Opcode::Store),
+        Just(Opcode::Push),
+        Just(Opcode::Pop),
+        Just(Opcode::Cstore),
+        Just(Opcode::Cexec),
+    ]
+}
+
+prop_compose! {
+    /// Mostly well-known (readable and writable) addresses, with a tail of
+    /// fully random ones — so a useful fraction of generated programs earn
+    /// a token while plenty still exercise the deny paths.
+    fn arb_addr()(raw in any::<u16>(), pick in 0u8..6) -> Address {
+        match pick {
+            0 => resolve_mnemonic("Link$0:AppSpecific_0").unwrap(),
+            1 => resolve_mnemonic("Stage1:Reg0").unwrap(),
+            2 => resolve_mnemonic("Switch:SwitchID").unwrap(),
+            3 => resolve_mnemonic("Queue:QueueOccupancy").unwrap(),
+            4 => resolve_mnemonic("PacketMetadata:InputPort").unwrap(),
+            _ => Address::new(raw),
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_instruction()(
+        opcode in arb_opcode(),
+        addr in arb_addr(),
+        // Small operand offsets keep a useful fraction of programs in
+        // bounds; the verifier sees plenty of out-of-range ones too.
+        op1 in 0u8..16,
+        op2 in 0u8..16,
+    ) -> Instruction {
+        let (op1, op2) = if opcode.is_conditional() { (op1, op2) } else { (op1, 0) };
+        Instruction { opcode, addr, op1, op2 }
+    }
+}
+
+prop_compose! {
+    fn arb_tpp()(
+        instrs in prop::collection::vec(arb_instruction(), 0..=5),
+        mem_words in 0usize..=63,
+        mode in prop_oneof![Just(AddrMode::Stack), Just(AddrMode::Hop)],
+        hop_small in 0u8..4,
+        hop_any in any::<u8>(),
+        use_small_hop in any::<bool>(),
+        sp in 0u8..=64,
+        per_hop_words in 0u8..=8,
+    ) -> Tpp {
+        Tpp {
+            mode,
+            // Mostly early hops (where hop windows fit in memory), with a
+            // tail of arbitrary counters for the wraparound paths.
+            hop: if use_small_hop { hop_small } else { hop_any },
+            sp,
+            per_hop_len: per_hop_words * 4,
+            encap_proto: 0x0800,
+            instrs,
+            memory: vec![0u8; mem_words * 4],
+            ..Tpp::default()
+        }
+    }
+}
+
+/// A bus that faithfully models the architecture's permission surface:
+/// every address an instruction touches is mapped, but architecturally
+/// read-only addresses reject writes — exactly the faults the verifier's
+/// standalone writability check must rule out.
+fn full_bus(tpp: &Tpp) -> MapBus {
+    let mut bus = MapBus::default();
+    for ins in &tpp.instrs {
+        bus.mem.insert(ins.addr.raw(), 0x5EED_0000 | u32::from(ins.addr.raw()));
+        if !is_architecturally_writable(ins.addr) {
+            bus.mark_read_only(ins.addr);
+        }
+    }
+    bus
+}
+
+fn clone_bus(bus: &MapBus) -> MapBus {
+    MapBus { mem: bus.mem.clone(), read_only: bus.read_only.clone() }
+}
+
+proptest! {
+    /// Soundness: a program the verifier accepts for `hops` hops executes
+    /// all of them with zero `Skipped` statuses — no stack overflow or
+    /// underflow, no hop-window overrun, no forbidden write — on a bus
+    /// that maps every touched address and enforces architectural
+    /// writability.
+    #[test]
+    fn accepted_programs_never_fault_at_runtime(tpp in arb_tpp(), hops in 1usize..=8) {
+        let verdict = verify_for_hops(&tpp, hops);
+        let Some(token) = verdict.token() else { return Ok(()) };
+        prop_assert!(token.covers(tpp.hop, tpp.sp), "token must cover the entry state");
+
+        let mut bus = full_bus(&tpp);
+        let opts =
+            ExecOptions { allow_writes: true, increment_hop: true, ..ExecOptions::default() };
+        let mut frame = tpp.serialize();
+        for h in 0..hops {
+            let (mut view, _) = TppViewMut::parse(&mut frame).expect("serialized TPP parses");
+            let out = execute_in_place(&mut view, &mut bus, &opts);
+            prop_assert!(!out.rejected, "verified program rejected at hop {}", h);
+            for (i, st) in out.status.as_slice().iter().enumerate() {
+                prop_assert_ne!(
+                    *st,
+                    InstrStatus::Skipped,
+                    "hop {}: instr {} faulted on a verifier-accepted program",
+                    h,
+                    i
+                );
+            }
+        }
+    }
+
+    /// The contrapositive, asserted from the runtime side: whenever the
+    /// reference interpreter records a bounds/permission fault (`Skipped`)
+    /// within the first `hops` hops, the verifier must have withheld the
+    /// token for that budget.
+    #[test]
+    fn runtime_fault_implies_verifier_rejection(tpp in arb_tpp(), hops in 1usize..=8) {
+        let mut bus = full_bus(&tpp);
+        let opts =
+            ExecOptions { allow_writes: true, increment_hop: true, ..ExecOptions::default() };
+        let mut frame = tpp.serialize();
+        let mut faulted = false;
+        for _ in 0..hops {
+            let (mut view, _) = TppViewMut::parse(&mut frame).expect("serialized TPP parses");
+            let out = execute_in_place(&mut view, &mut bus, &opts);
+            faulted |= out.status.as_slice().contains(&InstrStatus::Skipped);
+        }
+        if faulted {
+            prop_assert!(
+                verify_for_hops(&tpp, hops).token().is_none(),
+                "runtime faulted but the verifier issued a token"
+            );
+        }
+    }
+
+    /// The unchecked fast path is observationally equivalent to the checked
+    /// interpreter whenever a token exists — same frames (checksum
+    /// included), same statuses, same switch-memory side effects — even on
+    /// arbitrary partially-mapped / read-only buses and across hops the
+    /// token does not cover (where it must fall back).
+    #[test]
+    fn verified_path_matches_checked_path(
+        tpp in arb_tpp(),
+        mapped_mask in any::<u8>(),
+        ro_mask in any::<u8>(),
+        value_seed in any::<u64>(),
+        allow_writes in any::<bool>(),
+        hops in 1usize..=6,
+    ) {
+        let verdict = verify(&tpp, VerifyOptions::default());
+        let Some(token) = verdict.token() else { return Ok(()) };
+
+        let mut bus = MapBus::default();
+        let mut x = value_seed;
+        for (i, ins) in tpp.instrs.iter().enumerate() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if mapped_mask & (1 << i) != 0 {
+                bus.mem.insert(ins.addr.raw(), (x >> 32) as u32);
+            }
+            if ro_mask & (1 << i) != 0 {
+                bus.mark_read_only(ins.addr);
+            }
+        }
+        let opts =
+            ExecOptions { allow_writes, increment_hop: true, ..ExecOptions::default() };
+
+        let mut frame_a = tpp.serialize();
+        let mut frame_b = frame_a.clone();
+        let mut bus_a = clone_bus(&bus);
+        let mut bus_b = bus;
+        for h in 0..hops {
+            let (mut va, _) = TppViewMut::parse(&mut frame_a).expect("checked frame parses");
+            let out_a = execute_in_place(&mut va, &mut bus_a, &opts);
+            let (mut vb, _) = TppViewMut::parse(&mut frame_b).expect("verified frame parses");
+            let out_b = execute_in_place_verified(&mut vb, &mut bus_b, &opts, &token);
+            prop_assert_eq!(out_a.rejected, out_b.rejected, "hop {}", h);
+            prop_assert_eq!(out_a.wrote, out_b.wrote, "hop {}", h);
+            prop_assert_eq!(out_a.status.as_slice(), out_b.status.as_slice(), "hop {}", h);
+        }
+        prop_assert_eq!(frame_a, frame_b, "frames diverged (incl. checksum)");
+        prop_assert_eq!(bus_a.mem, bus_b.mem, "switch-memory side effects diverged");
+    }
+}

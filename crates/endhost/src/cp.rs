@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use tpp_core::addr::{link_ns, Address, Namespace};
 use tpp_core::analysis::{check_segments, writes_switch_memory, Segment, Violation};
+use tpp_core::verify::{verify, Diagnostic, Verdict, Verified, VerifyOptions};
 use tpp_core::wire::Tpp;
 
 /// Errors from TPP-CP API calls.
@@ -23,8 +24,11 @@ pub enum CpError {
     /// The instruction budget or memory bounds are exceeded.
     Malformed(String),
     UnknownApp(u16),
-    /// No free AppSpecific registers to satisfy an allocation.
+    /// No free `AppSpecific` registers to satisfy an allocation.
     OutOfMemory,
+    /// The static verifier denied the program (verifier-backed policy
+    /// mode); carries the deny-class diagnostics.
+    Rejected(Vec<Diagnostic>),
 }
 
 impl std::fmt::Display for CpError {
@@ -35,6 +39,16 @@ impl std::fmt::Display for CpError {
             CpError::Malformed(m) => write!(f, "malformed TPP: {m}"),
             CpError::UnknownApp(id) => write!(f, "unknown app {id}"),
             CpError::OutOfMemory => write!(f, "no free per-link registers"),
+            CpError::Rejected(diags) => {
+                write!(f, "verifier rejected the TPP: ")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -62,7 +76,7 @@ pub struct AppRecord {
 pub struct CentralCp {
     apps: BTreeMap<u16, AppRecord>,
     next_app_id: u16,
-    /// Next free AppSpecific register index (allocated contiguously).
+    /// Next free `AppSpecific` register index (allocated contiguously).
     next_app_reg: u16,
 }
 
@@ -194,6 +208,30 @@ impl Policy {
             return Err(CpError::AccessViolation(violations));
         }
         Ok(())
+    }
+
+    /// Run the full abstract-interpretation verifier against this app's
+    /// segment table. Unlike [`Policy::validate`], this also proves
+    /// packet-memory safety (stack/hop-window bounds, capacity,
+    /// uninitialized reads) — everything the switch fast path would
+    /// otherwise have to re-check per packet.
+    pub fn verify(&self, tpp: &Tpp) -> Verdict {
+        verify(tpp, VerifyOptions { hops: None, segments: Some(&self.segments) })
+    }
+
+    /// Verifier-backed installation check: every [`Policy::validate`]
+    /// failure plus packet-memory safety, reported as typed diagnostics.
+    /// On success, returns the [`Verified`] token for the switch's
+    /// unchecked fast path.
+    pub fn validate_verified(&self, tpp: &Tpp) -> Result<Verified, CpError> {
+        if self.drop_writes && writes_switch_memory(&tpp.instrs) {
+            return Err(CpError::WritesForbidden);
+        }
+        let verdict = self.verify(tpp);
+        match verdict.token() {
+            Some(token) => Ok(token),
+            None => Err(CpError::Rejected(verdict.denials().cloned().collect())),
+        }
     }
 }
 
@@ -331,5 +369,61 @@ mod tests {
     fn unknown_app() {
         let cp = CentralCp::new();
         assert_eq!(cp.policy_for(42, false).err(), Some(CpError::UnknownApp(42)));
+    }
+
+    #[test]
+    fn verifier_backed_policy_returns_token_for_owned_writes() {
+        let mut cp = CentralCp::new();
+        let (app_id, _) = cp.register_app_with_regs("rcp", 2).unwrap();
+        let update = assemble(
+            "
+            .mode hop
+            .perhop 12
+            .hops 2
+            CSTORE [Link:AppSpecific_0], [Packet:Hop[0]], [Packet:Hop[1]]
+            STORE [Link:AppSpecific_1], [Packet:Hop[2]]
+            ",
+        )
+        .unwrap();
+        let policy = cp.policy_for(app_id, false).unwrap();
+        let token = policy.validate_verified(&update).unwrap();
+        assert!(token.covers(0, update.sp));
+    }
+
+    #[test]
+    fn verifier_backed_policy_rejects_foreign_registers() {
+        let mut cp = CentralCp::new();
+        let (_, _) = cp.register_app_with_regs("rcp", 2).unwrap(); // owns regs 0-1
+        let (mon, _) = cp.register_app_with_regs("mon", 1).unwrap(); // owns reg 2
+        let rcp_update = assemble(
+            "
+            .mode hop
+            .perhop 8
+            .hops 2
+            STORE [Link:AppSpecific_1], [Packet:Hop[0]]
+            ",
+        )
+        .unwrap();
+        let err = cp.policy_for(mon, false).unwrap().validate_verified(&rcp_update);
+        match err {
+            Err(CpError::Rejected(diags)) => {
+                assert!(!diags.is_empty());
+                assert!(diags.iter().all(|d| d.severity() == tpp_core::verify::Severity::Deny));
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verifier_backed_policy_keeps_hypervisor_mode() {
+        let mut cp = CentralCp::new();
+        let (app, _) = cp.register_app_with_regs("rcp", 2).unwrap();
+        let update =
+            assemble(".mode hop\n.perhop 8\n.hops 1\nSTORE [Link:AppSpecific_0], [Packet:Hop[0]]")
+                .unwrap();
+        assert_eq!(
+            cp.policy_for(app, true).unwrap().validate_verified(&update),
+            Err(CpError::WritesForbidden)
+        );
     }
 }

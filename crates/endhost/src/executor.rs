@@ -43,7 +43,7 @@ impl Default for ExecutorConfig {
     }
 }
 
-/// SplitMix64 finalizer — the jitter hash. Deterministic and stateless:
+/// `SplitMix64` finalizer — the jitter hash. Deterministic and stateless:
 /// the retry schedule of a probe depends only on its token and attempt
 /// number, never on interleaving with other probes.
 fn splitmix64(mut x: u64) -> u64 {

@@ -5,6 +5,7 @@
 //! first matching, sampling-admitted entry contributes its TPP ("Only one
 //! TPP is added to any packet", §4.2).
 
+use tpp_core::verify::Verified;
 use tpp_core::wire::{Ipv4Address, Tpp};
 use tpp_switch::FlowKey;
 
@@ -59,6 +60,10 @@ pub struct FilterEntry {
     pub priority: u32,
     pub matched: u64,
     pub stamped: u64,
+    /// Load-time proof from the static verifier, when the entry was
+    /// installed through the verifier-backed policy path. Switches covered
+    /// by the token's hop/SP window may run the unchecked fast path.
+    pub verified: Option<Verified>,
 }
 
 /// The ordered filter table.
@@ -144,6 +149,7 @@ mod tests {
             priority: prio,
             matched: 0,
             stamped: 0,
+            verified: None,
         }
     }
 

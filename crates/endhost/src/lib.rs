@@ -22,6 +22,8 @@
 //!   [`Probe`](tpp_core::probe::Probe)s with completion callbacks and get a
 //!   fully wired simulator host ([`Harness`] → [`Endhost`]).
 
+#![forbid(unsafe_code)]
+
 pub mod cp;
 pub mod executor;
 pub mod filter;

@@ -36,6 +36,8 @@
 //! Applications implement the ordinary [`tpp_netsim::HostApp`] trait and
 //! run unchanged on either runtime.
 
+#![forbid(unsafe_code)]
+
 pub mod partition;
 pub mod runtime;
 pub mod scenario;

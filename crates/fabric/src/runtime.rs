@@ -91,7 +91,7 @@ impl Fabric {
 
     /// Total events pending across every shard's scheduler layer.
     pub fn pending_events(&self) -> usize {
-        self.shards.iter().map(|s| s.pending_events()).sum()
+        self.shards.iter().map(Network::pending_events).sum()
     }
 
     /// Read-only access to the kernel owning `node`.

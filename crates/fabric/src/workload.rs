@@ -41,7 +41,7 @@ pub enum TrafficPattern {
         sinks: usize,
     },
     /// All-to-all shuffle: host `i` walks the peer list round-robin
-    /// starting at `i + 1`, like a MapReduce shuffle stage.
+    /// starting at `i + 1`, like a `MapReduce` shuffle stage.
     Shuffle,
     /// One-to-many fan-out: the first host in peer-list order streams to
     /// every other host round-robin; everyone else only receives. The
@@ -54,7 +54,7 @@ pub enum TrafficPattern {
     /// cycling through sites round-robin. Every frame crosses a WAN link
     /// (no RNG draws — purely positional).
     InterDcTransfer {
-        /// Site count — must divide the host count (as MultiSite
+        /// Site count — must divide the host count (as `MultiSite`
         /// guarantees).
         sites: usize,
     },

@@ -27,6 +27,8 @@
 //! Every packet is a real Ethernet frame; switches execute TPPs on real
 //! bytes at every hop.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod link;
 pub mod net;

@@ -71,7 +71,7 @@ pub use crate::nodes::{FramePool, Host};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
-/// SplitMix64 finalizer: the workspace's standard cheap bit mixer.
+/// `SplitMix64` finalizer: the workspace's standard cheap bit mixer.
 #[inline]
 pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -299,7 +299,7 @@ pub struct NetStats {
 
 impl NetStats {
     /// Fold one frame arrival into the commutative trace. The tag is
-    /// mixed through SplitMix64 before combining so every node-id bit is
+    /// mixed through `SplitMix64` before combining so every node-id bit is
     /// load-bearing (a plain shift would discard high bits at k=64 scale).
     fn observe_arrival(&mut self, now: Time, node: NodeId, port: u8, frame: &[u8]) {
         let tag = ((node.0 as u64) << 8) | port as u64;

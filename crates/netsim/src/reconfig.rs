@@ -3,7 +3,7 @@
 //!
 //! A live network is never frozen: routes move, links flap, rates degrade.
 //! This module gives the simulator a deterministic way to *create* those
-//! conditions so the TPP detection apps (netverify, NetSight histories,
+//! conditions so the TPP detection apps (netverify, `NetSight` histories,
 //! the transient monitor) have something to police.
 //!
 //! # Scheduled reconfiguration
@@ -115,7 +115,7 @@ fn has_loop(adj: &BTreeMap<NodeId, Vec<NodeId>>) -> bool {
         let mut stack = vec![(start, 0usize)];
         color.insert(start, Color::Gray);
         while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
-            let children = adj.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+            let children = adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
             if *idx < children.len() {
                 let child = children[*idx];
                 *idx += 1;

@@ -1,7 +1,7 @@
 //! Hardware cost model (paper §6.1, Tables 3 and 4).
 //!
 //! The paper's hardware claims are per-stage cycle costs measured on a
-//! NetFPGA prototype and estimated for 1 GHz merchant ASICs. We encode both
+//! `NetFPGA` prototype and estimated for 1 GHz merchant ASICs. We encode both
 //! profiles so simulated switches can charge realistic TPP execution
 //! latency, and so the Table 3/4 benches can print the same breakdowns.
 
@@ -28,7 +28,7 @@ pub struct CostProfile {
     pub base_latency_ns: u64,
 }
 
-/// The NetFPGA prototype: 160 MHz, single-port block RAM with 1-cycle
+/// The `NetFPGA` prototype: 160 MHz, single-port block RAM with 1-cycle
 /// access; parse/execute/rewrite each complete within a cycle; total
 /// per-stage latency measured at exactly 2 cycles (§6.1).
 pub const NETFPGA: CostProfile = CostProfile {
@@ -95,7 +95,7 @@ impl CostProfile {
     }
 }
 
-/// Resource accounting for TPP support (Table 4). NetFPGA synthesis is
+/// Resource accounting for TPP support (Table 4). `NetFPGA` synthesis is
 /// impossible here, so the model counts what the paper's design needs —
 /// execution units, crossbar ports, and added state — and the bench prints
 /// these next to the paper's published synthesis numbers.
@@ -106,7 +106,7 @@ pub struct ResourceModel {
     pub max_instructions: u32,
 }
 
-/// Paper Table 4: NetFPGA reference router vs. +TCPU, in device resources.
+/// Paper Table 4: `NetFPGA` reference router vs. +TCPU, in device resources.
 #[derive(Clone, Copy, Debug)]
 pub struct NetFpgaTable4Row {
     pub resource: &'static str,

@@ -13,8 +13,10 @@
 //! * [`switch`] — the full switch: ingress parse/execute/route/enqueue,
 //!   drop-tail queues with enqueue snapshots, egress execute/rewrite,
 //!   reflection (§4.4), write kill-switch (§4.3).
-//! * [`cost`] — the hardware cost model (Tables 3–4): NetFPGA and ASIC
+//! * [`cost`] — the hardware cost model (Tables 3–4): `NetFPGA` and ASIC
 //!   cycle costs, worst-case added latency, resource accounting.
+
+#![forbid(unsafe_code)]
 
 pub mod cost;
 pub mod memmap;

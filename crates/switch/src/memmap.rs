@@ -29,7 +29,7 @@ pub struct LinkStats {
     pub drop_bytes: u64,
     pub drop_pkts: u64,
     pub err_pkts: u64,
-    /// EWMA utilization in basis points (0..=10_000), refreshed every
+    /// EWMA utilization in basis points (`0..=10_000`), refreshed every
     /// utilization interval.
     pub tx_util_bps: u32,
     pub rx_util_bps: u32,

@@ -154,6 +154,12 @@ pub struct TppRun {
     executed_ops: [Opcode; MAX_INSTRUCTIONS],
     n_executed: u8,
     pub rejected: bool,
+    /// Plan-time proof that every packet-memory access this hop is in
+    /// bounds: serialized stack slots landed below `memory_words` and every
+    /// hop-relative operand falls inside the current hop's window. When
+    /// set, [`TppRun::exec_one`] uses the unchecked view accessors — the
+    /// eBPF-style "verify once, run unchecked" fast path.
+    trusted: bool,
     /// Header snapshot taken at plan time (the view owns the live bytes).
     pub reflect: bool,
     pub hop: u8,
@@ -181,6 +187,7 @@ impl TppRun {
             executed_ops: [Opcode::Load; MAX_INSTRUCTIONS],
             n_executed: 0,
             rejected,
+            trusted: false,
             reflect: view.reflect(),
             hop: view.hop(),
         };
@@ -214,6 +221,21 @@ impl TppRun {
             };
         }
         run.final_sp = sp.min(u8::MAX as usize) as u8;
+
+        // Plan-time bounds proof for the unchecked fast path: every
+        // serialized stack slot below `memory_words` and every hop-relative
+        // operand inside this hop's window.
+        let hop_base = view.hop() as usize * view.per_hop_words();
+        run.trusted = (0..n).all(|idx| match run.instrs[idx].opcode {
+            Opcode::Push | Opcode::Pop => {
+                matches!(run.slots[idx], Slot::Stack(w) if w < words)
+            }
+            Opcode::Load | Opcode::Store => hop_base + usize::from(run.instrs[idx].op1) < words,
+            Opcode::Cstore | Opcode::Cexec => {
+                hop_base + usize::from(run.instrs[idx].op1) < words
+                    && hop_base + usize::from(run.instrs[idx].op2) < words
+            }
+        });
         run
     }
 
@@ -276,6 +298,10 @@ impl TppRun {
             Opcode::Push => {
                 let Slot::Stack(word) = self.slots[idx] else { return InstrStatus::Skipped };
                 let Some(v) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+                if self.trusted {
+                    view.write_word_trusted(word, v);
+                    return InstrStatus::Executed;
+                }
                 match view.write_word(word, v) {
                     Some(()) => InstrStatus::Executed,
                     None => InstrStatus::Skipped,
@@ -283,7 +309,14 @@ impl TppRun {
             }
             Opcode::Pop => {
                 let Slot::Stack(word) = self.slots[idx] else { return InstrStatus::Skipped };
-                let Some(v) = view.read_word(word) else { return InstrStatus::Skipped };
+                let v = if self.trusted {
+                    view.read_word_trusted(word)
+                } else {
+                    match view.read_word(word) {
+                        Some(v) => v,
+                        None => return InstrStatus::Skipped,
+                    }
+                };
                 if !opts.allow_writes {
                     return InstrStatus::Skipped;
                 }
@@ -297,14 +330,23 @@ impl TppRun {
             }
             Opcode::Load => {
                 let Some(v) = bus.read(ins.addr) else { return InstrStatus::Skipped };
+                if self.trusted {
+                    view.write_hop_word_trusted(ins.op1, v);
+                    return InstrStatus::Executed;
+                }
                 match view.write_hop_word(ins.op1, v) {
                     Some(()) => InstrStatus::Executed,
                     None => InstrStatus::Skipped,
                 }
             }
             Opcode::Store => {
-                let Some(v) = view.read_hop_word(ins.op1) else {
-                    return InstrStatus::Skipped;
+                let v = if self.trusted {
+                    view.read_hop_word_trusted(ins.op1)
+                } else {
+                    match view.read_hop_word(ins.op1) {
+                        Some(v) => v,
+                        None => return InstrStatus::Skipped,
+                    }
                 };
                 if !opts.allow_writes {
                     return InstrStatus::Skipped;
@@ -319,10 +361,13 @@ impl TppRun {
             }
             Opcode::Cstore => {
                 let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
-                let (Some(pre), Some(post)) =
-                    (view.read_hop_word(ins.op1), view.read_hop_word(ins.op2))
-                else {
-                    return InstrStatus::Skipped;
+                let (pre, post) = if self.trusted {
+                    (view.read_hop_word_trusted(ins.op1), view.read_hop_word_trusted(ins.op2))
+                } else {
+                    match (view.read_hop_word(ins.op1), view.read_hop_word(ins.op2)) {
+                        (Some(pre), Some(post)) => (pre, post),
+                        _ => return InstrStatus::Skipped,
+                    }
                 };
                 let mut observed = x;
                 let mut succeeded = false;
@@ -333,7 +378,11 @@ impl TppRun {
                         observed = post;
                     }
                 }
-                let _ = view.write_hop_word(ins.op1, observed);
+                if self.trusted {
+                    view.write_hop_word_trusted(ins.op1, observed);
+                } else {
+                    let _ = view.write_hop_word(ins.op1, observed);
+                }
                 if succeeded {
                     InstrStatus::Executed
                 } else {
@@ -342,10 +391,13 @@ impl TppRun {
             }
             Opcode::Cexec => {
                 let Some(x) = bus.read(ins.addr) else { return InstrStatus::Skipped };
-                let (Some(mask), Some(value)) =
-                    (view.read_hop_word(ins.op1), view.read_hop_word(ins.op2))
-                else {
-                    return InstrStatus::Skipped;
+                let (mask, value) = if self.trusted {
+                    (view.read_hop_word_trusted(ins.op1), view.read_hop_word_trusted(ins.op2))
+                } else {
+                    match (view.read_hop_word(ins.op1), view.read_hop_word(ins.op2)) {
+                        (Some(mask), Some(value)) => (mask, value),
+                        _ => return InstrStatus::Skipped,
+                    }
                 };
                 if x & mask == value {
                     InstrStatus::Executed
@@ -642,6 +694,41 @@ mod tests {
         assert_eq!(out.hop, 0);
         assert_eq!(out.sp, 0);
         assert_eq!(out.memory, tpp.memory);
+    }
+
+    #[test]
+    fn overflowing_push_stays_on_checked_path() {
+        // Two pushes into one word: the second slot is statically invalid,
+        // so the plan must not take the trusted fast path — and the
+        // overflowing push skips exactly as on the checked path.
+        let tpp = TppBuilder::stack_mode()
+            .push(a("Switch:SwitchID"))
+            .push(a("PacketMetadata:InputPort"))
+            .memory_words(1)
+            .build()
+            .unwrap();
+        let mut mem = SwitchMemory::new(7, 4, 6);
+        let mut ctx = PacketContext::new(3, 100, 0, 6);
+        let (out, st) = run_full(tpp, &mut mem, &mut ctx);
+        assert_eq!(st, vec![InstrStatus::Executed, InstrStatus::Skipped]);
+        assert_eq!(out.read_word(0), Some(7));
+        assert_eq!(out.sp, 1);
+    }
+
+    #[test]
+    fn hop_window_beyond_memory_stays_on_checked_path() {
+        // A hop counter past the provisioned windows makes every Direct
+        // access out of bounds: untrusted plan, graceful skips.
+        let mut tpp =
+            assemble(".mode hop\n.perhop 8\n.hops 1\nLOAD [Switch:SwitchID], [Packet:Hop[0]]")
+                .unwrap();
+        tpp.hop = 3; // only hop 0 has a window
+        let mut mem = SwitchMemory::new(7, 4, 6);
+        let mut ctx = PacketContext::new(3, 100, 0, 6);
+        let (out, st) = run_full(tpp, &mut mem, &mut ctx);
+        assert_eq!(st, vec![InstrStatus::Skipped]);
+        assert_eq!(out.memory, vec![0; 8]);
+        assert_eq!(out.hop, 4);
     }
 
     #[test]

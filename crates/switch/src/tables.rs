@@ -179,7 +179,7 @@ impl GroupTable {
     }
 
     pub fn ports(&self, group: u16) -> Option<&[u8]> {
-        self.groups.get(group as usize).map(|v| v.as_slice())
+        self.groups.get(group as usize).map(Vec::as_slice)
     }
 }
 

@@ -6,6 +6,12 @@
 //! `receive` + `dequeue` cycles must perform **zero** allocations. The frame
 //! buffer itself is recycled by the caller, exactly like the simulator does:
 //! `dequeue` hands back the same `Vec` that `receive` consumed.
+//!
+//! This is the one `unsafe` block in the workspace (every crate lib is
+//! `#![forbid(unsafe_code)]`): a `GlobalAlloc` impl is inherently unsafe
+//! to declare, and each method body is audited below.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -34,21 +40,34 @@ fn allocs_on_this_thread() -> u64 {
     ALLOCS.try_with(Cell::get).unwrap_or(0)
 }
 
+// SAFETY: pure pass-through to `System`, which upholds the `GlobalAlloc`
+// contract; the only extra work is a thread-local counter bump, which
+// never allocates (const-initialized `Cell`) and never unwinds into the
+// allocator (`try_with` swallows TLS-teardown errors).
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
-        System.alloc(layout)
+        // SAFETY: caller upholds `alloc`'s contract (non-zero-sized
+        // `layout`); forwarded verbatim to the system allocator.
+        unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: caller guarantees `ptr` came from this allocator with
+        // this `layout`; all allocation paths forward to `System`, so the
+        // pointer is the system allocator's to free.
+        unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: same provenance argument as `dealloc`, and the caller
+        // upholds `realloc`'s non-zero `new_size` requirement.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         bump();
-        System.alloc_zeroed(layout)
+        // SAFETY: caller upholds `alloc_zeroed`'s contract (non-zero-sized
+        // `layout`); forwarded verbatim to the system allocator.
+        unsafe { System.alloc_zeroed(layout) }
     }
 }
 

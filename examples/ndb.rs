@@ -1,4 +1,4 @@
-//! §2.3 NetSight on TPPs: collect packet histories, then run the four
+//! §2.3 `NetSight` on TPPs: collect packet histories, then run the four
 //! troubleshooting applications (netshark, ndb, netwatch, loss
 //! localization) over the store.
 //!

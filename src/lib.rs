@@ -14,6 +14,8 @@
 //! cargo run --release --example sketch         # §2.5 measurement
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use tpp_apps as apps;
 pub use tpp_core as core;
 pub use tpp_endhost as endhost;
