@@ -23,7 +23,7 @@ use crate::addr::{Address, Word};
 use crate::isa::{Instruction, Opcode, MAX_INSTRUCTIONS};
 use crate::verify::Verified;
 use crate::wire::tpp::Tpp;
-use crate::wire::view::TppViewMut;
+use crate::wire::view::{TppView, TppViewMut};
 
 /// Result of a switch-memory write attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -682,6 +682,153 @@ fn step_in_place(
     }
 }
 
+/// A TPP program decoded **once** and reusable across every frame that
+/// carries the same instruction words — the planning half of batch TCPU
+/// execution.
+///
+/// Probe flows send the *same* program on every packet, so the per-frame
+/// instruction decode, the budget check, and (when attached) the PR 9
+/// static-verifier proof are all redundant after the first frame. A
+/// `PlanTemplate` pays them at plan time: [`PlanTemplate::execute_one`]
+/// then steps straight over the pre-decoded instruction array, choosing the
+/// unchecked trusted path per frame when the carried [`Verified`] token
+/// covers that frame's hop/SP window.
+///
+/// Both consumers of the in-place interpreter share this entry point: the
+/// switch's plan cache (which keys cached `TppRun`s on the same instruction
+/// bytes) and [`execute_batch`], the core-level batch loop.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanTemplate {
+    n_instr: u8,
+    instrs: [Instruction; MAX_INSTRUCTIONS],
+    rejected: bool,
+    token: Option<Verified>,
+}
+
+impl PlanTemplate {
+    /// Decode the program of a validated view. The template bakes in the
+    /// budget verdict (`opts.max_instructions` and the architectural
+    /// [`MAX_INSTRUCTIONS`] cap), so reuse it only under the same options —
+    /// exactly what a per-switch plan cache guarantees.
+    pub fn decode(view: &TppView<'_>, opts: &ExecOptions) -> PlanTemplate {
+        let n = view.n_instr();
+        let rejected = n > opts.max_instructions || n > MAX_INSTRUCTIONS;
+        let filler = Instruction::load(Address::new(0), 0);
+        let mut t =
+            PlanTemplate { n_instr: 0, instrs: [filler; MAX_INSTRUCTIONS], rejected, token: None };
+        if !rejected {
+            t.n_instr = n as u8;
+            for idx in 0..n {
+                t.instrs[idx] = view.instr(idx);
+            }
+        }
+        t
+    }
+
+    /// Attach a static-verifier token so cache hits can take the unchecked
+    /// fast path (see [`execute_in_place_verified`]). The token must have
+    /// been issued for this exact program.
+    #[must_use]
+    pub fn with_token(mut self, token: Verified) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// The decoded program (empty for rejected templates).
+    pub fn instrs(&self) -> &[Instruction] {
+        &self.instrs[..self.n_instr as usize]
+    }
+
+    pub fn rejected(&self) -> bool {
+        self.rejected
+    }
+
+    pub fn token(&self) -> Option<&Verified> {
+        self.token.as_ref()
+    }
+
+    /// Execute one frame's **pre-validated** TPP section against `bus`.
+    ///
+    /// Equivalent to [`execute_in_place`] (or, when the carried token
+    /// covers this frame's hop/SP, [`execute_in_place_verified`]) on the
+    /// same bytes — the caller promises the section was validated by
+    /// [`TppView::parse`] and carries exactly this template's instruction
+    /// words. Batch-invariant work (decode, budget check, token identity)
+    /// is already done; only the per-frame word loop runs here.
+    pub fn execute_one(
+        &self,
+        view: &mut TppViewMut<'_>,
+        bus: &mut dyn MemoryBus,
+        opts: &ExecOptions,
+    ) -> InPlaceOutcome {
+        if self.rejected {
+            return InPlaceOutcome { status: StatusVec::default(), wrote: false, rejected: true };
+        }
+        let trusted = self.token.is_some_and(|t| t.covers(view.hop(), view.sp()));
+        let mut status = StatusVec::default();
+        let mut wrote = false;
+        let mut live = true;
+
+        for ins in self.instrs() {
+            if !live {
+                // A suppressed PUSH/POP still moves the parse-time SP; on
+                // the trusted path the token proves the clamps can't fire.
+                match ins.opcode {
+                    Opcode::Push if trusted || (view.sp() as usize) < view.memory_words() => {
+                        let sp = view.sp();
+                        view.set_sp(sp + 1);
+                    }
+                    Opcode::Pop if trusted || view.sp() > 0 => {
+                        let sp = view.sp();
+                        view.set_sp(sp - 1);
+                    }
+                    _ => {}
+                }
+                status.push(InstrStatus::Suppressed);
+                continue;
+            }
+            let st = if trusted {
+                step_in_place_trusted(view, bus, ins, opts, &mut wrote, &mut live)
+            } else {
+                step_in_place(view, bus, ins, opts, &mut wrote, &mut live)
+            };
+            status.push(st);
+        }
+        if wrote {
+            view.set_wrote(true);
+        }
+        if opts.increment_hop {
+            let hop = view.hop();
+            view.set_hop(hop.wrapping_add(1));
+        }
+        InPlaceOutcome { status, wrote, rejected: false }
+    }
+}
+
+/// Execute one decoded [`PlanTemplate`] over a whole batch of frames,
+/// appending one [`InPlaceOutcome`] per frame (in order) to `out`.
+///
+/// Every section must be a **pre-validated** TPP section carrying exactly
+/// the template's instruction words — the batch-invariant decode and proof
+/// are paid once, and the per-frame loop is a straight word-op pass over
+/// the fixed 4-byte layout. Frames execute strictly in order: bus writes
+/// made by frame *i* are visible to frame *i+1*, exactly as if each frame
+/// had been executed singly.
+pub fn execute_batch<'a, I>(
+    template: &PlanTemplate,
+    sections: I,
+    bus: &mut dyn MemoryBus,
+    opts: &ExecOptions,
+    out: &mut Vec<InPlaceOutcome>,
+) where
+    I: IntoIterator<Item = &'a mut [u8]>,
+{
+    for bytes in sections {
+        let mut view = TppViewMut::from_validated(bytes);
+        out.push(template.execute_one(&mut view, bus, opts));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1015,5 +1162,98 @@ mod tests {
         assert_eq!(t.read_word(0), Some(5));
         assert_eq!(t.hop, 2);
         assert_eq!(t.sp, 1, "overflowing push skips with no SP side effect");
+    }
+
+    /// A template executed per frame must be byte- and status-identical to
+    /// the per-frame interpreters it replaces (checked without a token,
+    /// verified with one).
+    #[test]
+    fn plan_template_matches_per_frame_interpreters() {
+        let qsize = a("Queue:QueueOccupancy");
+        let reg = a("Link:AppSpecific_0");
+        let sid = a("Switch:SwitchID");
+        let mut cstore =
+            hop_tpp(vec![Instruction::cstore(reg, 0, 1), Instruction::store(reg, 2)], 12, 2);
+        cstore.write_word(0, 19).unwrap();
+        cstore.write_word(1, 20).unwrap();
+        cstore.write_word(2, 6000).unwrap();
+        let cases = [
+            stack_tpp(vec![Instruction::push(qsize), Instruction::pop(reg)], 8),
+            cstore,
+            stack_tpp(vec![Instruction::push(sid); 6], 64), // over budget
+        ];
+        let opts = ExecOptions::default();
+        for tpp in &cases {
+            let bytes = tpp.serialize();
+            let mk_bus = || MapBus::with(&[(qsize, 42), (reg, 77), (sid, 7)]);
+
+            let mut ref_frame = bytes.clone();
+            let mut ref_bus = mk_bus();
+            let (mut rv, _) = TppViewMut::parse(&mut ref_frame).unwrap();
+            let ref_out = execute_in_place(&mut rv, &mut ref_bus, &opts);
+
+            let mut t_frame = bytes.clone();
+            let mut t_bus = mk_bus();
+            let template = {
+                let (view, _) = TppView::parse(&t_frame).unwrap();
+                PlanTemplate::decode(&view, &opts)
+            };
+            assert_eq!(template.rejected(), ref_out.rejected);
+            let (mut tv, _) = TppViewMut::parse(&mut t_frame).unwrap();
+            let t_out = template.execute_one(&mut tv, &mut t_bus, &opts);
+
+            assert_eq!(t_frame, ref_frame, "template bytes != per-frame bytes");
+            assert_eq!(t_out.status.as_slice(), ref_out.status.as_slice());
+            assert_eq!(t_out.wrote, ref_out.wrote);
+            assert_eq!(t_bus.mem, ref_bus.mem);
+
+            // With a token the template must match the verified path.
+            let verdict = crate::verify::verify(tpp, crate::verify::VerifyOptions::default());
+            let Some(token) = verdict.token() else { continue };
+            let mut v_frame = bytes.clone();
+            let mut v_bus = mk_bus();
+            let (mut vv, _) = TppViewMut::parse(&mut v_frame).unwrap();
+            let v_out = execute_in_place_verified(&mut vv, &mut v_bus, &opts, &token);
+            let mut tk_frame = bytes.clone();
+            let mut tk_bus = mk_bus();
+            let tk = template.with_token(token);
+            let (mut tkv, _) = TppViewMut::parse(&mut tk_frame).unwrap();
+            let tk_out = tk.execute_one(&mut tkv, &mut tk_bus, &opts);
+            assert_eq!(tk_frame, v_frame, "tokened template bytes != verified path");
+            assert_eq!(tk_out.status.as_slice(), v_out.status.as_slice());
+            assert_eq!(tk_bus.mem, v_bus.mem);
+        }
+    }
+
+    #[test]
+    fn execute_batch_runs_frames_in_order() {
+        // Each frame CSTOREs version v -> v+1: only strict in-order
+        // execution lets every swap succeed.
+        let reg = a("Link:AppSpecific_0");
+        let mut frames: Vec<Vec<u8>> = (0..4u32)
+            .map(|v| {
+                let mut t = hop_tpp(vec![Instruction::cstore(reg, 0, 1)], 8, 1);
+                t.write_word(0, v).unwrap();
+                t.write_word(1, v + 1).unwrap();
+                t.serialize()
+            })
+            .collect();
+        let opts = ExecOptions::default();
+        let template = {
+            let (view, _) = TppView::parse(&frames[0]).unwrap();
+            PlanTemplate::decode(&view, &opts)
+        };
+        let mut bus = MapBus::with(&[(reg, 0)]);
+        let mut out = Vec::new();
+        execute_batch(
+            &template,
+            frames.iter_mut().map(Vec::as_mut_slice),
+            &mut bus,
+            &opts,
+            &mut out,
+        );
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|o| o.status.as_slice() == [InstrStatus::Executed]));
+        assert_eq!(bus.get(reg), Some(4), "4 chained swaps applied in order");
     }
 }

@@ -310,7 +310,11 @@ impl Cell {
                 "\"hosts\":{},\"switches\":{},\"frames_delivered\":{},",
                 "\"frames_dropped\":{},\"frames_corrupted\":{},",
                 "\"reconfigs\":{},\"violations\":{},",
-                "\"events\":{},\"trace\":\"{:#018x}\",\"digest\":\"{:#018x}\",",
+                "\"events\":{},",
+                "\"rx_batches\":{},\"rx_batch_frames\":{},\"rx_batch_max\":{},",
+                "\"plan_cache_hits\":{},\"plan_cache_misses\":{},",
+                "\"plan_cache_evictions\":{},",
+                "\"trace\":\"{:#018x}\",\"digest\":\"{:#018x}\",",
                 "\"wall_ms\":{}}}"
             ),
             self.topology,
@@ -327,6 +331,12 @@ impl Cell {
             self.stats.reconfigs_applied,
             self.stats.violations(),
             self.stats.events_processed,
+            self.stats.rx_batches,
+            self.stats.rx_batch_frames,
+            self.stats.rx_batch_max,
+            self.stats.plan_cache_hits,
+            self.stats.plan_cache_misses,
+            self.stats.plan_cache_evictions,
             self.stats.trace,
             self.digest,
             self.wall_ms,

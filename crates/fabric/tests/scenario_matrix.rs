@@ -169,6 +169,12 @@ fn cell_json_has_the_schema_fields() {
         "\"speedup\":1",
         "\"duration_ns\":2000000",
         "\"frames_delivered\":",
+        "\"rx_batches\":",
+        "\"rx_batch_frames\":",
+        "\"rx_batch_max\":",
+        "\"plan_cache_hits\":",
+        "\"plan_cache_misses\":",
+        "\"plan_cache_evictions\":",
         "\"digest\":\"0x",
         "\"trace\":\"0x",
         "\"wall_ms\":",
@@ -176,4 +182,21 @@ fn cell_json_has_the_schema_fields() {
         assert!(json.contains(key), "cell JSON missing {key}: {json}");
     }
     assert!(json.starts_with('{') && json.ends_with('}'));
+}
+
+#[test]
+fn batched_execution_engages_and_is_observable() {
+    // The batching/plan-cache efficacy counters must actually move on a
+    // real cell (fat-tree, TPP-stamping uniform workload): delivery
+    // batches form, and the plan cache absorbs repeated probe programs.
+    let cell = run(WorkloadSpec::uniform(), 1);
+    let s = &cell.stats;
+    assert!(s.rx_batches > 0, "no delivery batches formed: {s:?}");
+    assert!(s.rx_batch_frames >= s.rx_batches, "batch frame total below batch count: {s:?}");
+    assert!(s.rx_batch_max >= 1, "max batch size unset: {s:?}");
+    assert!(s.plan_cache_misses > 0, "plan cache never consulted: {s:?}");
+    assert!(
+        s.plan_cache_hits > s.plan_cache_misses,
+        "repeated probe programs should mostly hit the plan cache: {s:?}"
+    );
 }

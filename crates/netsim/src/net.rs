@@ -39,6 +39,17 @@
 //! therefore [`NetStats::digest`] — is bit-identical to the
 //! one-event-at-a-time loop.
 //!
+//! Inside [`Switch::receive_batch`] the same contract governs *execution*
+//! batching: only batch-invariant inputs are hoisted out of the per-frame
+//! loop — the clock, exec/pipeline options, the route-lookup memo, and the
+//! program plan (via the per-switch plan cache, which keys on the exact
+//! bytes the planner reads). Everything a TPP can observe changing — queue
+//! stats, stage SRAM, flow counters, CSTORE effects — is read and written
+//! strictly per frame, in arrival order. [`NetStats`] surfaces the
+//! efficacy counters (`rx_batches`, `rx_batch_frames`, `rx_batch_max`,
+//! `plan_cache_hits`/`misses`/`evictions`); none of them enter the digest,
+//! which pins batched execution bit-identical to sequential.
+//!
 //! # The network as a shard kernel
 //!
 //! Three properties make one kernel serve both the single-threaded and the
@@ -286,6 +297,26 @@ pub struct NetStats {
     pub violations_blackhole: u64,
     /// Probes completing over paths outside the allowed set.
     pub violations_path: u64,
+    /// Delivery batches executed through `Switch::receive_batch`. Like
+    /// `events_processed`, batching geometry varies with the partitioning
+    /// (shards split co-timed arrivals), so these stay out of the digest.
+    pub rx_batches: u64,
+    /// Total frames delivered through those batches (so the mean batch
+    /// size is `rx_batch_frames / rx_batches`).
+    pub rx_batch_frames: u64,
+    /// Largest single delivery batch observed ([`NetStats::merge`] takes
+    /// the max across shards).
+    pub rx_batch_max: u64,
+    /// TPP plan-cache hits summed over every switch, snapshotted when
+    /// `run_until` returns (same convention as `pool_retained`). Hit/miss
+    /// totals are bookkeeping — a hit returns a byte-identical plan — so
+    /// they stay out of the digest.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (fresh plans), summed over every switch.
+    pub plan_cache_misses: u64,
+    /// Plan-cache evictions (bounded-capacity overwrites), summed over
+    /// every switch.
+    pub plan_cache_evictions: u64,
     /// Order-independent trace accumulator: a wrapping sum of one strong
     /// mix per frame arrival, folding in the arrival time, the receiving
     /// `(node, port)`, and an FNV-1a hash of the full frame bytes. Because
@@ -345,6 +376,12 @@ impl NetStats {
         self.violations_loop += other.violations_loop;
         self.violations_blackhole += other.violations_blackhole;
         self.violations_path += other.violations_path;
+        self.rx_batches += other.rx_batches;
+        self.rx_batch_frames += other.rx_batch_frames;
+        self.rx_batch_max = self.rx_batch_max.max(other.rx_batch_max);
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.plan_cache_evictions += other.plan_cache_evictions;
         self.trace = self.trace.wrapping_add(other.trace);
     }
 
@@ -867,6 +904,11 @@ impl Network {
                 frames.push((port, frame));
             }
         }
+        if !frames.is_empty() {
+            self.stats.rx_batches += 1;
+            self.stats.rx_batch_frames += frames.len() as u64;
+            self.stats.rx_batch_max = self.stats.rx_batch_max.max(frames.len() as u64);
+        }
         let mut any_drop = false;
         {
             let sw = self.nodes.switch_mut(node);
@@ -1037,6 +1079,22 @@ impl Network {
         }
         self.batch = batch;
         self.stats.pool_retained = self.nodes.pool.len() as u64;
+        // Snapshot plan-cache totals across this kernel's switches (remote
+        // shard slots hold no switch, so fabric-wide sums stay correct).
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut evictions = 0;
+        for n in &self.nodes.nodes {
+            if let NodeKind::Switch(sw) = n {
+                let s = sw.plan_cache_stats();
+                hits += s.hits;
+                misses += s.misses;
+                evictions += s.evictions;
+            }
+        }
+        self.stats.plan_cache_hits = hits;
+        self.stats.plan_cache_misses = misses;
+        self.stats.plan_cache_evictions = evictions;
     }
 
     /// Run for `dur` more nanoseconds, measured from the *last processed

@@ -10,22 +10,42 @@
 //! * [`pipeline`] — the distributed TCPU (§3.5): per-stage, out-of-order
 //!   instruction execution with parse-time PUSH/POP serialization, proven
 //!   equivalent to the reference interpreter for well-ordered programs.
+//! * [`plan_cache`] — program-keyed cache of decoded [`TppRun`] plans, so
+//!   the thousandth probe of a flow skips re-planning (and, via the PR 9
+//!   verifier token, per-instruction bounds checks) entirely.
 //! * [`switch`] — the full switch: ingress parse/execute/route/enqueue,
 //!   drop-tail queues with enqueue snapshots, egress execute/rewrite,
 //!   reflection (§4.4), write kill-switch (§4.3).
 //! * [`cost`] — the hardware cost model (Tables 3–4): `NetFPGA` and ASIC
 //!   cycle costs, worst-case added latency, resource accounting.
+//!
+//! ## Batch-execution contract
+//!
+//! [`Switch::receive_batch`] processes a delivery batch under one shared
+//! context: the clock is set once, one route-lookup memo ([`LookupHint`])
+//! and one [`tpp_core::exec::ExecOptions`] snapshot serve every frame, and
+//! plans come from the per-switch [`PlanCache`]. Only **batch-invariant**
+//! inputs may be hoisted: the clock, switch identity, link speeds,
+//! exec/pipeline options, the route memo (which self-invalidates on table
+//! version bumps), and the decoded program plan. Everything a TPP can
+//! *observe changing* — queue stats, stage SRAM, flow counters, per-packet
+//! context, CSTORE effects — is still read and written strictly per frame,
+//! in arrival order. The FNV trace digests (netsim `NetStats::digest`,
+//! fabric golden digests) pin this equivalence: batched and sequential
+//! execution must be bit-identical.
 
 #![forbid(unsafe_code)]
 
 pub mod cost;
 pub mod memmap;
 pub mod pipeline;
+pub mod plan_cache;
 pub mod switch;
 pub mod tables;
 
 pub use cost::{CostProfile, ResourceModel, ASIC, NETFPGA};
 pub use memmap::{MatchedEntries, PacketContext, SwitchBus, SwitchMemory};
 pub use pipeline::{PipelineConfig, TppRun};
+pub use plan_cache::{PlanCache, PlanCacheStats, PLAN_CACHE_SLOTS};
 pub use switch::{DropReason, ReceiveOutcome, Switch, SwitchConfig};
 pub use tables::{Action, FlowKey, FlowTable, GroupTable, LookupHint};

@@ -20,7 +20,7 @@
 
 use crate::memmap::SwitchBus;
 use tpp_core::addr::{meta_ns, Address, Namespace};
-use tpp_core::exec::{ExecOptions, InstrStatus, MemoryBus, StatusVec, WriteOutcome};
+use tpp_core::exec::{ExecOptions, InstrStatus, MemoryBus, PlanTemplate, StatusVec, WriteOutcome};
 use tpp_core::isa::{Instruction, Opcode, MAX_INSTRUCTIONS};
 use tpp_core::wire::{Tpp, TppView, TppViewMut};
 
@@ -117,6 +117,11 @@ pub fn check_pipeline_order(tpp: &Tpp, cfg: &PipelineConfig) -> bool {
     true
 }
 
+/// Plan-time marker for an instruction whose operand maps to no pipeline
+/// stage (it skips gracefully, §3.3) — stored in `TppRun::stages` so the
+/// execute loop never resolves namespaces per frame.
+const UNMAPPED_STAGE: u16 = u16::MAX;
+
 /// How one instruction addresses packet memory after parse-time
 /// serialization of PUSH/POP (§3.5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,13 +143,18 @@ enum Slot {
 /// access goes straight to the frame bytes through a [`TppViewMut`], which
 /// maintains the section checksum incrementally. The forwarding path
 /// therefore performs no heap allocation per packet.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TppRun {
     /// Byte offset of the TPP section within the frame.
     pub section: usize,
     n_instr: u8,
     instrs: [Instruction; MAX_INSTRUCTIONS],
     slots: [Slot; MAX_INSTRUCTIONS],
+    /// Plan-time stage assignment per instruction ([`stage_of`] resolved
+    /// once; [`UNMAPPED_STAGE`] = skips gracefully), so the per-frame
+    /// execute loop is a flat integer compare instead of a namespace
+    /// resolve.
+    stages: [u16; MAX_INSTRUCTIONS],
     status: [Option<InstrStatus>; MAX_INSTRUCTIONS],
     /// Program index of the first failed conditional, if any.
     fail_idx: Option<usize>,
@@ -167,39 +177,65 @@ pub struct TppRun {
 
 impl TppRun {
     /// Parse-time planning over a validated view at byte offset `section`
-    /// of its frame: serialize PUSH/POP to preassigned offsets and check
-    /// the instruction budget. Like the in-place interpreter, the pipeline
-    /// enforces the architectural [`MAX_INSTRUCTIONS`] budget even when
-    /// `opts.max_instructions` is configured above it.
-    pub fn plan(view: &TppView<'_>, section: usize, opts: &ExecOptions) -> TppRun {
-        let n = view.n_instr();
-        let rejected = n > opts.max_instructions || n > MAX_INSTRUCTIONS;
+    /// of its frame: decode the program into a [`PlanTemplate`], then
+    /// specialize it to this frame's header. Like the in-place interpreter,
+    /// the pipeline enforces the architectural [`MAX_INSTRUCTIONS`] budget
+    /// even when `opts.max_instructions` is configured above it.
+    pub fn plan(
+        view: &TppView<'_>,
+        section: usize,
+        opts: &ExecOptions,
+        cfg: &PipelineConfig,
+    ) -> TppRun {
+        TppRun::from_template(&PlanTemplate::decode(view, opts), view, section, cfg)
+    }
+
+    /// Specialize a pre-decoded [`PlanTemplate`] to one frame: serialize
+    /// PUSH/POP to preassigned offsets from this frame's SP, resolve each
+    /// instruction's pipeline stage, and prove the hop-window bounds. This
+    /// is the frame-dependent half of planning — the plan cache reuses the
+    /// *whole* result for frames whose header prefix and instruction words
+    /// match exactly, making this path per-program, not per-frame.
+    pub fn from_template(
+        template: &PlanTemplate,
+        view: &TppView<'_>,
+        section: usize,
+        cfg: &PipelineConfig,
+    ) -> TppRun {
         let filler = Instruction::load(Address::new(0), 0);
         let mut run = TppRun {
             section,
             n_instr: 0,
             instrs: [filler; MAX_INSTRUCTIONS],
             slots: [Slot::Direct; MAX_INSTRUCTIONS],
+            stages: [UNMAPPED_STAGE; MAX_INSTRUCTIONS],
             status: [None; MAX_INSTRUCTIONS],
             fail_idx: None,
             final_sp: view.sp(),
             wrote: false,
             executed_ops: [Opcode::Load; MAX_INSTRUCTIONS],
             n_executed: 0,
-            rejected,
+            rejected: template.rejected(),
             trusted: false,
             reflect: view.reflect(),
             hop: view.hop(),
         };
-        if rejected {
+        if run.rejected {
             return run;
         }
+        let n = template.instrs().len();
         run.n_instr = n as u8;
         let mut sp = view.sp() as usize;
         let words = view.memory_words();
         for idx in 0..n {
-            let ins = view.instr(idx);
+            let ins = template.instrs()[idx];
             run.instrs[idx] = ins;
+            run.stages[idx] = match stage_of(ins.addr, cfg) {
+                // A pipeline deeper than the u16 sentinel is architecturally
+                // impossible (per-stage SRAM alone forbids it).
+                Some(s) => s as u16,
+                None => UNMAPPED_STAGE,
+            };
             run.slots[idx] = match ins.opcode {
                 Opcode::Push => {
                     if sp < words {
@@ -246,13 +282,13 @@ impl TppRun {
 
     /// Execute all instructions assigned to stages in `range` (processed in
     /// stage order, program order within a stage), mutating the TPP section
-    /// inside `frame` in place.
+    /// inside `frame` in place. Stage assignment was resolved at plan time
+    /// (`TppRun::stages`), so the scan over instructions is branch-cheap.
     pub fn exec_stages(
         &mut self,
         frame: &mut [u8],
         bus: &mut SwitchBus<'_>,
         range: std::ops::Range<usize>,
-        cfg: &PipelineConfig,
         opts: &ExecOptions,
     ) {
         if self.rejected {
@@ -264,11 +300,10 @@ impl TppRun {
                 if self.status[idx].is_some() {
                     continue;
                 }
-                let ins = self.instrs[idx];
-                let Some(s) = stage_of(ins.addr, cfg) else { continue };
-                if s != stage {
+                if usize::from(self.stages[idx]) != stage {
                     continue;
                 }
+                let ins = self.instrs[idx];
                 if self.fail_idx.is_some_and(|f| idx > f) {
                     self.status[idx] = Some(InstrStatus::Suppressed);
                     continue;
@@ -474,18 +509,18 @@ mod tests {
         // The pipeline executes in place over wire bytes: serialize, run,
         // parse the mutated section back for the assertions.
         let mut frame = tpp.serialize();
+        let c = cfg();
         let mut run = {
             let (view, _) = TppView::parse(&frame).expect("test TPP serializes validly");
-            TppRun::plan(&view, 0, &opts)
+            TppRun::plan(&view, 0, &opts, &c)
         };
-        let c = cfg();
         {
             let mut bus = SwitchBus { mem, ctx };
-            run.exec_stages(&mut frame, &mut bus, 0..c.n_ingress, &c, &opts);
+            run.exec_stages(&mut frame, &mut bus, 0..c.n_ingress, &opts);
         }
         {
             let mut bus = SwitchBus { mem, ctx };
-            run.exec_stages(&mut frame, &mut bus, c.n_ingress..c.total_stages(), &c, &opts);
+            run.exec_stages(&mut frame, &mut bus, c.n_ingress..c.total_stages(), &opts);
         }
         run.finish(&mut frame, &opts);
         let st = run.final_statuses().as_slice().to_vec();

@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 use crate::cost::{CostProfile, ASIC};
 use crate::memmap::{FlowEntryStats, PacketContext, SwitchBus, SwitchMemory};
 use crate::pipeline::{PipelineConfig, TppRun};
+use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::tables::{Action, FlowKey, FlowTable, GroupTable, LookupHint};
 use tpp_core::addr::layout;
 use tpp_core::exec::ExecOptions;
@@ -119,6 +120,11 @@ pub struct Switch {
     /// the owner — e.g. the network simulator's frame pool — can recycle
     /// them instead of round-tripping the allocator on every drop.
     retired: Vec<Vec<u8>>,
+    /// Program-keyed cache of ingress plans: the same probe program on the
+    /// thousandth packet of a flow reuses the decoded [`TppRun`] (slot
+    /// serialization, stage assignment, `trusted` bounds proof) instead of
+    /// re-planning. Exact-byte keyed — see [`crate::plan_cache`].
+    plan_cache: PlanCache,
 }
 
 /// Retained dropped-frame buffers are capped; beyond this they free
@@ -139,6 +145,7 @@ impl Switch {
             rr_next: vec![0; cfg.n_ports],
             last_util_ns: 0,
             retired: Vec::new(),
+            plan_cache: PlanCache::default(),
             cfg,
         };
         for q in 0..layout::QUEUES_PER_PORT as usize {
@@ -167,6 +174,11 @@ impl Switch {
             max_instructions: self.cfg.max_instructions,
             increment_hop: true,
         }
+    }
+
+    /// Plan-cache hit/miss/eviction counters since construction.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
     }
 
     /// Set the speed of a port (called when the simulator attaches a link).
@@ -240,16 +252,22 @@ impl Switch {
     pub fn receive(&mut self, now_ns: u64, in_port: u8, frame: Vec<u8>) -> ReceiveOutcome {
         self.mem.set_clock(now_ns);
         let mut hint = LookupHint::default();
-        self.receive_one(now_ns, in_port, frame, &mut hint)
+        let opts = self.exec_options();
+        self.receive_one(now_ns, in_port, frame, &opts, &mut hint)
     }
 
     /// Ingest a batch of frames all arriving at `now_ns`, appending one
     /// [`ReceiveOutcome`] per frame (in order) to `out` and draining
     /// `frames`. Equivalent to calling [`Switch::receive`] per frame, but
-    /// the memory-map clock is stored once and the routing lookup carries a
-    /// batch-scoped [`LookupHint`], so back-to-back frames toward the same
-    /// destination skip the linear LPM scan (the matched entry's counters
-    /// still advance per frame — TPPs can't tell the difference).
+    /// the batch-invariant inputs are snapshotted once — the memory-map
+    /// clock, the [`ExecOptions`], a batch-scoped routing memo
+    /// ([`LookupHint`]) — and programs plan through the per-switch
+    /// [`PlanCache`], so back-to-back frames carrying the same probe skip
+    /// both the linear LPM scan and re-planning. Everything a TPP can
+    /// observe changing (queue stats, stage SRAM, flow counters, CSTORE
+    /// effects) is still read and written per frame, in arrival order —
+    /// the matched entry's counters still advance per frame; TPPs can't
+    /// tell the difference.
     pub fn receive_batch(
         &mut self,
         now_ns: u64,
@@ -258,8 +276,9 @@ impl Switch {
     ) {
         self.mem.set_clock(now_ns);
         let mut hint = LookupHint::default();
+        let opts = self.exec_options();
         for (in_port, frame) in frames.drain(..) {
-            let outcome = self.receive_one(now_ns, in_port, frame, &mut hint);
+            let outcome = self.receive_one(now_ns, in_port, frame, &opts, &mut hint);
             out.push(outcome);
         }
     }
@@ -269,6 +288,7 @@ impl Switch {
         now_ns: u64,
         in_port: u8,
         mut frame: Vec<u8>,
+        opts: &ExecOptions,
         hint: &mut LookupHint,
     ) -> ReceiveOutcome {
         let len = frame.len() as u64;
@@ -289,15 +309,17 @@ impl Switch {
 
         // Locate and validate the TPP, if any (Figure 7a parse graph). The
         // section is validated once as a borrowed view — no owned parse —
-        // and immediately planned into a fixed-size TppRun; the program
+        // and planned into a fixed-size TppRun through the per-switch plan
+        // cache (a repeated program reuses its decoded plan); the program
         // then executes in place against the frame bytes.
-        let opts = self.exec_options();
+        let pcfg = self.cfg.pipeline;
         let loc = locate_tpp(&frame);
         let mut tpp_damaged = false;
         let (mut run, ip_offset): (Option<TppRun>, usize) = match loc {
             TppLocation::Transparent { section } => match TppView::parse(&frame[section..]) {
                 Ok((view, consumed)) if view.encap_proto() == ethernet::ethertype::IPV4 => {
-                    (Some(TppRun::plan(&view, section, &opts)), section + consumed)
+                    let run = self.plan_cache.plan(&view, &frame[section..], section, opts, &pcfg);
+                    (Some(run), section + consumed)
                 }
                 // Damaged TPP (the inner packet's location is unknowable)
                 // or unroutable non-IP payload: count and drop below, once
@@ -309,7 +331,11 @@ impl Switch {
             },
             TppLocation::Standalone { section, ip, .. } => {
                 match TppView::parse(&frame[section..]) {
-                    Ok((view, _)) => (Some(TppRun::plan(&view, section, &opts)), ip),
+                    Ok((view, _)) => {
+                        let run =
+                            self.plan_cache.plan(&view, &frame[section..], section, opts, &pcfg);
+                        (Some(run), ip)
+                    }
                     Err(_) => {
                         // Forward as a normal UDP packet, uninstrumented.
                         self.mem.tpp_rejected += 1;
@@ -349,13 +375,13 @@ impl Switch {
         }
 
         // Execute the pre-routing ingress stages in place.
-        let cfg = self.cfg.pipeline;
+        let cfg = pcfg;
         if let Some(r) = &mut run {
             if r.rejected {
                 self.mem.tpp_rejected += 1;
             }
             let mut bus = SwitchBus { mem: &mut self.mem, ctx: &mut ctx };
-            r.exec_stages(&mut frame, &mut bus, 0..cfg.routing_stage(), &cfg, &opts);
+            r.exec_stages(&mut frame, &mut bus, 0..cfg.routing_stage(), opts);
         }
 
         // Targeted TPP addressed to this switch (§4.4): execute and reflect.
@@ -412,7 +438,7 @@ impl Switch {
         // write to [PacketMetadata:OutputPort] supersedes the lookup, §3.2).
         if let Some(r) = &mut run {
             let mut bus = SwitchBus { mem: &mut self.mem, ctx: &mut ctx };
-            r.exec_stages(&mut frame, &mut bus, rs..cfg.n_ingress, &cfg, &opts);
+            r.exec_stages(&mut frame, &mut bus, rs..cfg.n_ingress, opts);
         }
         let out_port = ctx.out_port.unwrap() % self.cfg.n_ports as u8;
         ctx.out_port = Some(out_port);
@@ -476,7 +502,8 @@ impl Switch {
     /// non-empty queues), run the egress pipeline, rewrite the TPP.
     pub fn dequeue(&mut self, now_ns: u64, port: u8) -> Option<Vec<u8>> {
         self.mem.set_clock(now_ns);
-        self.dequeue_one(now_ns, port)
+        let opts = self.exec_options();
+        self.dequeue_one(now_ns, port, &opts)
     }
 
     /// Pop the next frame of *each* listed port at one instant, appending
@@ -488,14 +515,15 @@ impl Switch {
     /// disjoint, so the result is identical to single dequeues.
     pub fn dequeue_batch(&mut self, now_ns: u64, ports: &[u8], out: &mut Vec<(u8, Vec<u8>)>) {
         self.mem.set_clock(now_ns);
+        let opts = self.exec_options();
         for &port in ports {
-            if let Some(frame) = self.dequeue_one(now_ns, port) {
+            if let Some(frame) = self.dequeue_one(now_ns, port, &opts) {
                 out.push((port, frame));
             }
         }
     }
 
-    fn dequeue_one(&mut self, now_ns: u64, port: u8) -> Option<Vec<u8>> {
+    fn dequeue_one(&mut self, now_ns: u64, port: u8, opts: &ExecOptions) -> Option<Vec<u8>> {
         let p = port as usize;
         let nq = layout::QUEUES_PER_PORT as usize;
         let start = self.rr_next[p];
@@ -521,7 +549,6 @@ impl Switch {
         pkt.ctx.queue_wait_ns = Some((now_ns - pkt.enq_ns).min(u32::MAX as u64) as u32);
 
         if let Some(run) = pkt.run.as_mut() {
-            let opts = self.exec_options();
             let cfg = self.cfg.pipeline;
             {
                 let mut bus = SwitchBus { mem: &mut self.mem, ctx: &mut pkt.ctx };
@@ -529,13 +556,12 @@ impl Switch {
                     &mut pkt.frame,
                     &mut bus,
                     cfg.egress_stage()..cfg.total_stages(),
-                    &cfg,
-                    &opts,
+                    opts,
                 );
             }
             // In-place completion: SP/wrote/hop land in the frame with the
             // checksum folded incrementally — no re-serialization.
-            run.finish(&mut pkt.frame, &opts);
+            run.finish(&mut pkt.frame, opts);
             if !run.rejected {
                 self.mem.tpp_executed += 1;
             }
@@ -892,6 +918,164 @@ mod tests {
         // Drain both and compare the rewritten bytes (TPP results included).
         for t in 10..=13u64 {
             assert_eq!(sw_batch.dequeue(t, 2), sw_seq.dequeue(t, 2));
+        }
+    }
+
+    /// Property generalization of the test above: random batches mixing
+    /// plain frames, routable/unroutable destinations, several distinct
+    /// TPP programs at varying hop positions (plan-cache hits, misses,
+    /// and — via direct-mapped slot collisions — evictions), and frames
+    /// with corrupted TPP sections. Batched and sequential receive must
+    /// produce identical outcomes, byte-identical frames out, identical
+    /// observable counters, and identical plan-cache statistics.
+    /// (Deterministic eviction coverage lives in
+    /// `plan_cache::tests::bounded_size_with_eviction`.)
+    mod batch_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Clone, Debug)]
+        enum Spec {
+            Plain { dst: u32, sport: u16 },
+            Probe { prog: usize, hop: u8, dst: u32, sport: u16 },
+            Corrupt { prog: usize, sport: u16, flip: usize },
+        }
+
+        fn pool() -> Vec<Tpp> {
+            let sid = resolve_mnemonic("Switch:SwitchID").unwrap();
+            let q = resolve_mnemonic("Queue:QueueOccupancy").unwrap();
+            let r0 = resolve_mnemonic("Link:AppSpecific_0").unwrap();
+            let r1 = resolve_mnemonic("Link:AppSpecific_1").unwrap();
+            vec![
+                TppBuilder::stack_mode().push(sid).hops(4).build().unwrap(),
+                TppBuilder::stack_mode()
+                    .push(q)
+                    .push_m("FlowEntry$3:MatchPkts")
+                    .unwrap()
+                    .hops(4)
+                    .build()
+                    .unwrap(),
+                TppBuilder::hop_mode(2).load(sid, 0).load(q, 1).hops(4).build().unwrap(),
+                TppBuilder::hop_mode(2).cstore(r0, 0, 1).store(r1, 1).hops(4).build().unwrap(),
+            ]
+        }
+
+        fn frame_of(spec: &Spec, port: u8) -> (u8, Vec<u8>) {
+            match *spec {
+                Spec::Plain { dst, sport } => (port, host_frame(1, dst, 64, sport, 2000)),
+                Spec::Probe { prog, hop, dst, sport } => {
+                    let mut t = pool()[prog].clone();
+                    t.hop = hop;
+                    (port, insert_transparent(&host_frame(1, dst, 64, sport, 2000), &t))
+                }
+                Spec::Corrupt { prog, sport, flip } => {
+                    let t = pool()[prog].clone();
+                    let mut f = insert_transparent(&host_frame(1, 2, 64, sport, 2000), &t);
+                    // Any single-bit flip inside the section header breaks
+                    // the section checksum (or the length/version checks),
+                    // so the parse fails identically on both paths.
+                    f[ethernet::HEADER_LEN + flip % 12] ^= 0x40;
+                    (port, f)
+                }
+            }
+        }
+
+        prop_compose! {
+            fn spec()(
+                kind in 0u8..3,
+                prog in 0usize..4,
+                hop in 0u8..6,
+                routable in any::<bool>(),
+                sport in 1000u16..2000u16,
+                flip in 0usize..12,
+            ) -> Spec {
+                let dst = if routable { 2 } else { 99 };
+                match kind {
+                    0 => Spec::Plain { dst, sport },
+                    1 => Spec::Probe { prog, hop, dst, sport },
+                    _ => Spec::Corrupt { prog, sport, flip },
+                }
+            }
+        }
+
+        /// Every per-port counter a TPP (or the simulator) can observe.
+        #[allow(clippy::type_complexity)]
+        fn link_counters(sw: &Switch) -> Vec<(u64, u64, u64, u64, u64, u64, u64, Vec<u32>)> {
+            sw.mem
+                .links
+                .iter()
+                .map(|l| {
+                    (
+                        l.rx_pkts,
+                        l.rx_bytes,
+                        l.tx_pkts,
+                        l.tx_bytes,
+                        l.drop_pkts,
+                        l.drop_bytes,
+                        l.err_pkts,
+                        l.app.to_vec(),
+                    )
+                })
+                .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn receive_batch_equals_sequential(
+                specs in proptest::collection::vec(spec(), 1..24),
+            ) {
+                let frames: Vec<(u8, Vec<u8>)> = specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| frame_of(s, (i % 4) as u8))
+                    .collect();
+
+                let mut sw_seq = basic_switch();
+                let seq_outcomes: Vec<ReceiveOutcome> =
+                    frames.iter().cloned().map(|(p, f)| sw_seq.receive(7, p, f)).collect();
+
+                let mut sw_batch = basic_switch();
+                let mut input = frames.clone();
+                let mut batch_outcomes = Vec::new();
+                sw_batch.receive_batch(7, &mut input, &mut batch_outcomes);
+                prop_assert!(input.is_empty(), "receive_batch drains its input");
+                prop_assert_eq!(&batch_outcomes, &seq_outcomes);
+
+                // The cache sees the identical plan() sequence either way,
+                // so hit/miss/eviction counts must agree exactly.
+                prop_assert_eq!(sw_batch.plan_cache_stats(), sw_seq.plan_cache_stats());
+
+                // Counters a TPP could observe agree exactly.
+                prop_assert_eq!(link_counters(&sw_batch), link_counters(&sw_seq));
+                let rs = sw_seq.cfg.pipeline.routing_stage();
+                prop_assert_eq!(
+                    sw_batch.mem.stages[rs].lookup_pkts,
+                    sw_seq.mem.stages[rs].lookup_pkts
+                );
+                prop_assert_eq!(
+                    sw_batch.mem.stages[rs].match_pkts,
+                    sw_seq.mem.stages[rs].match_pkts
+                );
+                prop_assert_eq!(sw_batch.mem.tpp_rejected, sw_seq.mem.tpp_rejected);
+                for (a, b) in sw_batch.table.entries().iter().zip(sw_seq.table.entries()) {
+                    prop_assert_eq!(a.match_pkts, b.match_pkts);
+                    prop_assert_eq!(a.match_bytes, b.match_bytes);
+                }
+
+                // Drain every port: byte-identical frames, in order.
+                for port in 0..4u8 {
+                    loop {
+                        let a = sw_batch.dequeue(50, port);
+                        let b = sw_seq.dequeue(50, port);
+                        let done = a.is_none();
+                        prop_assert_eq!(a, b);
+                        if done {
+                            break;
+                        }
+                    }
+                }
+                prop_assert_eq!(sw_batch.mem.tpp_executed, sw_seq.mem.tpp_executed);
+            }
         }
     }
 
